@@ -1,0 +1,13 @@
+//! Shared infrastructure for the evaluation harness.
+//!
+//! One binary per table/figure of the paper lives in `src/bin/`; see
+//! DESIGN.md's per-experiment index. The pieces here are shared:
+//!
+//! - [`synth::SyntheticSource`]: a [`clio_entrymap::BlockSource`] that
+//!   *generates* block images on demand for a given entry placement, so
+//!   Figure 3's 10⁷-block distances can be measured without materializing
+//!   gigabytes;
+//! - [`table`]: plain-text table printing for the harness output.
+
+pub mod synth;
+pub mod table;

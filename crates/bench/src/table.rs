@@ -1,0 +1,75 @@
+//! Plain-text table rendering for harness output.
+
+/// Renders a table with a header row, aligning columns to their widest
+/// cell.
+#[must_use]
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:>width$}", c, width = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &header.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+    );
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Formats a microsecond value as milliseconds with two decimals.
+#[must_use]
+pub fn ms(us: u64) -> String {
+    format!("{:.2}", us as f64 / 1000.0)
+}
+
+/// Formats a float with two decimals.
+#[must_use]
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let t = render(
+            &["a", "bbbb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('a') && lines[0].contains("bbbb"));
+        assert!(lines[1].starts_with('-'));
+        // Right-aligned numbers.
+        assert!(lines[2].ends_with('2'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(2_460), "2.46");
+        assert_eq!(f2(1.005), "1.00");
+    }
+}

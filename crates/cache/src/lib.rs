@@ -1,0 +1,367 @@
+#![warn(missing_docs)]
+//! The shared block cache (buffer pool).
+//!
+//! Clio "is able to use much of the existing mechanism of the file server,
+//! such as the buffer pool" (§2) — the same cache serves the conventional
+//! file system and the log service. Because log blocks are immutable once
+//! sealed (the medium is write-once), the cache is a pure read cache with
+//! write-through on append: there are no dirty pages and no write-back
+//! machinery. Hit/miss statistics feed the Table 1 and §4 cache analyses.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use clio_types::{BlockNo, Result};
+
+/// Identifies a cached device (assigned by the volume layer).
+pub type DeviceId = u32;
+
+/// A cache key: one block of one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Which device.
+    pub device: DeviceId,
+    /// Which block.
+    pub block: BlockNo,
+}
+
+impl CacheKey {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(device: DeviceId, block: BlockNo) -> CacheKey {
+        CacheKey { device, block }
+    }
+}
+
+/// Cache statistics counters.
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time copy of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSnapshot {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to go to the device.
+    pub misses: u64,
+    /// Blocks inserted.
+    pub inserts: u64,
+    /// Blocks evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheSnapshot {
+    /// Hit ratio in `[0, 1]`; 0 when no lookups happened.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    data: Arc<Vec<u8>>,
+    tick: u64,
+}
+
+struct Lru {
+    map: HashMap<CacheKey, Entry>,
+    by_tick: std::collections::BTreeMap<u64, CacheKey>,
+    next_tick: u64,
+}
+
+impl Lru {
+    fn touch(&mut self, key: CacheKey) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        if let Some(e) = self.map.get_mut(&key) {
+            self.by_tick.remove(&e.tick);
+            e.tick = tick;
+            self.by_tick.insert(tick, key);
+        }
+    }
+}
+
+/// A fixed-capacity LRU cache of immutable block images.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use clio_cache::{BlockCache, CacheKey};
+/// use clio_types::BlockNo;
+///
+/// let cache = BlockCache::new(2);
+/// cache.put(CacheKey::new(0, BlockNo(1)), Arc::new(vec![1, 2, 3]));
+/// assert!(cache.get(CacheKey::new(0, BlockNo(1))).is_some());
+/// assert!(cache.get(CacheKey::new(0, BlockNo(9))).is_none());
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+pub struct BlockCache {
+    inner: Mutex<Lru>,
+    capacity: usize,
+    counters: Counters,
+}
+
+impl BlockCache {
+    /// Creates a cache holding at most `capacity_blocks` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_blocks` is zero — a cacheless configuration
+    /// should bypass the cache, not construct a degenerate one.
+    #[must_use]
+    pub fn new(capacity_blocks: usize) -> BlockCache {
+        assert!(capacity_blocks > 0, "cache capacity must be positive");
+        BlockCache {
+            inner: Mutex::new(Lru {
+                map: HashMap::new(),
+                by_tick: std::collections::BTreeMap::new(),
+                next_tick: 0,
+            }),
+            capacity: capacity_blocks,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Number of blocks currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity in blocks.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a block, updating recency and hit/miss counters.
+    #[must_use]
+    pub fn get(&self, key: CacheKey) -> Option<Arc<Vec<u8>>> {
+        let mut g = self.inner.lock();
+        if let Some(e) = g.map.get(&key) {
+            let data = e.data.clone();
+            g.touch(key);
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            Some(data)
+        } else {
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Inserts (or replaces) a block, evicting the least recently used
+    /// block if the cache is full.
+    pub fn put(&self, key: CacheKey, data: Arc<Vec<u8>>) {
+        let mut g = self.inner.lock();
+        let tick = g.next_tick;
+        g.next_tick += 1;
+        if let Some(old) = g.map.insert(
+            key,
+            Entry {
+                data,
+                tick,
+            },
+        ) {
+            g.by_tick.remove(&old.tick);
+        }
+        g.by_tick.insert(tick, key);
+        self.counters.inserts.fetch_add(1, Ordering::Relaxed);
+        while g.map.len() > self.capacity {
+            let Some((&t, &victim)) = g.by_tick.iter().next() else {
+                break;
+            };
+            g.by_tick.remove(&t);
+            g.map.remove(&victim);
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Looks up a block, loading and inserting it on a miss.
+    pub fn get_or_load<F>(&self, key: CacheKey, load: F) -> Result<Arc<Vec<u8>>>
+    where
+        F: FnOnce() -> Result<Vec<u8>>,
+    {
+        if let Some(hit) = self.get(key) {
+            return Ok(hit);
+        }
+        let data = Arc::new(load()?);
+        self.put(key, data.clone());
+        Ok(data)
+    }
+
+    /// Drops one block (e.g. after invalidating it on the device).
+    pub fn invalidate(&self, key: CacheKey) {
+        let mut g = self.inner.lock();
+        if let Some(e) = g.map.remove(&key) {
+            g.by_tick.remove(&e.tick);
+        }
+    }
+
+    /// Drops everything (a simulated server crash loses the cache).
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.map.clear();
+        g.by_tick.clear();
+    }
+
+    /// Copies the statistics counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            inserts: self.counters.inserts.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the statistics counters (contents are untouched).
+    pub fn reset_stats(&self) {
+        self.counters.hits.store(0, Ordering::Relaxed);
+        self.counters.misses.store(0, Ordering::Relaxed);
+        self.counters.inserts.store(0, Ordering::Relaxed);
+        self.counters.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(b: u64) -> CacheKey {
+        CacheKey::new(0, BlockNo(b))
+    }
+
+    fn data(b: u8) -> Arc<Vec<u8>> {
+        Arc::new(vec![b; 8])
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let c = BlockCache::new(4);
+        c.put(key(1), data(1));
+        assert_eq!(c.get(key(1)).unwrap()[0], 1);
+        assert!(c.get(key(2)).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let c = BlockCache::new(3);
+        c.put(key(1), data(1));
+        c.put(key(2), data(2));
+        c.put(key(3), data(3));
+        // Touch 1 so 2 becomes the LRU victim.
+        let _ = c.get(key(1));
+        c.put(key(4), data(4));
+        assert!(c.get(key(2)).is_none(), "2 should have been evicted");
+        assert!(c.get(key(1)).is_some());
+        assert!(c.get(key(3)).is_some());
+        assert!(c.get(key(4)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_grow() {
+        let c = BlockCache::new(2);
+        c.put(key(1), data(1));
+        c.put(key(1), data(9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(key(1)).unwrap()[0], 9);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn get_or_load_loads_once() {
+        let c = BlockCache::new(4);
+        let mut loads = 0;
+        for _ in 0..3 {
+            let v = c
+                .get_or_load(key(7), || {
+                    loads += 1;
+                    Ok(vec![7u8; 4])
+                })
+                .unwrap();
+            assert_eq!(v[0], 7);
+        }
+        assert_eq!(loads, 1);
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn load_errors_propagate_and_cache_nothing() {
+        let c = BlockCache::new(4);
+        let r = c.get_or_load(key(9), || Err(clio_types::ClioError::VolumeFull));
+        assert!(r.is_err());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let c = BlockCache::new(4);
+        c.put(key(1), data(1));
+        c.put(key(2), data(2));
+        c.invalidate(key(1));
+        assert!(c.get(key(1)).is_none());
+        assert!(c.get(key(2)).is_some());
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn devices_are_distinct() {
+        let c = BlockCache::new(4);
+        c.put(CacheKey::new(0, BlockNo(1)), data(1));
+        c.put(CacheKey::new(1, BlockNo(1)), data(2));
+        assert_eq!(c.get(CacheKey::new(0, BlockNo(1))).unwrap()[0], 1);
+        assert_eq!(c.get(CacheKey::new(1, BlockNo(1))).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let c = BlockCache::new(4);
+        c.put(key(1), data(1));
+        let _ = c.get(key(1));
+        let _ = c.get(key(1));
+        let _ = c.get(key(2));
+        let s = c.stats();
+        assert!((s.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(CacheSnapshot::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn heavy_churn_respects_capacity() {
+        let c = BlockCache::new(16);
+        for i in 0..10_000u64 {
+            c.put(key(i), data((i % 251) as u8));
+        }
+        assert_eq!(c.len(), 16);
+        // The survivors are the 16 most recent.
+        for i in 10_000 - 16..10_000 {
+            assert!(c.get(key(i)).is_some(), "block {i} missing");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Service configuration.
+
+use clio_types::{DEFAULT_BLOCK_SIZE, DEFAULT_FANOUT};
+
+/// Tunables for a [`crate::LogService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Log device block size in bytes (the paper measured with 1 KiB).
+    pub block_size: usize,
+    /// Entrymap tree degree `N` (the paper recommends 16–32, §3.4).
+    pub fanout: u16,
+    /// Shared block cache capacity, in blocks.
+    pub cache_blocks: usize,
+    /// Read back and parse every appended block, invalidating and
+    /// re-writing it at the next block on failure (§2.3.2). Costs one
+    /// device read per append; required for the fault-injection tests.
+    pub verify_appends: bool,
+    /// Maximum client/server clock skew (µs) tolerated when resolving a
+    /// client-generated unique id (§2.1: "its correctness depends on the
+    /// sequence number not wrapping around within the maximum possible
+    /// time skew between the client and the server").
+    pub unique_id_skew_us: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            block_size: DEFAULT_BLOCK_SIZE,
+            fanout: DEFAULT_FANOUT as u16,
+            cache_blocks: 1024,
+            verify_appends: false,
+            unique_id_skew_us: 5_000_000,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A small-block configuration convenient for tests.
+    #[must_use]
+    pub fn small() -> ServiceConfig {
+        ServiceConfig {
+            block_size: 256,
+            fanout: 4,
+            cache_blocks: 64,
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// Enables append verification (see [`ServiceConfig::verify_appends`]).
+    #[must_use]
+    pub fn with_verified_appends(mut self) -> ServiceConfig {
+        self.verify_appends = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = ServiceConfig::default();
+        assert_eq!(c.block_size, 1024);
+        assert_eq!(c.fanout, 16);
+        assert!(!c.verify_appends);
+        assert!(ServiceConfig::small().with_verified_appends().verify_appends);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! The Clio log service (the paper's primary contribution).
+//!
+//! [`LogService`] provides *log files*: "special readable, append-only files
+//! that are accessed in the same way as regular (rewriteable) files" (§1),
+//! implemented on write-once log devices. The service is structured exactly
+//! as the paper describes:
+//!
+//! - entries are appended through a per-block builder and tagged with tiny
+//!   headers, sizes living in the end-of-block index (§2.2);
+//! - the entrymap log file (emitted by [`mod@write`]) forms the degree-`N`
+//!   search tree that [`read`]'s cursors use to locate entries (§2.1);
+//! - log-file attributes live in the catalog log file, replayed into the
+//!   in-memory [`catalog::Catalog`] (§2.2);
+//! - sublogs embed the file-naming hierarchy: `/mail/smith` names a log
+//!   file whose entries are also entries of `/mail` (§2.1);
+//! - forced writes either seal a partial block on pure WORM devices or
+//!   stage it in battery-backed RAM (§2.3.1);
+//! - [`recovery`] re-derives every piece of volatile state from the written
+//!   prefix of the volume sequence (§2.3.1), tolerating corrupt blocks by
+//!   invalidation (§2.3.2);
+//! - [`server`] puts the service behind a message boundary like the
+//!   V-System file server the authors extended (§3.2);
+//! - [`uio`] is the uniform I/O interface over both log files and
+//!   conventional files (§6, the paper's reference \[3\]).
+
+pub mod catalog;
+pub mod config;
+pub mod read;
+pub mod recovery;
+pub mod server;
+pub mod service;
+pub mod stats;
+pub mod uio;
+pub mod write;
+
+pub use catalog::Catalog;
+pub use config::ServiceConfig;
+pub use read::{Entry, LogCursor};
+pub use service::{AppendOpts, Durability, LogService};
+pub use stats::SpaceReport;
+pub use uio::{Uio, UioSeek};

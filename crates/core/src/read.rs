@@ -1,0 +1,528 @@
+//! Reading log files: entry reassembly, cursors, time and unique-id lookup.
+//!
+//! "When a log file is opened for reading, access can be provided to the
+//! sequence of entries in the file either subsequent to, or prior to, any
+//! previous point in time" (§2). A [`LogCursor`] walks the entries of a log
+//! file — including all its sublogs (§2.1) — in either direction, using the
+//! entrymap tree to hop over blocks without relevant entries, and the
+//! timestamp search (§2.1) to start from a point in time.
+
+use std::sync::Arc;
+
+use clio_entrymap::tsearch;
+use clio_entrymap::{BlockSource, Locator, PendingMaps};
+use clio_format::{BlockView, FragKind};
+use clio_types::{
+    BlockNo, ClioError, EntryAddr, LogFileId, Result, SeqNo, Timestamp,
+};
+use clio_volume::Volume;
+
+use crate::service::{LogService, State};
+
+/// A fully reassembled log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Where the entry (its first fragment) lives.
+    pub addr: EntryAddr,
+    /// The log file the entry was tagged with (its most specific sublog).
+    pub id: LogFileId,
+    /// The service timestamp from the header, if the entry carried one.
+    pub timestamp: Option<Timestamp>,
+    /// The client sequence number, if the entry carried one.
+    pub seqno: Option<SeqNo>,
+    /// The mandatory first-entry timestamp of the entry's block — the
+    /// fallback time resolution for untimestamped entries (§2.1).
+    pub block_ts: Timestamp,
+    /// The client payload.
+    pub data: Vec<u8>,
+}
+
+impl Entry {
+    /// The entry's best-known write time: its own timestamp, or its
+    /// block's.
+    #[must_use]
+    pub fn effective_ts(&self) -> Timestamp {
+        self.timestamp.unwrap_or(self.block_ts)
+    }
+}
+
+/// A per-volume [`BlockSource`] that also sees the server's open block.
+pub(crate) struct VolSource {
+    vol: Arc<Volume>,
+    open: Option<(u64, Arc<Vec<u8>>)>,
+    fanout: usize,
+}
+
+impl VolSource {
+    /// The open (unsealed) block's number, if this source covers one. Its
+    /// entries are not yet reflected in any entrymap bitmap — the writer
+    /// notes a block only when it seals — so scans must visit it
+    /// explicitly.
+    fn open_db(&self) -> Option<u64> {
+        self.open.as_ref().map(|(db, _)| *db)
+    }
+}
+
+impl BlockSource for VolSource {
+    fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    fn data_end(&self) -> u64 {
+        let dev = self.vol.data_end();
+        match &self.open {
+            Some((db, _)) => dev.max(db + 1),
+            None => dev,
+        }
+    }
+
+    fn read(&self, db: u64) -> Result<Arc<Vec<u8>>> {
+        if let Some((odb, img)) = &self.open {
+            if *odb == db {
+                return Ok(img.clone());
+            }
+        }
+        self.vol.read_data_block(db)
+    }
+}
+
+impl LogService {
+    /// A snapshot source over one volume, including the open block when the
+    /// volume is active.
+    pub(crate) fn source_for(&self, st: &State, vol_idx: u32) -> Result<VolSource> {
+        let vol = self.seq.volume(vol_idx)?;
+        let open = if vol_idx == st.active_index {
+            st.open
+                .as_ref()
+                .filter(|ob| !ob.builder.is_empty())
+                .map(|ob| (ob.db, Arc::new(ob.builder.finish())))
+        } else {
+            None
+        };
+        Ok(VolSource {
+            vol,
+            open,
+            fanout: usize::from(self.cfg.fanout),
+        })
+    }
+
+    /// The pending maps to search a volume's unmapped tail with.
+    pub(crate) fn pending_for(&self, st: &State, vol_idx: u32) -> Option<PendingMaps> {
+        if vol_idx == st.active_index {
+            Some(st.emap.pending().clone())
+        } else {
+            st.sealed_pendings.get(vol_idx as usize).cloned()
+        }
+    }
+
+    /// Reads and reassembles the entry at `addr` (public, self-locking).
+    pub fn read_entry(&self, addr: EntryAddr) -> Result<Entry> {
+        let st = self.state.lock();
+        self.read_entry_locked(&st, addr)
+    }
+
+    pub(crate) fn read_entry_locked(&self, st: &State, addr: EntryAddr) -> Result<Entry> {
+        let src = self.source_for(st, addr.volume_index)?;
+        let mut db = addr.block.0;
+        let mut img = src.read(db)?;
+        if BlockView::is_invalidated(&img) {
+            // The block was invalidated after this address was issued; with
+            // append verification its contents were re-placed in a following
+            // block at the same slot (best effort, §2.3.2).
+            let mut found = None;
+            for cand in db + 1..(db + 4).min(src.data_end()) {
+                let ci = src.read(cand)?;
+                if let Ok(v) = BlockView::parse(&ci) {
+                    if v.count() > addr.slot {
+                        found = Some((cand, ci));
+                        break;
+                    }
+                }
+            }
+            (db, img) = found.ok_or_else(|| ClioError::NotFound(format!("entry {addr}")))?;
+        }
+        let view = BlockView::parse(&img)?;
+        let first = view.entry(addr.slot)?;
+        let header = first.header;
+        let block_ts = view.first_ts();
+        let mut data = first.payload.to_vec();
+        if let FragKind::First { total_len, chain } = header.frag {
+            // Reassemble continuation fragments from following blocks.
+            // Continuations are written in the immediately following
+            // blocks; unparseable blocks (invalidated, §2.3.2) are skipped
+            // within a small window, but a readable block without the next
+            // piece means the chain is torn — the entry does not exist.
+            let total = total_len as usize;
+            let mut at = db + 1;
+            let mut skipped = 0u32;
+            while data.len() < total {
+                if at >= src.data_end() || skipped > 4 {
+                    return Err(ClioError::NotFound(format!(
+                        "fragments of entry {addr} missing past block {at}"
+                    )));
+                }
+                let ci = src.read(at)?;
+                match BlockView::parse(&ci) {
+                    Ok(v) => {
+                        let mut found = false;
+                        for e in v.entries() {
+                            let Ok(e) = e else { break };
+                            if e.header.frag == (FragKind::Continuation { chain })
+                                && e.header.id == header.id
+                            {
+                                data.extend_from_slice(e.payload);
+                                found = true;
+                                break;
+                            }
+                        }
+                        if !found {
+                            return Err(ClioError::NotFound(format!(
+                                "fragment chain of entry {addr} broken at block {at}"
+                            )));
+                        }
+                        skipped = 0;
+                    }
+                    Err(_) => skipped += 1,
+                }
+                at += 1;
+            }
+            if data.len() != total {
+                return Err(ClioError::BadRecord("fragment reassembly size mismatch"));
+            }
+        } else if matches!(header.frag, FragKind::Continuation { .. }) {
+            return Err(ClioError::BadRecord(
+                "address points at a continuation fragment",
+            ));
+        }
+        Ok(Entry {
+            addr: EntryAddr::new(addr.volume_index, BlockNo(db), addr.slot),
+            id: header.id,
+            timestamp: header.timestamp,
+            seqno: header.seqno,
+            block_ts,
+            data,
+        })
+    }
+
+    /// Scans forward from `(vol, db, slot)` for the next entry of `ids`,
+    /// honouring `floor` (skip entries before that time) when set.
+    pub(crate) fn scan_forward(
+        &self,
+        st: &State,
+        ids: &[LogFileId],
+        start: (u32, u64, u16),
+        floor: Option<Timestamp>,
+    ) -> Result<Option<Entry>> {
+        let (mut vol_idx, mut db, mut slot) = start;
+        let vol_count = self.seq.volume_count();
+        while vol_idx < vol_count {
+            let src = self.source_for(st, vol_idx)?;
+            let end = src.data_end();
+            while db < end {
+                if let Ok(img) = src.read(db) {
+                    if let Ok(view) = BlockView::parse(&img) {
+                        for e in view.entries() {
+                            let Ok(e) = e else { break };
+                            if e.slot < slot
+                                || !ids.contains(&e.header.id)
+                                || matches!(e.header.frag, FragKind::Continuation { .. })
+                            {
+                                continue;
+                            }
+                            let eff = e.header.timestamp.unwrap_or_else(|| view.first_ts());
+                            if floor.is_some_and(|f| eff < f) {
+                                continue;
+                            }
+                            let addr = EntryAddr::new(vol_idx, BlockNo(db), e.slot);
+                            match self.read_entry_locked(st, addr) {
+                                Ok(entry) => return Ok(Some(entry)),
+                                // A fragmented entry whose continuation was
+                                // lost (torn by a crash, or destroyed by
+                                // §2.3.2 corruption) is treated as absent.
+                                Err(ClioError::NotFound(_)) => continue,
+                                Err(e) => return Err(e),
+                            }
+                        }
+                    }
+                }
+                // Nothing (left) in this block: hop to the next block with
+                // entries of ours via the entrymap tree. The open block is
+                // invisible to the entrymap (it has not been noted yet), so
+                // visit it explicitly when the tree finds nothing.
+                let pending = self.pending_for(st, vol_idx);
+                let mut loc = Locator::new(&src, pending.as_ref());
+                match loc.locate_at_or_after(ids, db + 1)? {
+                    Some(nb) => {
+                        db = nb;
+                        slot = 0;
+                    }
+                    None => match src.open_db() {
+                        Some(odb) if odb > db => {
+                            db = odb;
+                            slot = 0;
+                        }
+                        _ => break,
+                    },
+                }
+            }
+            vol_idx += 1;
+            db = 0;
+            slot = 0;
+        }
+        Ok(None)
+    }
+
+    /// Scans backward for the last entry of `ids` strictly before
+    /// `(vol, db, slot)` (slot `u16::MAX` means "from the end of block
+    /// `db`"; `db == u64::MAX` means "from the end of the volume").
+    pub(crate) fn scan_backward(
+        &self,
+        st: &State,
+        ids: &[LogFileId],
+        before: (u32, u64, u16),
+    ) -> Result<Option<Entry>> {
+        let (mut vol_idx, mut db, mut slot_excl) = before;
+        loop {
+            let src = self.source_for(st, vol_idx)?;
+            let end = src.data_end();
+            if end > 0 {
+                if db >= end {
+                    db = end - 1;
+                    slot_excl = u16::MAX;
+                }
+                loop {
+                    if let Ok(img) = src.read(db) {
+                        if let Ok(view) = BlockView::parse(&img) {
+                            let mut best: Option<u16> = None;
+                            for e in view.entries() {
+                                let Ok(e) = e else { break };
+                                if e.slot < slot_excl
+                                    && ids.contains(&e.header.id)
+                                    && !matches!(e.header.frag, FragKind::Continuation { .. })
+                                {
+                                    best = Some(e.slot);
+                                }
+                            }
+                            while let Some(s) = best {
+                                let addr = EntryAddr::new(vol_idx, BlockNo(db), s);
+                                match self.read_entry_locked(st, addr) {
+                                    Ok(entry) => return Ok(Some(entry)),
+                                    // Torn/lost fragments: fall back to the
+                                    // previous candidate in this block.
+                                    Err(ClioError::NotFound(_)) => {
+                                        best = view
+                                            .entries()
+                                            .filter_map(|e| e.ok())
+                                            .filter(|e| {
+                                                e.slot < s
+                                                    && ids.contains(&e.header.id)
+                                                    && !matches!(
+                                                        e.header.frag,
+                                                        FragKind::Continuation { .. }
+                                                    )
+                                            })
+                                            .map(|e| e.slot)
+                                            .last();
+                                    }
+                                    Err(e) => return Err(e),
+                                }
+                            }
+                        }
+                    }
+                    if db == 0 {
+                        break;
+                    }
+                    let pending = self.pending_for(st, vol_idx);
+                    let mut loc = Locator::new(&src, pending.as_ref());
+                    match loc.locate_before(ids, db - 1)? {
+                        Some(pb) => {
+                            db = pb;
+                            slot_excl = u16::MAX;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            if vol_idx == 0 {
+                return Ok(None);
+            }
+            vol_idx -= 1;
+            db = u64::MAX;
+            slot_excl = u16::MAX;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cursors.
+    // ------------------------------------------------------------------
+
+    /// A cursor over `path` (and all its sublogs) positioned before the
+    /// first entry.
+    pub fn cursor(&self, path: &str) -> Result<LogCursor<'_>> {
+        let ids = self.closure_of(path)?;
+        Ok(LogCursor {
+            svc: self,
+            ids,
+            anchor: Anchor::Start,
+            floor: None,
+        })
+    }
+
+    /// A cursor positioned after the last entry (for backward reading).
+    pub fn cursor_from_end(&self, path: &str) -> Result<LogCursor<'_>> {
+        let ids = self.closure_of(path)?;
+        Ok(LogCursor {
+            svc: self,
+            ids,
+            anchor: Anchor::End,
+            floor: None,
+        })
+    }
+
+    /// A cursor positioned at `ts`: `next()` yields entries written at or
+    /// after `ts`, `prev()` yields those before it (§2).
+    pub fn cursor_from_time(&self, path: &str, ts: Timestamp) -> Result<LogCursor<'_>> {
+        let ids = self.closure_of(path)?;
+        let st = self.state.lock();
+        // Volumes are created in time order; start in the last volume whose
+        // label predates ts, then refine with the in-volume timestamp
+        // search (§2.1).
+        let vol_count = self.seq.volume_count();
+        let mut vol_pick = 0;
+        for v in 0..vol_count {
+            if self.seq.volume(v)?.label().created <= ts {
+                vol_pick = v;
+            } else {
+                break;
+            }
+        }
+        let src = self.source_for(&st, vol_pick)?;
+        let (db_opt, _) = tsearch::find_block_by_time(&src, ts)?;
+        let start = (vol_pick, db_opt.unwrap_or(0), 0u16);
+        let anchor = match self.scan_forward(&st, &ids, start, Some(ts))? {
+            Some(e) => Anchor::BeforeEntry(e.addr),
+            None => Anchor::End,
+        };
+        drop(st);
+        Ok(LogCursor {
+            svc: self,
+            ids,
+            anchor,
+            floor: None,
+        })
+    }
+
+    /// Resolves an asynchronously written entry by its client-generated
+    /// unique id — approximate timestamp plus sequence number (§2.1). The
+    /// timestamp bounds the search window to ± the configured clock skew.
+    pub fn find_by_unique_id(
+        &self,
+        path: &str,
+        approx_ts: Timestamp,
+        seqno: SeqNo,
+    ) -> Result<Option<Entry>> {
+        let skew = self.cfg.unique_id_skew_us;
+        let from = Timestamp(approx_ts.0.saturating_sub(skew));
+        let limit = approx_ts.saturating_add_micros(skew);
+        let mut cur = self.cursor_from_time(path, from)?;
+        while let Some(e) = cur.next()? {
+            if e.effective_ts() > limit {
+                break;
+            }
+            if e.seqno == Some(seqno) {
+                return Ok(Some(e));
+            }
+        }
+        Ok(None)
+    }
+
+    /// The id closure (log file + sublogs) for a path.
+    fn closure_of(&self, path: &str) -> Result<Vec<LogFileId>> {
+        let st = self.state.lock();
+        let id = st.catalog.resolve(path)?;
+        let attrs = st.catalog.attrs(id)?;
+        if attrs.perms & clio_format::records::PERM_READ == 0 {
+            return Err(ClioError::PermissionDenied(path.to_owned()));
+        }
+        Ok(st.catalog.closure(id))
+    }
+}
+
+/// Where a cursor stands between calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Anchor {
+    /// Before the first entry.
+    Start,
+    /// After the last entry.
+    End,
+    /// On the entry at this address (last one returned).
+    At(EntryAddr),
+    /// Immediately before the entry at this address.
+    BeforeEntry(EntryAddr),
+}
+
+/// A bidirectional cursor over the entries of a log file and its sublogs.
+///
+/// The sublog set is captured at creation; log files created afterwards are
+/// not included. `next()` after the end simply returns `None` and may
+/// return new entries later — cursors can tail a growing log.
+pub struct LogCursor<'a> {
+    svc: &'a LogService,
+    ids: Vec<LogFileId>,
+    anchor: Anchor,
+    floor: Option<Timestamp>,
+}
+
+#[allow(clippy::should_implement_trait)] // fallible: `Iterator::next` cannot return `Result`
+impl LogCursor<'_> {
+    /// The next entry at or after the cursor, advancing it.
+    pub fn next(&mut self) -> Result<Option<Entry>> {
+        let st = self.svc.state.lock();
+        let start = match self.anchor {
+            Anchor::End => return Ok(None),
+            Anchor::Start => (0u32, 0u64, 0u16),
+            Anchor::At(a) => (a.volume_index, a.block.0, a.slot + 1),
+            Anchor::BeforeEntry(a) => (a.volume_index, a.block.0, a.slot),
+        };
+        match self.svc.scan_forward(&st, &self.ids, start, self.floor)? {
+            Some(e) => {
+                self.anchor = Anchor::At(e.addr);
+                self.floor = None;
+                Ok(Some(e))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// The entry before the cursor, moving it backward.
+    pub fn prev(&mut self) -> Result<Option<Entry>> {
+        let st = self.svc.state.lock();
+        let before = match self.anchor {
+            Anchor::Start => return Ok(None),
+            Anchor::End => {
+                let last_vol = self.svc.seq.volume_count() - 1;
+                (last_vol, u64::MAX, u16::MAX)
+            }
+            Anchor::At(a) | Anchor::BeforeEntry(a) => (a.volume_index, a.block.0, a.slot),
+        };
+        match self.svc.scan_backward(&st, &self.ids, before)? {
+            Some(e) => {
+                self.anchor = Anchor::BeforeEntry(e.addr);
+                Ok(Some(e))
+            }
+            None => {
+                self.anchor = Anchor::Start;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Collects every remaining entry (test/example convenience).
+    pub fn collect_remaining(&mut self) -> Result<Vec<Entry>> {
+        let mut out = Vec::new();
+        while let Some(e) = self.next()? {
+            out.push(e);
+        }
+        Ok(out)
+    }
+}

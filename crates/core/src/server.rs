@@ -1,0 +1,310 @@
+//! The client/server boundary.
+//!
+//! Clio was "implemented as an extension of a conventional disk-based file
+//! server" reached through the V-System's synchronous IPC; the §3.2
+//! measurements decompose a synchronous log write into IPC, timestamping
+//! and block-cache work. [`LogServer`] runs a [`LogService`] on its own
+//! thread behind a message channel, and [`ClioClient`] issues synchronous
+//! requests, counting round trips so the `clio-sim` cost model can charge
+//! the paper's measured per-IPC latency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+
+use clio_types::{ClioError, LogFileId, Result, SeqNo, Timestamp};
+
+use crate::read::Entry;
+use crate::service::{AppendOpts, Durability, LogService, Receipt};
+
+/// A request to the log server.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Create a log file (and implicitly a directory entry), §2.2.
+    CreateLog {
+        /// Full path; ancestors must exist.
+        path: String,
+    },
+    /// Append one entry.
+    Append {
+        /// Target log file path.
+        path: String,
+        /// Entry payload.
+        data: Vec<u8>,
+        /// Synchronous (forced) write — §2.3.1.
+        forced: bool,
+        /// Client sequence number for async unique identification (§2.1).
+        seqno: Option<SeqNo>,
+    },
+    /// Read up to `max` entries at or after `from`.
+    ReadFrom {
+        /// Log file path (sublogs included).
+        path: String,
+        /// Start time.
+        from: Timestamp,
+        /// Entry budget.
+        max: usize,
+    },
+    /// Read the last `max` entries (newest first).
+    ReadLast {
+        /// Log file path (sublogs included).
+        path: String,
+        /// Entry budget.
+        max: usize,
+    },
+    /// List sublog names.
+    List {
+        /// Parent path.
+        path: String,
+    },
+    /// Fetch a log file's catalog attributes.
+    Stat {
+        /// Log file path.
+        path: String,
+    },
+    /// Seal a log file against further appends.
+    Seal {
+        /// Log file path.
+        path: String,
+    },
+    /// Change a log file's permission bits.
+    SetPerms {
+        /// Log file path.
+        path: String,
+        /// New permission bits.
+        perms: u16,
+    },
+    /// Force buffered entries to stable storage.
+    Flush,
+    /// Stop the server thread.
+    Shutdown,
+}
+
+/// A response from the log server.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A log file was created.
+    Created(LogFileId),
+    /// An entry was appended.
+    Appended(Receipt),
+    /// Entries read.
+    Entries(Vec<Entry>),
+    /// Sublog names.
+    Names(Vec<String>),
+    /// Catalog attributes.
+    Attrs(clio_format::LogFileAttrs),
+    /// Generic success.
+    Done,
+    /// Failure.
+    Fail(ClioError),
+}
+
+impl Response {
+    /// Unwraps an append response.
+    pub fn receipt(self) -> Result<Receipt> {
+        match self {
+            Response::Appended(r) => Ok(r),
+            Response::Fail(e) => Err(e),
+            other => Err(ClioError::Internal(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Unwraps an entries response.
+    pub fn entries(self) -> Result<Vec<Entry>> {
+        match self {
+            Response::Entries(v) => Ok(v),
+            Response::Fail(e) => Err(e),
+            other => Err(ClioError::Internal(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+}
+
+type Envelope = (Request, Sender<Response>);
+
+/// The server: a [`LogService`] owned by a dedicated thread.
+pub struct LogServer {
+    tx: Sender<Envelope>,
+    handle: Option<JoinHandle<()>>,
+    ipc_round_trips: Arc<AtomicU64>,
+}
+
+impl LogServer {
+    /// Spawns the server thread around `svc`.
+    #[must_use]
+    pub fn spawn(svc: LogService) -> LogServer {
+        let (tx, rx) = unbounded::<Envelope>();
+        let handle = std::thread::spawn(move || {
+            while let Ok((req, reply)) = rx.recv() {
+                let shutdown = matches!(req, Request::Shutdown);
+                let resp = handle_request(&svc, req);
+                let _ = reply.send(resp);
+                if shutdown {
+                    break;
+                }
+            }
+        });
+        LogServer {
+            tx,
+            handle: Some(handle),
+            ipc_round_trips: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A client handle for this server.
+    #[must_use]
+    pub fn client(&self) -> ClioClient {
+        ClioClient {
+            tx: self.tx.clone(),
+            ipc_round_trips: self.ipc_round_trips.clone(),
+        }
+    }
+
+    /// Total synchronous round trips served (for the §3.2 cost model).
+    #[must_use]
+    pub fn ipc_round_trips(&self) -> u64 {
+        self.ipc_round_trips.load(Ordering::Relaxed)
+    }
+
+    /// Stops the server thread.
+    pub fn shutdown(mut self) {
+        let _ = self.client().call(Request::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LogServer {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let (reply_tx, _reply_rx) = unbounded();
+            let _ = self.tx.send((Request::Shutdown, reply_tx));
+            let _ = h.join();
+        }
+    }
+}
+
+/// A synchronous client of a [`LogServer`] (models the V-System IPC
+/// boundary of §3.2).
+#[derive(Clone)]
+pub struct ClioClient {
+    tx: Sender<Envelope>,
+    ipc_round_trips: Arc<AtomicU64>,
+}
+
+impl ClioClient {
+    /// Issues one synchronous request.
+    pub fn call(&self, req: Request) -> Response {
+        let (reply_tx, reply_rx) = unbounded();
+        self.ipc_round_trips.fetch_add(1, Ordering::Relaxed);
+        if self.tx.send((req, reply_tx)).is_err() {
+            return Response::Fail(ClioError::Internal("server is gone".into()));
+        }
+        reply_rx
+            .recv()
+            .unwrap_or(Response::Fail(ClioError::Internal("server is gone".into())))
+    }
+
+    /// Convenience: synchronous (forced) append, as measured in §3.2.
+    pub fn append_sync(&self, path: &str, data: &[u8]) -> Result<Receipt> {
+        self.call(Request::Append {
+            path: path.to_owned(),
+            data: data.to_vec(),
+            forced: true,
+            seqno: None,
+        })
+        .receipt()
+    }
+}
+
+fn handle_request(svc: &LogService, req: Request) -> Response {
+    match req {
+        Request::CreateLog { path } => match svc.create_log(&path) {
+            Ok(id) => Response::Created(id),
+            Err(e) => Response::Fail(e),
+        },
+        Request::Append {
+            path,
+            data,
+            forced,
+            seqno,
+        } => {
+            let opts = AppendOpts {
+                durability: if forced {
+                    Durability::Forced
+                } else {
+                    Durability::Buffered
+                },
+                timestamped: true,
+                seqno,
+            };
+            match svc.append_path(&path, &data, opts) {
+                Ok(r) => Response::Appended(r),
+                Err(e) => Response::Fail(e),
+            }
+        }
+        Request::ReadFrom { path, from, max } => {
+            let run = || -> Result<Vec<Entry>> {
+                let mut cur = svc.cursor_from_time(&path, from)?;
+                let mut out = Vec::new();
+                while out.len() < max {
+                    match cur.next()? {
+                        Some(e) => out.push(e),
+                        None => break,
+                    }
+                }
+                Ok(out)
+            };
+            match run() {
+                Ok(v) => Response::Entries(v),
+                Err(e) => Response::Fail(e),
+            }
+        }
+        Request::ReadLast { path, max } => {
+            let run = || -> Result<Vec<Entry>> {
+                let mut cur = svc.cursor_from_end(&path)?;
+                let mut out = Vec::new();
+                while out.len() < max {
+                    match cur.prev()? {
+                        Some(e) => out.push(e),
+                        None => break,
+                    }
+                }
+                Ok(out)
+            };
+            match run() {
+                Ok(v) => Response::Entries(v),
+                Err(e) => Response::Fail(e),
+            }
+        }
+        Request::List { path } => match svc.list(&path) {
+            Ok(v) => Response::Names(v),
+            Err(e) => Response::Fail(e),
+        },
+        Request::Stat { path } => match svc.resolve(&path).and_then(|id| svc.attrs(id)) {
+            Ok(a) => Response::Attrs(a),
+            Err(e) => Response::Fail(e),
+        },
+        Request::Seal { path } => match svc.resolve(&path).and_then(|id| svc.seal_log(id)) {
+            Ok(()) => Response::Done,
+            Err(e) => Response::Fail(e),
+        },
+        Request::SetPerms { path, perms } => {
+            match svc.resolve(&path).and_then(|id| svc.set_perms(id, perms)) {
+                Ok(()) => Response::Done,
+                Err(e) => Response::Fail(e),
+            }
+        }
+        Request::Flush => match svc.flush() {
+            Ok(()) => Response::Done,
+            Err(e) => Response::Fail(e),
+        },
+        Request::Shutdown => Response::Done,
+    }
+}

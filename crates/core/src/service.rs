@@ -1,0 +1,426 @@
+//! The log service: state, lifecycle, and the public catalog/append API.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use clio_cache::BlockCache;
+use clio_entrymap::{EntrymapWriter, Geometry, PendingMaps};
+use clio_format::records::{CatalogRecord, PERM_APPEND};
+use clio_format::{BlockBuilder, EntryForm, EntryHeader};
+use clio_types::{
+    Clock, ClioError, EntryAddr, LogFileId, Result, SeqNo, Timestamp, VolumeSeqId,
+};
+use clio_volume::{DevicePool, VolumeSequence};
+
+use crate::catalog::Catalog;
+use crate::config::ServiceConfig;
+use crate::stats::{SpaceReport, SpaceStats};
+
+/// When an append must be durable (§2.3.1: "log entries are written
+/// synchronously to the log device when forced (such as on a transaction
+/// commit)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Buffer in the server's open block; durable at the next forced write
+    /// or block seal.
+    #[default]
+    Buffered,
+    /// Persist before returning — staged to battery-backed RAM when the
+    /// device has one, otherwise the partial block is sealed early.
+    Forced,
+}
+
+/// Per-append options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AppendOpts {
+    /// Durability requirement.
+    pub durability: Durability,
+    /// Record the service timestamp in the entry header. Optional per
+    /// §2.1; costs 8 bytes. Without it the entry is still locatable to
+    /// block resolution via the block's first-entry timestamp.
+    pub timestamped: bool,
+    /// A client sequence number for asynchronous unique identification
+    /// (§2.1); implies a timestamped "full" header.
+    pub seqno: Option<SeqNo>,
+}
+
+impl AppendOpts {
+    /// Timestamped, buffered — the common case.
+    #[must_use]
+    pub fn standard() -> AppendOpts {
+        AppendOpts {
+            timestamped: true,
+            ..AppendOpts::default()
+        }
+    }
+
+    /// Timestamped and forced (synchronous).
+    #[must_use]
+    pub fn forced() -> AppendOpts {
+        AppendOpts {
+            durability: Durability::Forced,
+            timestamped: true,
+            seqno: None,
+        }
+    }
+
+    /// Minimal 4-byte-overhead header, buffered.
+    #[must_use]
+    pub fn minimal() -> AppendOpts {
+        AppendOpts::default()
+    }
+
+    /// Full header with a client sequence number.
+    #[must_use]
+    pub fn with_seqno(seqno: SeqNo) -> AppendOpts {
+        AppendOpts {
+            durability: Durability::Buffered,
+            timestamped: true,
+            seqno: Some(seqno),
+        }
+    }
+}
+
+/// What a client learns from a successful append: where the entry landed
+/// and the service timestamp that uniquely identifies it (§2.1: "if the
+/// entry is written synchronously … a client can obtain this timestamp as a
+/// consequence of the write operation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Receipt {
+    /// The entry's address. Final for forced appends; provisional for
+    /// buffered appends when append verification is enabled (a block that
+    /// fails verification is re-written at the next address).
+    pub addr: EntryAddr,
+    /// The service timestamp assigned to the entry.
+    pub timestamp: Timestamp,
+}
+
+/// The block currently being filled in server memory.
+pub(crate) struct OpenBlock {
+    /// The data block this will become (may shift on verify-failure).
+    pub db: u64,
+    /// The in-memory builder.
+    pub builder: BlockBuilder,
+    /// Ids of log files with entries in this block.
+    pub ids: BTreeSet<LogFileId>,
+    /// Whether the current contents are staged in the device's NV tail.
+    pub staged: bool,
+}
+
+/// All mutable service state, guarded by one lock.
+pub(crate) struct State {
+    pub catalog: Catalog,
+    pub emap: EntrymapWriter,
+    pub open: Option<OpenBlock>,
+    /// Final pending maps of sealed (non-active) volumes, by volume index.
+    pub sealed_pendings: Vec<PendingMaps>,
+    pub active_index: u32,
+    /// Entrymap records displaced by invalidated blocks, to be written in
+    /// the next opened block (§2.3.2).
+    pub carryover: Vec<clio_format::EntrymapRecord>,
+    /// Invalidated blocks awaiting a bad-block log record.
+    pub pending_badblocks: Vec<u64>,
+    pub stats: SpaceStats,
+}
+
+/// The Clio log service.
+///
+/// See the crate docs for the architecture; constructors are
+/// [`LogService::create`] (fresh volume sequence) and
+/// [`LogService::recover`] (in [`crate::recovery`]).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use clio_core::service::{AppendOpts, LogService};
+/// use clio_core::ServiceConfig;
+/// use clio_types::{SystemClock, VolumeSeqId};
+/// use clio_volume::MemDevicePool;
+///
+/// let svc = LogService::create(
+///     VolumeSeqId(1),
+///     Arc::new(MemDevicePool::new(1024, 1 << 12)),
+///     ServiceConfig::default(),
+///     Arc::new(SystemClock),
+/// )?;
+/// svc.create_log("/events")?;
+/// let receipt = svc.append_path("/events", b"hello", AppendOpts::forced())?;
+/// let entry = svc.read_entry(receipt.addr)?;
+/// assert_eq!(entry.data, b"hello");
+///
+/// let mut cursor = svc.cursor("/events")?;
+/// assert_eq!(cursor.collect_remaining()?.len(), 1);
+/// # Ok::<(), clio_types::ClioError>(())
+/// ```
+pub struct LogService {
+    pub(crate) seq: Arc<VolumeSequence>,
+    pub(crate) clock: Arc<dyn Clock>,
+    pub(crate) cfg: ServiceConfig,
+    pub(crate) state: Mutex<State>,
+}
+
+impl LogService {
+    /// Creates a service on a fresh volume sequence.
+    pub fn create(
+        seq_id: VolumeSeqId,
+        pool: Arc<dyn DevicePool>,
+        cfg: ServiceConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<LogService> {
+        let cache = Arc::new(BlockCache::new(cfg.cache_blocks));
+        let seq = Arc::new(VolumeSequence::create(
+            seq_id,
+            cache,
+            pool,
+            0,
+            cfg.block_size,
+            cfg.fanout,
+            clock.now(),
+        )?);
+        Ok(Self::assemble(seq, cfg, clock, Catalog::new(), Vec::new(), None))
+    }
+
+    /// Stitches a service together from its parts (used by `create` and by
+    /// recovery).
+    pub(crate) fn assemble(
+        seq: Arc<VolumeSequence>,
+        cfg: ServiceConfig,
+        clock: Arc<dyn Clock>,
+        catalog: Catalog,
+        sealed_pendings: Vec<PendingMaps>,
+        active_pending: Option<PendingMaps>,
+    ) -> LogService {
+        let geo = Geometry::new(usize::from(cfg.fanout));
+        let active = seq.active();
+        let active_index = active.label().volume_index;
+        let emap = match active_pending {
+            Some(p) => EntrymapWriter::from_pending(p, active.data_end()),
+            None => EntrymapWriter::new(geo),
+        };
+        LogService {
+            seq,
+            clock,
+            cfg,
+            state: Mutex::new(State {
+                catalog,
+                emap,
+                open: None,
+                sealed_pendings,
+                active_index,
+                carryover: Vec::new(),
+                pending_badblocks: Vec::new(),
+                stats: SpaceStats::default(),
+            }),
+        }
+    }
+
+    /// The service configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The volume sequence backing this service.
+    #[must_use]
+    pub fn volumes(&self) -> &Arc<VolumeSequence> {
+        &self.seq
+    }
+
+    /// The shared block cache (exposed for cache-behaviour experiments).
+    #[must_use]
+    pub fn cache(&self) -> Arc<BlockCache> {
+        self.seq.cache().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Catalog operations (§2.2).
+    // ------------------------------------------------------------------
+
+    /// Creates a log file at `path`; every ancestor component must already
+    /// exist (`create_log("/mail/smith")` needs `/mail`). The new log file
+    /// is a sublog of its parent (§2.1).
+    pub fn create_log(&self, path: &str) -> Result<LogFileId> {
+        // Validate the whole path up front so aliases like "//x" are
+        // rejected rather than silently creating "/x".
+        let trimmed = path
+            .strip_prefix('/')
+            .ok_or_else(|| ClioError::BadPath(path.to_owned()))?;
+        if trimmed.is_empty() || trimmed.split('/').any(str::is_empty) {
+            return Err(ClioError::BadPath(path.to_owned()));
+        }
+        let (parent_path, name) = match path.rfind('/') {
+            Some(i) => (&path[..i], &path[i + 1..]),
+            None => ("", path),
+        };
+        let mut st = self.state.lock();
+        let parent = st.catalog.resolve(parent_path)?;
+        let rec = st.catalog.prepare_create(parent, name, self.clock.now())?;
+        let id = match &rec {
+            CatalogRecord::Create(a) => a.id,
+            _ => unreachable!("prepare_create returns Create"),
+        };
+        // §2.2: the change is logged in the catalog log file — durably,
+        // before the creation is acknowledged.
+        self.append_catalog_record(&mut st, &rec)?;
+        st.catalog.apply(&rec)?;
+        Ok(id)
+    }
+
+    /// Resolves a path to a log file id.
+    pub fn resolve(&self, path: &str) -> Result<LogFileId> {
+        self.state.lock().catalog.resolve(path)
+    }
+
+    /// The display path of a log file.
+    pub fn path_of(&self, id: LogFileId) -> Result<String> {
+        self.state.lock().catalog.path_of(id)
+    }
+
+    /// Names of the direct sublogs of `path`.
+    pub fn list(&self, path: &str) -> Result<Vec<String>> {
+        let st = self.state.lock();
+        let id = st.catalog.resolve(path)?;
+        let mut names: Vec<String> = st.catalog.children(id).map(|a| a.name.clone()).collect();
+        names.retain(|n| !n.starts_with('.') && !n.is_empty());
+        names.sort();
+        Ok(names)
+    }
+
+    /// A snapshot of the attributes of `id`.
+    pub fn attrs(&self, id: LogFileId) -> Result<clio_format::LogFileAttrs> {
+        Ok(self.state.lock().catalog.attrs(id)?.clone())
+    }
+
+    /// Seals a log file against further appends.
+    pub fn seal_log(&self, id: LogFileId) -> Result<()> {
+        let mut st = self.state.lock();
+        st.catalog.attrs(id)?;
+        let rec = CatalogRecord::Seal { id };
+        self.append_catalog_record(&mut st, &rec)?;
+        st.catalog.apply(&rec)
+    }
+
+    /// Changes a log file's permissions.
+    pub fn set_perms(&self, id: LogFileId, perms: u16) -> Result<()> {
+        let mut st = self.state.lock();
+        st.catalog.attrs(id)?;
+        let rec = CatalogRecord::SetPerms { id, perms };
+        self.append_catalog_record(&mut st, &rec)?;
+        st.catalog.apply(&rec)
+    }
+
+    /// Renames a log file (its place in the hierarchy is unchanged).
+    pub fn rename(&self, id: LogFileId, name: &str) -> Result<()> {
+        let mut st = self.state.lock();
+        st.catalog.attrs(id)?;
+        let rec = CatalogRecord::Rename {
+            id,
+            name: name.to_owned(),
+        };
+        // Validate against the live catalog before logging.
+        let mut probe = st.catalog.clone();
+        probe.apply(&rec)?;
+        self.append_catalog_record(&mut st, &rec)?;
+        st.catalog = probe;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Appending.
+    // ------------------------------------------------------------------
+
+    /// Appends `data` as one log entry of log file `id`.
+    pub fn append(&self, id: LogFileId, data: &[u8], opts: AppendOpts) -> Result<Receipt> {
+        let mut st = self.state.lock();
+        let attrs = st.catalog.attrs(id)?;
+        if id.is_reserved() {
+            return Err(ClioError::PermissionDenied(format!(
+                "log file {id} is service-owned"
+            )));
+        }
+        if attrs.sealed {
+            return Err(ClioError::ReadOnly);
+        }
+        if attrs.perms & PERM_APPEND == 0 {
+            return Err(ClioError::PermissionDenied(st.catalog.path_of(id)?));
+        }
+        let now = self.clock.now();
+        let form = match (opts.timestamped || opts.seqno.is_some(), opts.seqno) {
+            (_, Some(_)) => EntryForm::Full,
+            (true, None) => EntryForm::Timestamped,
+            (false, None) => EntryForm::Minimal,
+        };
+        let header = EntryHeader::new(
+            id,
+            form,
+            matches!(form, EntryForm::Timestamped | EntryForm::Full).then_some(now),
+            opts.seqno,
+        );
+        let (vol_idx, db, slot) = self.push_record(&mut st, header, data, true)?;
+        let mut addr = EntryAddr::new(vol_idx, clio_types::BlockNo(db), slot);
+        if matches!(opts.durability, Durability::Forced) {
+            // If the entry sits in the still-open block, persisting may
+            // move that block (verification failures re-place it), so the
+            // final address is only known afterwards.
+            let in_open = vol_idx == st.active_index
+                && st.open.as_ref().is_some_and(|ob| ob.db == db);
+            if let Some(final_db) = self.persist_open(&mut st)? {
+                if in_open {
+                    addr.block = clio_types::BlockNo(final_db);
+                }
+            }
+        }
+        self.drain_badblocks(&mut st)?;
+        Ok(Receipt {
+            addr,
+            timestamp: now,
+        })
+    }
+
+    /// Appends to the log file named by `path`.
+    pub fn append_path(&self, path: &str, data: &[u8], opts: AppendOpts) -> Result<Receipt> {
+        let id = self.resolve(path)?;
+        self.append(id, data, opts)
+    }
+
+    /// Forces any buffered entries to stable storage (§2.3.1).
+    pub fn flush(&self) -> Result<()> {
+        let mut st = self.state.lock();
+        self.persist_open(&mut st)?;
+        self.drain_badblocks(&mut st)?;
+        Ok(())
+    }
+
+    /// Seals the open block outright (used by tests and volume hygiene).
+    pub fn seal_current_block(&self) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.open.is_some() {
+            self.seal_open(&mut st)?;
+        }
+        self.drain_badblocks(&mut st)?;
+        Ok(())
+    }
+
+    /// The space-overhead report (§3.5).
+    #[must_use]
+    pub fn report(&self) -> SpaceReport {
+        self.state.lock().stats.report()
+    }
+
+    /// Writes a catalog record durably (forced, timestamped).
+    fn append_catalog_record(&self, st: &mut State, rec: &CatalogRecord) -> Result<()> {
+        let now = self.clock.now();
+        let header = EntryHeader::new(
+            LogFileId::CATALOG,
+            EntryForm::Timestamped,
+            Some(now),
+            None,
+        );
+        self.push_record(st, header, &rec.encode(), false)?;
+        self.persist_open(st)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,112 @@
+//! The uniform I/O interface (UIO).
+//!
+//! "Log files fit naturally into the abstraction provided by conventional
+//! file systems, since such files can be accessed in the same way as
+//! regular append-only files. A uniform I/O interface, such as the
+//! interface \[3\] used in the V-System, supports access to this type of
+//! file." (§6) — [`Uio`] is that interface: byte-stream reads, record
+//! appends, and seeks to start, end, or a point in time. Log files
+//! implement it here; the conventional files of `clio-fs` implement it
+//! there, and generic code works over either.
+
+use clio_types::{ClioError, Result, Timestamp};
+
+use crate::read::LogCursor;
+use crate::service::{AppendOpts, LogService};
+
+/// Seek targets meaningful across file types. Conventional byte files
+/// support `Start`/`End`/`Offset`; log files support `Start`/`End`/`Time`
+/// (their natural coordinate, §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UioSeek {
+    /// The beginning of the file.
+    Start,
+    /// The end of the file.
+    End,
+    /// An absolute byte offset (conventional files).
+    Offset(u64),
+    /// A point in time (log files, §2).
+    Time(Timestamp),
+}
+
+/// The uniform I/O interface.
+pub trait Uio {
+    /// Reads up to `buf.len()` bytes; 0 means end-of-file (for a log file:
+    /// no further entries *at the moment* — logs grow).
+    fn uio_read(&mut self, buf: &mut [u8]) -> Result<usize>;
+
+    /// Writes `data`; for a log file this appends exactly one entry.
+    fn uio_write(&mut self, data: &[u8]) -> Result<usize>;
+
+    /// Repositions the stream.
+    fn uio_seek(&mut self, to: UioSeek) -> Result<()>;
+}
+
+/// A log file opened through the uniform I/O interface.
+///
+/// Reads stream the concatenated payloads of the log file's entries (and
+/// its sublogs'); each write appends one entry.
+pub struct LogUio<'a> {
+    svc: &'a LogService,
+    path: String,
+    cursor: LogCursor<'a>,
+    carry: Vec<u8>,
+    carry_off: usize,
+}
+
+impl<'a> LogUio<'a> {
+    /// Opens `path` positioned at the start.
+    pub fn open(svc: &'a LogService, path: &str) -> Result<LogUio<'a>> {
+        Ok(LogUio {
+            svc,
+            path: path.to_owned(),
+            cursor: svc.cursor(path)?,
+            carry: Vec::new(),
+            carry_off: 0,
+        })
+    }
+}
+
+impl Uio for LogUio<'_> {
+    fn uio_read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let mut n = 0;
+        while n < buf.len() {
+            if self.carry_off >= self.carry.len() {
+                match self.cursor.next()? {
+                    Some(e) => {
+                        self.carry = e.data;
+                        self.carry_off = 0;
+                    }
+                    None => break,
+                }
+            }
+            let take = (buf.len() - n).min(self.carry.len() - self.carry_off);
+            buf[n..n + take].copy_from_slice(&self.carry[self.carry_off..self.carry_off + take]);
+            self.carry_off += take;
+            n += take;
+        }
+        Ok(n)
+    }
+
+    fn uio_write(&mut self, data: &[u8]) -> Result<usize> {
+        self.svc
+            .append_path(&self.path, data, AppendOpts::standard())?;
+        Ok(data.len())
+    }
+
+    fn uio_seek(&mut self, to: UioSeek) -> Result<()> {
+        self.carry.clear();
+        self.carry_off = 0;
+        self.cursor = match to {
+            UioSeek::Start => self.svc.cursor(&self.path)?,
+            UioSeek::End => self.svc.cursor_from_end(&self.path)?,
+            UioSeek::Time(ts) => self.svc.cursor_from_time(&self.path, ts)?,
+            UioSeek::Offset(_) => {
+                return Err(ClioError::Unsupported(
+                    "byte offsets are not meaningful in a log file; seek by time",
+                ))
+            }
+        };
+        Ok(())
+    }
+}

@@ -1,0 +1,411 @@
+//! The append path: block building, entrymap emission, fragmentation,
+//! forced writes, volume switching, and corruption handling.
+
+use std::collections::BTreeSet;
+
+use clio_entrymap::Geometry;
+use clio_format::records::BadBlockRecord;
+use clio_format::{
+    BlockBuilder, EntryForm, EntryHeader, EntrymapRecord, FragKind, PushOutcome, TRAILER_SIZE,
+};
+use clio_types::{BlockNo, ClioError, LogFileId, Result};
+
+use crate::service::{LogService, OpenBlock, State};
+use crate::stats::SpaceStats;
+
+/// Bound on seal retries after append-verification failures; repeated
+/// failures indicate a dying device, not transient corruption.
+const MAX_SEAL_ATTEMPTS: u32 = 8;
+
+/// Bound on blocks a single record may spread over before we declare a
+/// configuration bug (the fragmentation loop normally terminates long
+/// before this).
+const MAX_FRAG_BLOCKS: u32 = 100_000;
+
+impl LogService {
+    /// Opens a block if none is open.
+    pub(crate) fn ensure_open(&self, st: &mut State) -> Result<()> {
+        if st.open.is_none() {
+            self.open_new_block(st)?;
+        }
+        Ok(())
+    }
+
+    fn open_new_block(&self, st: &mut State) -> Result<()> {
+        let vol = self.seq.volume(st.active_index)?;
+        if vol.is_full() {
+            self.switch_volume(st)
+        } else {
+            self.open_block_at(st)
+        }
+    }
+
+    /// Finishes the active volume and continues on a fresh successor
+    /// (§2.1), carrying the catalog forward as a checkpoint.
+    pub(crate) fn switch_volume(&self, st: &mut State) -> Result<()> {
+        if st.open.is_some() {
+            self.seal_open(st)?;
+        }
+        // Preserve the finished volume's pending maps: its final groups
+        // have no on-device maps (there is no block after them to carry
+        // one), so searches need this in-memory state (rebuilt from the
+        // device after a crash).
+        let idx = st.active_index as usize;
+        let pending = st.emap.pending().clone();
+        while st.sealed_pendings.len() < idx {
+            st.sealed_pendings
+                .push(clio_entrymap::PendingMaps::new(pending.geometry()));
+        }
+        st.sealed_pendings.push(pending);
+        debug_assert_eq!(st.sealed_pendings.len(), idx + 1);
+
+        let now = self.clock.now();
+        self.seq.extend(now)?;
+        st.active_index += 1;
+        st.emap = clio_entrymap::EntrymapWriter::new(Geometry::new(usize::from(self.cfg.fanout)));
+        // Displaced maps belong to the finished volume's tree; they live on
+        // in its preserved pending state, not on the new volume.
+        st.carryover.clear();
+        self.open_block_at(st)?;
+        // Each successor volume starts with a catalog checkpoint so that
+        // recovery is self-contained per volume.
+        let rec = st.catalog.checkpoint();
+        let header = EntryHeader::new(
+            LogFileId::CATALOG,
+            EntryForm::Timestamped,
+            Some(now),
+            None,
+        );
+        self.push_record(st, header, &rec.encode(), false)?;
+        Ok(())
+    }
+
+    /// Opens the next block of the active volume, writing any due entrymap
+    /// records as its first entries (§2.1). Map records that cannot fit are
+    /// displaced to following blocks.
+    fn open_block_at(&self, st: &mut State) -> Result<()> {
+        debug_assert!(st.open.is_none(), "open_block_at with a block already open");
+        let vol = self.seq.volume(st.active_index)?;
+        loop {
+            let db = vol.data_end();
+            if db >= vol.data_capacity() {
+                return self.switch_volume(st);
+            }
+            let mut records = std::mem::take(&mut st.carryover);
+            records.extend(st.emap.begin_block(db));
+            let mut builder = BlockBuilder::new(self.cfg.block_size, self.clock.now());
+            let mut ids = BTreeSet::new();
+            let mut overflow: Vec<EntrymapRecord> = Vec::new();
+            for rec in records {
+                push_map_record(&mut builder, rec, &mut overflow, &mut st.stats)?;
+            }
+            if builder.count() > 0 {
+                builder.flags_mut().has_entrymap = true;
+                ids.insert(LogFileId::ENTRYMAP);
+            }
+            st.open = Some(OpenBlock {
+                db,
+                builder,
+                ids,
+                staged: false,
+            });
+            if overflow.is_empty() {
+                return Ok(());
+            }
+            // The maps overflowed the block: seal it and continue them in
+            // the next one (readers follow the `continued` flags).
+            st.carryover = overflow;
+            self.seal_open(st)?;
+        }
+    }
+
+    /// Ensures the active volume can hold a record of `bytes` more bytes,
+    /// switching to a successor volume early if it cannot — entries never
+    /// fragment across volumes.
+    fn ensure_volume_room(&self, st: &mut State, bytes: usize) -> Result<()> {
+        let vol = self.seq.volume(st.active_index)?;
+        let usable = self.cfg.block_size - TRAILER_SIZE - 4;
+        let blocks_needed = (bytes / usable + 2) as u64;
+        if blocks_needed > vol.data_capacity() {
+            return Err(ClioError::EntryTooLarge {
+                size: bytes,
+                max: (vol.data_capacity() as usize).saturating_mul(usable),
+            });
+        }
+        let current = st.open.as_ref().map_or(vol.data_end(), |ob| ob.db);
+        if current + blocks_needed > vol.data_capacity() {
+            self.switch_volume(st)?;
+        }
+        Ok(())
+    }
+
+    /// Appends one record, fragmenting it over blocks if necessary
+    /// (§2.1 footnote 7). Returns (volume index, data block, slot) of the
+    /// record's first fragment.
+    pub(crate) fn push_record(
+        &self,
+        st: &mut State,
+        header: EntryHeader,
+        payload: &[u8],
+        is_client: bool,
+    ) -> Result<(u32, u64, u16)> {
+        if payload.len() > u32::MAX as usize {
+            return Err(ClioError::EntryTooLarge {
+                size: payload.len(),
+                max: u32::MAX as usize,
+            });
+        }
+        self.ensure_open(st)?;
+        self.ensure_volume_room(st, header.encoded_len() + payload.len() + 16)?;
+        let vol_idx = st.active_index;
+
+        // Fast path: the whole record fits the open block.
+        {
+            let ob = st.open.as_mut().expect("ensure_open opened a block");
+            if let PushOutcome::Written(slot) = ob.builder.push(&header, payload) {
+                ob.ids.insert(header.id);
+                account(&mut st.stats, &header, payload.len(), header.encoded_len() + 2, is_client);
+                return Ok((vol_idx, ob.db, slot));
+            }
+        }
+
+        // Fragmentation path. The chain nonce ties continuations to their
+        // first fragment so a torn entry can never adopt a later entry's
+        // fragments.
+        let total = payload.len() as u32;
+        let chain = {
+            let t = header.timestamp.unwrap_or_else(|| self.clock.now()).0;
+            (t as u32) ^ ((t >> 32) as u32) ^ 0x5EED_C11A
+        };
+        let mut first_header = header;
+        first_header.frag = FragKind::First {
+            total_len: total,
+            chain,
+        };
+        let cont_header = EntryHeader {
+            id: header.id,
+            form: EntryForm::Minimal,
+            frag: FragKind::Continuation { chain },
+            timestamp: None,
+            seqno: None,
+        };
+        let mut off = 0usize;
+        let mut first: Option<(u64, u16)> = None;
+        let mut first_open = false; // first fragment's block is still open
+        let mut overhead = 0usize;
+        let mut spins = 0u32;
+        loop {
+            spins += 1;
+            if spins > MAX_FRAG_BLOCKS {
+                return Err(ClioError::Internal(
+                    "fragmentation failed to make progress".into(),
+                ));
+            }
+            self.ensure_open(st)?;
+            let mut wrote = false;
+            {
+                let ob = st.open.as_mut().expect("ensure_open opened a block");
+                let is_first = first.is_none();
+                let hdr = if is_first { &first_header } else { &cont_header };
+                let avail = ob.builder.payload_room(hdr.encoded_len());
+                let remaining = payload.len() - off;
+                if avail > 0 || (avail == 0 && remaining == 0) {
+                    let take = avail.min(remaining);
+                    // If everything still fits whole, avoid fragmenting.
+                    let use_whole = is_first && take == remaining;
+                    let h = if use_whole { &header } else { hdr };
+                    if let PushOutcome::Written(slot) =
+                        ob.builder.push(h, &payload[off..off + take])
+                    {
+                        ob.ids.insert(header.id);
+                        overhead += h.encoded_len() + 2;
+                        if is_first {
+                            first = Some((ob.db, slot));
+                            first_open = true;
+                        }
+                        off += take;
+                        wrote = true;
+                    }
+                }
+            }
+            if off == payload.len() && wrote {
+                break;
+            }
+            // Block exhausted: seal it and continue in the next.
+            let sealed_db = self.seal_open(st)?;
+            if first_open {
+                // The block holding the first fragment just sealed; its
+                // final location is now known (it may have been displaced).
+                if let Some((_, slot)) = first {
+                    first = Some((sealed_db, slot));
+                }
+                first_open = false;
+            }
+        }
+        account(&mut st.stats, &header, payload.len(), overhead, is_client);
+        let (db, slot) = first.expect("fragmentation wrote at least one fragment");
+        Ok((vol_idx, db, slot))
+    }
+
+    /// Seals the open block onto the medium, verifying and re-placing it on
+    /// corruption (§2.3.2). Returns the data block it finally landed on.
+    pub(crate) fn seal_open(&self, st: &mut State) -> Result<u64> {
+        let mut ob = st
+            .open
+            .take()
+            .ok_or_else(|| ClioError::Internal("seal with no open block".into()))?;
+        let vol = self.seq.volume(st.active_index)?;
+        let img = ob.builder.finish();
+        let padding = self.cfg.block_size
+            - TRAILER_SIZE
+            - 2 * usize::from(ob.builder.count())
+            - ob.builder.data_len();
+        let mut db = ob.db;
+        let mut attempts = 0u32;
+        loop {
+            if let Err(e) = vol.append_data_block(db, img.clone()) {
+                // Keep the writer consistent on device failure: the block
+                // stays open (buffered entries preserved) at its current
+                // target, matching the entrymap writer's block sequence,
+                // and the caller sees the error instead of a later panic.
+                ob.db = db;
+                st.open = Some(ob);
+                return Err(e);
+            }
+            if self.cfg.verify_appends {
+                let back = vol.read_data_block_direct(db)?;
+                if back != img {
+                    attempts += 1;
+                    if attempts >= MAX_SEAL_ATTEMPTS {
+                        ob.db = db;
+                        st.open = Some(ob);
+                        return Err(ClioError::Internal(
+                            "append corruption persists; giving up on this device".into(),
+                        ));
+                    }
+                    // The block was "written with garbage": invalidate it,
+                    // note it for the bad-block log, and re-place the same
+                    // image at the next block. Any entrymap records due at
+                    // that next block are displaced forward (§2.3.2).
+                    vol.invalidate_data_block(db)?;
+                    st.pending_badblocks.push(db);
+                    st.emap.note_block(db, std::iter::empty());
+                    let recs = st.emap.begin_block(db + 1);
+                    st.carryover.extend(recs);
+                    db += 1;
+                    if db >= vol.data_capacity() {
+                        ob.db = db;
+                        st.open = Some(ob);
+                        return Err(ClioError::VolumeFull);
+                    }
+                    continue;
+                }
+            }
+            break;
+        }
+        st.emap.note_block(db, ob.ids.iter().copied());
+        st.stats.note_sealed_block(padding, TRAILER_SIZE);
+        Ok(db)
+    }
+
+    /// Makes the open block durable: staged to the device's battery-backed
+    /// RAM tail when available, otherwise sealed early with internal
+    /// fragmentation (§2.3.1). Returns the open/sealed block, or `None` if
+    /// nothing was open.
+    pub(crate) fn persist_open(&self, st: &mut State) -> Result<Option<u64>> {
+        let Some(ob) = st.open.as_mut() else {
+            return Ok(None);
+        };
+        let vol = self.seq.volume(st.active_index)?;
+        if vol.supports_tail_rewrite() {
+            let img = ob.builder.finish();
+            vol.rewrite_tail_data(ob.db, img)?;
+            ob.staged = true;
+            return Ok(Some(ob.db));
+        }
+        if ob.builder.is_empty() {
+            // Nothing buffered — sealing an empty block would only waste
+            // write-once space.
+            return Ok(Some(ob.db));
+        }
+        ob.builder.flags_mut().sealed_early = true;
+        Ok(Some(self.seal_open(st)?))
+    }
+
+    /// Logs queued bad-block records (§2.3.2: the corrupted block's
+    /// "location is recorded in a special log file").
+    pub(crate) fn drain_badblocks(&self, st: &mut State) -> Result<()> {
+        let mut guard = 0u32;
+        while let Some(db) = st.pending_badblocks.pop() {
+            guard += 1;
+            if guard > 100_000 {
+                return Err(ClioError::Internal("bad-block logging diverges".into()));
+            }
+            let rec = BadBlockRecord { block: BlockNo(db) };
+            let header = EntryHeader::new(LogFileId::BAD_BLOCK, EntryForm::Minimal, None, None);
+            self.push_record(st, header, &rec.encode(), false)?;
+        }
+        Ok(())
+    }
+}
+
+/// Updates accounting for one record.
+fn account(
+    stats: &mut SpaceStats,
+    header: &EntryHeader,
+    payload: usize,
+    overhead: usize,
+    is_client: bool,
+) {
+    if is_client {
+        stats.note_client_entry(header.id, payload, overhead);
+    } else {
+        stats.note_service_entry(header.id, payload + overhead);
+    }
+}
+
+/// Writes one entrymap record into `builder`, splitting its per-file maps
+/// into as many chunk records as fit; what cannot fit is pushed to
+/// `overflow` with the preceding chunk marked `continued`.
+fn push_map_record(
+    builder: &mut BlockBuilder,
+    rec: EntrymapRecord,
+    overflow: &mut Vec<EntrymapRecord>,
+    stats: &mut SpaceStats,
+) -> Result<()> {
+    let per = EntrymapRecord::per_map_len(rec.bits);
+    let base = EntrymapRecord::HEADER_LEN;
+    let header = EntryHeader::new(LogFileId::ENTRYMAP, EntryForm::Minimal, None, None);
+    let room = builder.payload_room(header.encoded_len());
+    let min_needed = base + if rec.maps.is_empty() { 0 } else { per };
+    if room < min_needed {
+        overflow.push(rec);
+        return Ok(());
+    }
+    let fit = if rec.maps.is_empty() {
+        0
+    } else {
+        ((room - base) / per).min(rec.maps.len())
+    };
+    let mut chunk = rec;
+    let rest = chunk.maps.split_off(fit);
+    chunk.continued = !rest.is_empty();
+    let payload = chunk.encode();
+    match builder.push(&header, &payload) {
+        PushOutcome::Written(_) => {
+            stats.note_service_entry(LogFileId::ENTRYMAP, payload.len() + 4);
+        }
+        PushOutcome::NoSpace { .. } => {
+            return Err(ClioError::Internal(
+                "entrymap chunk sizing disagrees with block builder".into(),
+            ));
+        }
+    }
+    if !rest.is_empty() {
+        let mut remainder = chunk;
+        remainder.maps = rest;
+        remainder.continued = false;
+        overflow.push(remainder);
+    }
+    Ok(())
+}

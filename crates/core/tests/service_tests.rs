@@ -1,0 +1,727 @@
+//! End-to-end tests of the Clio log service.
+
+use std::sync::Arc;
+
+use clio_core::service::{AppendOpts, Durability, LogService};
+use clio_core::{ServiceConfig, Uio, UioSeek};
+use clio_device::{FaultPlan, FaultyDevice, MemWormDevice, RamTailDevice, SharedDevice};
+use clio_types::{ClioError, LogFileId, ManualClock, SeqNo, Timestamp, VolumeSeqId};
+use clio_volume::{DevicePool, MemDevicePool, RecordingPool};
+
+fn clock() -> Arc<ManualClock> {
+    Arc::new(ManualClock::starting_at(Timestamp::from_secs(1)))
+}
+
+fn small_service() -> LogService {
+    LogService::create(
+        VolumeSeqId(1),
+        Arc::new(MemDevicePool::new(256, 4096)),
+        ServiceConfig::small(),
+        clock(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn create_append_read_round_trip() {
+    let svc = small_service();
+    svc.create_log("/audit").unwrap();
+    for i in 0..100u32 {
+        svc.append_path("/audit", format!("event-{i}").as_bytes(), AppendOpts::standard())
+            .unwrap();
+    }
+    let mut cur = svc.cursor("/audit").unwrap();
+    let all = cur.collect_remaining().unwrap();
+    assert_eq!(all.len(), 100);
+    for (i, e) in all.iter().enumerate() {
+        assert_eq!(e.data, format!("event-{i}").into_bytes());
+        assert!(e.timestamp.is_some());
+    }
+    // Timestamps are strictly increasing (service clock ticks per call).
+    for w in all.windows(2) {
+        assert!(w[0].effective_ts() < w[1].effective_ts());
+    }
+}
+
+#[test]
+fn reading_backwards_from_the_end() {
+    let svc = small_service();
+    svc.create_log("/log").unwrap();
+    for i in 0..20u32 {
+        svc.append_path("/log", &i.to_le_bytes(), AppendOpts::standard())
+            .unwrap();
+    }
+    let mut cur = svc.cursor_from_end("/log").unwrap();
+    let mut seen = Vec::new();
+    while let Some(e) = cur.prev().unwrap() {
+        seen.push(u32::from_le_bytes(e.data[..4].try_into().unwrap()));
+    }
+    assert_eq!(seen, (0..20u32).rev().collect::<Vec<_>>());
+    // And forward again from the start anchor.
+    assert!(cur.prev().unwrap().is_none());
+    let first = cur.next().unwrap().unwrap();
+    assert_eq!(u32::from_le_bytes(first.data[..4].try_into().unwrap()), 0);
+}
+
+#[test]
+fn sublogs_belong_to_parents() {
+    let svc = small_service();
+    svc.create_log("/mail").unwrap();
+    svc.create_log("/mail/smith").unwrap();
+    svc.create_log("/mail/jones").unwrap();
+    svc.append_path("/mail/smith", b"to smith", AppendOpts::standard())
+        .unwrap();
+    svc.append_path("/mail/jones", b"to jones", AppendOpts::standard())
+        .unwrap();
+    svc.append_path("/mail", b"to the list", AppendOpts::standard())
+        .unwrap();
+
+    // Reading /mail sees all three (§2.1).
+    let mut cur = svc.cursor("/mail").unwrap();
+    let all = cur.collect_remaining().unwrap();
+    assert_eq!(all.len(), 3);
+    // Reading a sublog sees only its own.
+    let mut cur = svc.cursor("/mail/smith").unwrap();
+    let smith = cur.collect_remaining().unwrap();
+    assert_eq!(smith.len(), 1);
+    assert_eq!(smith[0].data, b"to smith");
+    // The volume sequence log sees client and service entries alike.
+    let mut cur = svc.cursor("/").unwrap();
+    let everything = cur.collect_remaining().unwrap();
+    assert!(everything.len() >= 3 + 3, "got {}", everything.len()); // 3 creates logged too
+}
+
+#[test]
+fn time_based_cursors() {
+    let svc = small_service();
+    svc.create_log("/t").unwrap();
+    let mut stamps = Vec::new();
+    for i in 0..50u32 {
+        let r = svc
+            .append_path("/t", &i.to_le_bytes(), AppendOpts::standard())
+            .unwrap();
+        stamps.push(r.timestamp);
+    }
+    // From the 25th entry's timestamp onwards.
+    let mut cur = svc.cursor_from_time("/t", stamps[25]).unwrap();
+    let got = cur.collect_remaining().unwrap();
+    assert_eq!(got.len(), 25);
+    assert_eq!(u32::from_le_bytes(got[0].data[..4].try_into().unwrap()), 25);
+    // prev() from that point gives entry 24.
+    let mut cur = svc.cursor_from_time("/t", stamps[25]).unwrap();
+    let before = cur.prev().unwrap().unwrap();
+    assert_eq!(u32::from_le_bytes(before.data[..4].try_into().unwrap()), 24);
+    // A time far in the future yields nothing forward, everything backward.
+    let mut cur = svc.cursor_from_time("/t", Timestamp::from_secs(9999)).unwrap();
+    assert!(cur.next().unwrap().is_none());
+    assert!(cur.prev().unwrap().is_some());
+    // A time before the epoch of the log starts at entry 0.
+    let mut cur = svc.cursor_from_time("/t", Timestamp(0)).unwrap();
+    let first = cur.next().unwrap().unwrap();
+    assert_eq!(u32::from_le_bytes(first.data[..4].try_into().unwrap()), 0);
+}
+
+#[test]
+fn receipts_locate_entries_directly() {
+    let svc = small_service();
+    svc.create_log("/k").unwrap();
+    let mut receipts = Vec::new();
+    for i in 0..30u32 {
+        receipts.push(
+            svc.append_path("/k", &i.to_le_bytes(), AppendOpts::forced())
+                .unwrap(),
+        );
+    }
+    for (i, r) in receipts.iter().enumerate() {
+        let e = svc.read_entry(r.addr).unwrap();
+        assert_eq!(u32::from_le_bytes(e.data[..4].try_into().unwrap()), i as u32);
+        assert_eq!(e.timestamp, Some(r.timestamp));
+    }
+}
+
+#[test]
+fn large_entries_fragment_and_reassemble() {
+    let svc = small_service(); // 256-byte blocks
+    svc.create_log("/big").unwrap();
+    let payload: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+    let r = svc
+        .append_path("/big", &payload, AppendOpts::forced())
+        .unwrap();
+    let e = svc.read_entry(r.addr).unwrap();
+    assert_eq!(e.data, payload);
+    // And via cursor.
+    let mut cur = svc.cursor("/big").unwrap();
+    let got = cur.collect_remaining().unwrap();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].data, payload);
+    // Entries after the big one still work.
+    svc.append_path("/big", b"small-after", AppendOpts::standard())
+        .unwrap();
+    let mut cur = svc.cursor("/big").unwrap();
+    assert_eq!(cur.collect_remaining().unwrap().len(), 2);
+}
+
+#[test]
+fn mixed_sizes_interleaved_with_other_logs() {
+    let svc = small_service();
+    svc.create_log("/a").unwrap();
+    svc.create_log("/b").unwrap();
+    let mut expect_a = Vec::new();
+    for i in 0..40usize {
+        let data = vec![i as u8; (i * 37) % 600];
+        if i % 3 == 0 {
+            expect_a.push(data.clone());
+            svc.append_path("/a", &data, AppendOpts::standard()).unwrap();
+        } else {
+            svc.append_path("/b", &data, AppendOpts::standard()).unwrap();
+        }
+    }
+    let mut cur = svc.cursor("/a").unwrap();
+    let got: Vec<Vec<u8>> = cur
+        .collect_remaining()
+        .unwrap()
+        .into_iter()
+        .map(|e| e.data)
+        .collect();
+    assert_eq!(got, expect_a);
+}
+
+#[test]
+fn unique_id_lookup() {
+    let svc = small_service();
+    svc.create_log("/txn").unwrap();
+    let mut wanted = None;
+    for i in 0..30u32 {
+        let r = svc
+            .append_path("/txn", &i.to_le_bytes(), AppendOpts::with_seqno(SeqNo(i)))
+            .unwrap();
+        if i == 17 {
+            wanted = Some(r.timestamp);
+        }
+    }
+    let approx = Timestamp(wanted.unwrap().0 + 1_000); // a skewed client clock
+    let hit = svc
+        .find_by_unique_id("/txn", approx, SeqNo(17))
+        .unwrap()
+        .expect("entry 17 should be found");
+    assert_eq!(u32::from_le_bytes(hit.data[..4].try_into().unwrap()), 17);
+    assert!(svc
+        .find_by_unique_id("/txn", approx, SeqNo(999))
+        .unwrap()
+        .is_none());
+}
+
+#[test]
+fn catalog_errors() {
+    let svc = small_service();
+    assert!(matches!(
+        svc.append_path("/nosuch", b"x", AppendOpts::standard()),
+        Err(ClioError::NoSuchLogFile(_))
+    ));
+    svc.create_log("/x").unwrap();
+    assert!(matches!(
+        svc.create_log("/x"),
+        Err(ClioError::LogFileExists(_))
+    ));
+    assert!(svc.create_log("/missing/child").is_err());
+    assert!(svc.create_log("/.hidden").is_err());
+    // Sealed log files refuse appends.
+    let id = svc.resolve("/x").unwrap();
+    svc.seal_log(id).unwrap();
+    assert!(matches!(
+        svc.append_path("/x", b"x", AppendOpts::standard()),
+        Err(ClioError::ReadOnly)
+    ));
+    // Reserved ids refuse client appends.
+    assert!(svc
+        .append(LogFileId::CATALOG, b"x", AppendOpts::standard())
+        .is_err());
+}
+
+#[test]
+fn rename_and_list() {
+    let svc = small_service();
+    svc.create_log("/mail").unwrap();
+    svc.create_log("/mail/smith").unwrap();
+    svc.create_log("/mail/jones").unwrap();
+    assert_eq!(svc.list("/mail").unwrap(), vec!["jones", "smith"]);
+    let id = svc.resolve("/mail/smith").unwrap();
+    svc.rename(id, "smythe").unwrap();
+    assert_eq!(svc.list("/mail").unwrap(), vec!["jones", "smythe"]);
+    assert_eq!(svc.path_of(id).unwrap(), "/mail/smythe");
+}
+
+// ---------------------------------------------------------------------
+// Durability and recovery.
+// ---------------------------------------------------------------------
+
+/// The shared crash-simulation pool (see `clio_volume::RecordingPool`).
+fn capturing_pool(block_size: usize, cap: u64, ram_tail: bool) -> Arc<RecordingPool> {
+    let inner = Arc::new(MemDevicePool::new(block_size, cap));
+    Arc::new(if ram_tail {
+        RecordingPool::wrapping(inner, |base| Arc::new(RamTailDevice::new(base)) as SharedDevice)
+    } else {
+        RecordingPool::new(inner)
+    })
+}
+
+#[test]
+fn forced_entries_survive_a_crash_pure_worm() {
+    let pool = capturing_pool(256, 4096, false);
+    let ck = clock();
+    let svc = LogService::create(VolumeSeqId(9), pool.clone(), ServiceConfig::small(), ck.clone())
+        .unwrap();
+    svc.create_log("/wal").unwrap();
+    for i in 0..25u32 {
+        svc.append_path("/wal", &i.to_le_bytes(), AppendOpts::forced())
+            .unwrap();
+    }
+    // Buffered entry that will be lost (never forced, never sealed).
+    svc.append_path("/wal", b"volatile", AppendOpts::standard())
+        .unwrap();
+    drop(svc); // crash: all RAM state gone
+
+    let (svc, report) = LogService::recover(
+        pool.devices(),
+        pool.clone(),
+        ServiceConfig::small(),
+        ck,
+    )
+    .unwrap();
+    assert_eq!(report.volumes, 1);
+    assert!(report.catalog_records >= 1);
+    let mut cur = svc.cursor("/wal").unwrap();
+    let got = cur.collect_remaining().unwrap();
+    assert_eq!(got.len(), 25, "forced entries survive, buffered one lost");
+    for (i, e) in got.iter().enumerate() {
+        assert_eq!(u32::from_le_bytes(e.data[..4].try_into().unwrap()), i as u32);
+    }
+    // The recovered service keeps appending where it left off.
+    svc.append_path("/wal", b"after-recovery", AppendOpts::forced())
+        .unwrap();
+    let mut cur = svc.cursor("/wal").unwrap();
+    assert_eq!(cur.collect_remaining().unwrap().len(), 26);
+}
+
+#[test]
+fn ram_tail_staging_avoids_fragmentation_and_survives() {
+    let pool = capturing_pool(256, 4096, true);
+    let ck = clock();
+    let svc = LogService::create(VolumeSeqId(9), pool.clone(), ServiceConfig::small(), ck.clone())
+        .unwrap();
+    svc.create_log("/wal").unwrap();
+    for i in 0..25u32 {
+        svc.append_path("/wal", &i.to_le_bytes(), AppendOpts::forced())
+            .unwrap();
+    }
+    // Forced writes staged in NV RAM: far fewer sealed blocks than forced
+    // writes (on pure WORM every force seals a block).
+    let sealed = svc.report().blocks_sealed;
+    assert!(sealed < 25, "sealed {sealed} blocks for 25 forced writes");
+    drop(svc);
+
+    let (svc, _) = LogService::recover(
+        pool.devices(),
+        pool.clone(),
+        ServiceConfig::small(),
+        ck,
+    )
+    .unwrap();
+    let mut cur = svc.cursor("/wal").unwrap();
+    assert_eq!(cur.collect_remaining().unwrap().len(), 25);
+}
+
+#[test]
+fn recovery_reconstructs_entrymap_equivalently() {
+    // Write a log whose entries are sparse, crash, recover, and verify the
+    // recovered service can still find distant entries via its rebuilt
+    // entrymap state.
+    let pool = capturing_pool(256, 4096, false);
+    let ck = clock();
+    let svc = LogService::create(VolumeSeqId(3), pool.clone(), ServiceConfig::small(), ck.clone())
+        .unwrap();
+    svc.create_log("/sparse").unwrap();
+    svc.create_log("/noise").unwrap();
+    svc.append_path("/sparse", b"first", AppendOpts::forced())
+        .unwrap();
+    for _ in 0..400 {
+        svc.append_path("/noise", &[0u8; 40], AppendOpts::standard())
+            .unwrap();
+    }
+    svc.append_path("/sparse", b"second", AppendOpts::forced())
+        .unwrap();
+    svc.flush().unwrap();
+    drop(svc);
+
+    let (svc, report) = LogService::recover(
+        pool.devices(),
+        pool.clone(),
+        ServiceConfig::small(),
+        ck,
+    )
+    .unwrap();
+    assert!(report.rebuild_blocks_read > 0);
+    let mut cur = svc.cursor("/sparse").unwrap();
+    let got = cur.collect_remaining().unwrap();
+    assert_eq!(got.len(), 2);
+    assert_eq!(got[0].data, b"first");
+    assert_eq!(got[1].data, b"second");
+}
+
+#[test]
+fn multi_volume_spanning() {
+    // Tiny volumes force several successor loads (§2.1).
+    let pool = capturing_pool(256, 24, false);
+    let ck = clock();
+    let svc = LogService::create(VolumeSeqId(5), pool.clone(), ServiceConfig::small(), ck.clone())
+        .unwrap();
+    svc.create_log("/span").unwrap();
+    for i in 0..120u32 {
+        let mut payload = format!("e{i}:").into_bytes();
+        payload.resize(100, b'.');
+        svc.append_path("/span", &payload, AppendOpts::standard())
+            .unwrap();
+    }
+    svc.flush().unwrap();
+    assert!(
+        svc.volumes().volume_count() >= 3,
+        "expected several volumes, got {}",
+        svc.volumes().volume_count()
+    );
+    let mut cur = svc.cursor("/span").unwrap();
+    let all = cur.collect_remaining().unwrap();
+    assert_eq!(all.len(), 120);
+    for (i, e) in all.iter().enumerate() {
+        assert!(e.data.starts_with(format!("e{i}:").as_bytes()));
+    }
+    // Backward reading crosses volumes too.
+    let mut cur = svc.cursor_from_end("/span").unwrap();
+    let last = cur.prev().unwrap().unwrap();
+    assert!(last.data.starts_with(b"e119:"));
+
+    // Crash and recover the whole chain.
+    drop(svc);
+    let (svc, report) = LogService::recover(
+        pool.devices(),
+        pool.clone(),
+        ServiceConfig::small(),
+        ck,
+    )
+    .unwrap();
+    assert!(report.volumes >= 3);
+    let mut cur = svc.cursor("/span").unwrap();
+    assert_eq!(cur.collect_remaining().unwrap().len(), 120);
+    // The catalog came from the newest volume's checkpoint.
+    assert!(svc.resolve("/span").is_ok());
+}
+
+#[test]
+fn corruption_is_invalidated_and_other_data_survives() {
+    // A fault injector corrupts one append; with verification on, the
+    // service invalidates the block, re-places it, and logs a bad block.
+    struct OneShotPool {
+        dev: parking_lot::Mutex<Option<SharedDevice>>,
+        faulty: parking_lot::Mutex<Option<Arc<FaultyDevice>>>,
+    }
+    impl DevicePool for OneShotPool {
+        fn next_device(&self) -> clio_types::Result<SharedDevice> {
+            let base: SharedDevice = Arc::new(MemWormDevice::new(256, 4096));
+            let faulty = Arc::new(FaultyDevice::new(base, FaultPlan::default()));
+            *self.faulty.lock() = Some(faulty.clone());
+            let dev: SharedDevice = faulty;
+            *self.dev.lock() = Some(dev.clone());
+            Ok(dev)
+        }
+    }
+    let pool = Arc::new(OneShotPool {
+        dev: parking_lot::Mutex::new(None),
+        faulty: parking_lot::Mutex::new(None),
+    });
+    let cfg = ServiceConfig::small().with_verified_appends();
+    let svc = LogService::create(VolumeSeqId(6), pool.clone(), cfg.clone(), clock()).unwrap();
+    svc.create_log("/d").unwrap();
+    svc.append_path("/d", b"before", AppendOpts::forced()).unwrap();
+
+    // Corrupt exactly the next device append.
+    pool.faulty.lock().as_ref().unwrap().corrupt_next_append();
+    let r = svc
+        .append_path("/d", b"critical", AppendOpts::forced())
+        .unwrap();
+    // The forced entry is still readable (it was re-placed).
+    let e = svc.read_entry(r.addr).unwrap();
+    assert_eq!(e.data, b"critical");
+    svc.append_path("/d", b"after", AppendOpts::forced()).unwrap();
+
+    let mut cur = svc.cursor("/d").unwrap();
+    let all: Vec<Vec<u8>> = cur
+        .collect_remaining()
+        .unwrap()
+        .into_iter()
+        .map(|e| e.data)
+        .collect();
+    assert_eq!(all, vec![b"before".to_vec(), b"critical".to_vec(), b"after".to_vec()]);
+
+    // The bad block was recorded in the bad-block log (§2.3.2).
+    svc.flush().unwrap();
+    let mut cur = svc.cursor("/").unwrap();
+    let bad_entries: Vec<_> = cur
+        .collect_remaining()
+        .unwrap()
+        .into_iter()
+        .filter(|e| e.id == LogFileId::BAD_BLOCK)
+        .collect();
+    assert_eq!(bad_entries.len(), 1);
+}
+
+#[test]
+fn flush_is_idempotent_and_cheap_when_nothing_pending() {
+    let svc = small_service();
+    svc.create_log("/f").unwrap();
+    svc.flush().unwrap();
+    svc.flush().unwrap();
+    svc.append_path("/f", b"x", AppendOpts::standard()).unwrap();
+    svc.flush().unwrap();
+    let sealed_before = svc.report().blocks_sealed;
+    svc.flush().unwrap();
+    svc.flush().unwrap();
+    // Pure WORM flush seals; repeated flushes with no new data must not
+    // keep sealing blocks.
+    assert_eq!(svc.report().blocks_sealed, sealed_before);
+}
+
+#[test]
+fn space_report_tracks_overheads() {
+    let svc = small_service();
+    svc.create_log("/s").unwrap();
+    for _ in 0..200 {
+        svc.append_path("/s", &[7u8; 36], AppendOpts::minimal()).unwrap();
+    }
+    svc.flush().unwrap();
+    let r = svc.report();
+    assert_eq!(r.entries, 200);
+    assert_eq!(r.client_bytes, 200 * 36);
+    // §2.2: minimal header overhead is 4 bytes/entry — under 10% at 36 B.
+    // (Entries that straddle a block boundary fragment and pay a little
+    // more, so the average sits just above 4.)
+    assert!(
+        r.avg_header_overhead >= 4.0 && r.avg_header_overhead < 7.0,
+        "avg header overhead = {}",
+        r.avg_header_overhead
+    );
+    assert!(r.header_overhead_pct() < 16.0);
+    // Entrymap overhead per entry is far below the header cost (§3.5).
+    assert!(r.avg_entrymap_overhead < r.avg_header_overhead);
+}
+
+// ---------------------------------------------------------------------
+// UIO and the server boundary.
+// ---------------------------------------------------------------------
+
+#[test]
+fn uio_round_trip_and_time_seek() {
+    let svc = small_service();
+    svc.create_log("/u").unwrap();
+    let mut f = clio_core::uio::LogUio::open(&svc, "/u").unwrap();
+    f.uio_write(b"hello ").unwrap();
+    f.uio_write(b"world").unwrap();
+    let mut buf = [0u8; 64];
+    let n = f.uio_read(&mut buf).unwrap();
+    assert_eq!(&buf[..n], b"hello world");
+    assert_eq!(f.uio_read(&mut buf).unwrap(), 0);
+    // Seek back to the start and read in tiny chunks.
+    f.uio_seek(UioSeek::Start).unwrap();
+    let mut tiny = [0u8; 4];
+    assert_eq!(f.uio_read(&mut tiny).unwrap(), 4);
+    assert_eq!(&tiny, b"hell");
+    // Byte offsets are not meaningful for log files.
+    assert!(f.uio_seek(UioSeek::Offset(3)).is_err());
+}
+
+#[test]
+fn server_boundary_round_trip() {
+    use clio_core::server::{LogServer, Request};
+    let svc = small_service();
+    let server = LogServer::spawn(svc);
+    let client = server.client();
+
+    match client.call(Request::CreateLog {
+        path: "/remote".into(),
+    }) {
+        clio_core::server::Response::Created(_) => {}
+        other => panic!("create failed: {other:?}"),
+    }
+    for i in 0..10u32 {
+        client
+            .append_sync("/remote", format!("m{i}").as_bytes())
+            .unwrap();
+    }
+    let entries = client
+        .call(Request::ReadFrom {
+            path: "/remote".into(),
+            from: Timestamp::ZERO,
+            max: 100,
+        })
+        .entries()
+        .unwrap();
+    assert_eq!(entries.len(), 10);
+    let last = client
+        .call(Request::ReadLast {
+            path: "/remote".into(),
+            max: 3,
+        })
+        .entries()
+        .unwrap();
+    assert_eq!(last.len(), 3);
+    assert_eq!(last[0].data, b"m9");
+    assert!(server.ipc_round_trips() >= 12);
+    server.shutdown();
+}
+
+#[test]
+fn buffered_vs_forced_durability() {
+    let svc = small_service();
+    svc.create_log("/x").unwrap();
+    let r1 = svc
+        .append_path("/x", b"buffered", AppendOpts::standard())
+        .unwrap();
+    let r2 = svc.append_path("/x", b"forced", AppendOpts::forced()).unwrap();
+    // Both readable through the service (read-your-writes).
+    assert_eq!(svc.read_entry(r1.addr).unwrap().data, b"buffered");
+    assert_eq!(svc.read_entry(r2.addr).unwrap().data, b"forced");
+    assert!(matches!(
+        AppendOpts::default().durability,
+        Durability::Buffered
+    ));
+}
+
+#[test]
+fn time_cursor_crosses_volumes() {
+    let pool = capturing_pool(256, 32, false);
+    let svc = LogService::create(VolumeSeqId(11), pool, ServiceConfig::small(), clock()).unwrap();
+    svc.create_log("/t").unwrap();
+    let mut stamps = Vec::new();
+    for i in 0..120u32 {
+        let mut payload = format!("e{i}:").into_bytes();
+        payload.resize(90, b't');
+        let r = svc.append_path("/t", &payload, AppendOpts::standard()).unwrap();
+        stamps.push(r.timestamp);
+    }
+    svc.flush().unwrap();
+    assert!(svc.volumes().volume_count() >= 2, "needs several volumes");
+    // Seek to a timestamp that lives in a non-first volume.
+    let mut cur = svc.cursor_from_time("/t", stamps[100]).unwrap();
+    let got = cur.collect_remaining().unwrap();
+    assert_eq!(got.len(), 20);
+    assert!(got[0].data.starts_with(b"e100:"));
+    // And to one in the first volume, reading across the boundary.
+    let mut cur = svc.cursor_from_time("/t", stamps[10]).unwrap();
+    assert_eq!(cur.collect_remaining().unwrap().len(), 110);
+}
+
+#[test]
+fn read_permission_is_enforced() {
+    use clio_format::records::PERM_APPEND;
+    let svc = small_service();
+    svc.create_log("/secret").unwrap();
+    svc.append_path("/secret", b"classified", AppendOpts::standard()).unwrap();
+    let id = svc.resolve("/secret").unwrap();
+    // Drop the read bit; cursors are refused, appends still work.
+    svc.set_perms(id, PERM_APPEND).unwrap();
+    assert!(matches!(
+        svc.cursor("/secret"),
+        Err(ClioError::PermissionDenied(_))
+    ));
+    assert!(matches!(
+        svc.cursor_from_time("/secret", Timestamp::ZERO),
+        Err(ClioError::PermissionDenied(_))
+    ));
+    svc.append_path("/secret", b"more", AppendOpts::standard()).unwrap();
+    // Drop the append bit instead.
+    use clio_format::records::PERM_READ;
+    svc.set_perms(id, PERM_READ).unwrap();
+    assert!(matches!(
+        svc.append_path("/secret", b"x", AppendOpts::standard()),
+        Err(ClioError::PermissionDenied(_))
+    ));
+    let mut cur = svc.cursor("/secret").unwrap();
+    assert_eq!(cur.collect_remaining().unwrap().len(), 2);
+}
+
+#[test]
+fn long_volume_chains_recover() {
+    // The paper expects sequences "several hundred volumes long" (§3);
+    // exercise a few dozen tiny volumes and a full recovery over them.
+    let pool = capturing_pool(256, 8, false); // 7 data blocks per volume
+    let ck = clock();
+    let cfg = ServiceConfig::small();
+    let total = 300u32;
+    {
+        let svc =
+            LogService::create(VolumeSeqId(12), pool.clone(), cfg.clone(), ck.clone()).unwrap();
+        svc.create_log("/chain").unwrap();
+        for i in 0..total {
+            let mut payload = format!("c{i}:").into_bytes();
+            payload.resize(100, b'c');
+            svc.append_path("/chain", &payload, AppendOpts::standard()).unwrap();
+        }
+        svc.flush().unwrap();
+        assert!(
+            svc.volumes().volume_count() >= 20,
+            "only {} volumes",
+            svc.volumes().volume_count()
+        );
+    }
+    let (svc, report) =
+        LogService::recover(pool.devices(), pool.clone(), cfg, ck).unwrap();
+    assert!(report.volumes >= 20);
+    let mut cur = svc.cursor("/chain").unwrap();
+    let got = cur.collect_remaining().unwrap();
+    assert_eq!(got.len(), total as usize);
+    for (i, e) in got.iter().enumerate() {
+        assert!(e.data.starts_with(format!("c{i}:").as_bytes()));
+    }
+    // Backward over the whole chain too.
+    let mut cur = svc.cursor_from_end("/chain").unwrap();
+    let mut n = 0;
+    while cur.prev().unwrap().is_some() {
+        n += 1;
+    }
+    assert_eq!(n, total as usize);
+}
+
+#[test]
+fn server_admin_requests() {
+    use clio_core::server::{LogServer, Request, Response};
+    use clio_format::records::PERM_READ;
+    let server = LogServer::spawn(small_service());
+    let client = server.client();
+    client.call(Request::CreateLog { path: "/adm".into() });
+    client.append_sync("/adm", b"one").unwrap();
+
+    // Stat reflects catalog attributes.
+    match client.call(Request::Stat { path: "/adm".into() }) {
+        Response::Attrs(a) => {
+            assert_eq!(a.name, "adm");
+            assert!(!a.sealed);
+        }
+        other => panic!("stat failed: {other:?}"),
+    }
+    // SetPerms to read-only, then appends fail through the boundary.
+    match client.call(Request::SetPerms { path: "/adm".into(), perms: PERM_READ }) {
+        Response::Done => {}
+        other => panic!("setperms failed: {other:?}"),
+    }
+    assert!(client.append_sync("/adm", b"two").is_err());
+    // Seal is visible via Stat.
+    client.call(Request::SetPerms { path: "/adm".into(), perms: 3 });
+    match client.call(Request::Seal { path: "/adm".into() }) {
+        Response::Done => {}
+        other => panic!("seal failed: {other:?}"),
+    }
+    match client.call(Request::Stat { path: "/adm".into() }) {
+        Response::Attrs(a) => assert!(a.sealed),
+        other => panic!("stat failed: {other:?}"),
+    }
+    assert!(client.append_sync("/adm", b"three").is_err());
+    server.shutdown();
+}

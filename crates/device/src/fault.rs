@@ -1,0 +1,231 @@
+//! Fault injection for log devices.
+//!
+//! §2.3.2: "Log volume corruption must be assumed to occur, since a log
+//! volume may be written over a long period of time, during which hardware
+//! and software failures may occur. A failure may cause a portion of the log
+//! volume to be written with garbage." [`FaultyDevice`] wraps a device and
+//! injects exactly those failures, deterministically (seeded), so the
+//! recovery paths in `clio-core` can be tested and benchmarked.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use clio_types::{BlockNo, Result};
+
+use crate::traits::{LogDevice, SharedDevice};
+
+/// What to inject, and how often.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Probability that an appended block is written as garbage instead of
+    /// the intended data (random bytes; trailer CRC will not verify).
+    pub garbage_append_prob: f64,
+    /// Probability that an appended block suffers a burst of flipped bits
+    /// (simulating a marginal write that later fails its CRC).
+    pub bitrot_append_prob: f64,
+    /// Number of bit-bursts per bit-rotted block.
+    pub bitrot_bursts: usize,
+    /// RNG seed, so failures are reproducible.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            garbage_append_prob: 0.0,
+            bitrot_append_prob: 0.0,
+            bitrot_bursts: 3,
+            seed: 0x0C11_0F17,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that corrupts roughly `prob` of appends with garbage.
+    #[must_use]
+    pub fn garbage(prob: f64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            garbage_append_prob: prob,
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that bit-rots roughly `prob` of appends.
+    #[must_use]
+    pub fn bitrot(prob: f64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            bitrot_append_prob: prob,
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// A [`LogDevice`] wrapper that corrupts writes according to a [`FaultPlan`].
+pub struct FaultyDevice {
+    inner: SharedDevice,
+    plan: FaultPlan,
+    rng: Mutex<StdRng>,
+    corrupted: Mutex<Vec<BlockNo>>,
+    /// One-shot trigger: corrupt exactly the next append.
+    force_next: Mutex<bool>,
+}
+
+impl FaultyDevice {
+    /// Wraps `inner` with the given plan.
+    #[must_use]
+    pub fn new(inner: SharedDevice, plan: FaultPlan) -> FaultyDevice {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultyDevice {
+            inner,
+            plan,
+            rng: Mutex::new(rng),
+            corrupted: Mutex::new(Vec::new()),
+            force_next: Mutex::new(false),
+        }
+    }
+
+    /// Forces the next append to be written as garbage, regardless of the
+    /// plan's probabilities. Useful for targeted tests.
+    pub fn corrupt_next_append(&self) {
+        *self.force_next.lock() = true;
+    }
+
+    /// Blocks that were written corrupted, in write order. Test oracle.
+    #[must_use]
+    pub fn corrupted_blocks(&self) -> Vec<BlockNo> {
+        self.corrupted.lock().clone()
+    }
+}
+
+impl LogDevice for FaultyDevice {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.inner.capacity_blocks()
+    }
+
+    fn query_end(&self) -> Option<BlockNo> {
+        self.inner.query_end()
+    }
+
+    fn is_written(&self, block: BlockNo) -> Result<bool> {
+        self.inner.is_written(block)
+    }
+
+    fn append_block(&self, expected: BlockNo, data: &[u8]) -> Result<()> {
+        let mut rng = self.rng.lock();
+        let forced = std::mem::take(&mut *self.force_next.lock());
+        if forced || rng.gen_bool(self.plan.garbage_append_prob.clamp(0.0, 1.0)) {
+            let mut garbage = vec![0u8; data.len()];
+            rng.fill(&mut garbage[..]);
+            drop(rng);
+            self.inner.append_block(expected, &garbage)?;
+            self.corrupted.lock().push(expected);
+            return Ok(());
+        }
+        if rng.gen_bool(self.plan.bitrot_append_prob.clamp(0.0, 1.0)) {
+            let mut rotted = data.to_vec();
+            for _ in 0..self.plan.bitrot_bursts.max(1) {
+                let at = rng.gen_range(0..rotted.len());
+                rotted[at] ^= 1 << rng.gen_range(0..8);
+            }
+            drop(rng);
+            self.inner.append_block(expected, &rotted)?;
+            self.corrupted.lock().push(expected);
+            return Ok(());
+        }
+        drop(rng);
+        self.inner.append_block(expected, data)
+    }
+
+    fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_block(block, buf)
+    }
+
+    fn invalidate_block(&self, block: BlockNo) -> Result<()> {
+        self.inner.invalidate_block(block)
+    }
+
+    fn rewrite_tail(&self, block: BlockNo, data: &[u8]) -> Result<()> {
+        self.inner.rewrite_tail(block, data)
+    }
+
+    fn supports_tail_rewrite(&self) -> bool {
+        self.inner.supports_tail_rewrite()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::mem::MemWormDevice;
+
+    #[test]
+    fn forced_corruption_garbles_exactly_one_block() {
+        let dev = FaultyDevice::new(
+            Arc::new(MemWormDevice::new(64, 16)),
+            FaultPlan::default(),
+        );
+        let data = vec![0xAB; 64];
+        dev.append_block(BlockNo(0), &data).unwrap();
+        dev.corrupt_next_append();
+        dev.append_block(BlockNo(1), &data).unwrap();
+        dev.append_block(BlockNo(2), &data).unwrap();
+
+        let mut buf = vec![0u8; 64];
+        dev.read_block(BlockNo(0), &mut buf).unwrap();
+        assert_eq!(buf, data);
+        dev.read_block(BlockNo(1), &mut buf).unwrap();
+        assert_ne!(buf, data);
+        dev.read_block(BlockNo(2), &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(dev.corrupted_blocks(), vec![BlockNo(1)]);
+    }
+
+    #[test]
+    fn garbage_plan_is_deterministic_for_a_seed() {
+        let run = |seed| {
+            let dev = FaultyDevice::new(
+                Arc::new(MemWormDevice::new(64, 256)),
+                FaultPlan::garbage(0.25, seed),
+            );
+            let data = vec![0x55; 64];
+            for i in 0..200 {
+                dev.append_block(BlockNo(i), &data).unwrap();
+            }
+            dev.corrupted_blocks()
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Roughly a quarter of appends corrupted.
+        assert!(a.len() > 20 && a.len() < 90, "corrupted {} blocks", a.len());
+    }
+
+    #[test]
+    fn bitrot_changes_but_resembles_data() {
+        let dev = FaultyDevice::new(
+            Arc::new(MemWormDevice::new(64, 16)),
+            FaultPlan::bitrot(1.0, 3),
+        );
+        let data = vec![0x00; 64];
+        dev.append_block(BlockNo(0), &data).unwrap();
+        let mut buf = vec![0u8; 64];
+        dev.read_block(BlockNo(0), &mut buf).unwrap();
+        let flipped: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        assert!((1..=3 * 8).contains(&flipped), "{flipped} bits flipped");
+    }
+}

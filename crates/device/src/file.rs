@@ -1,0 +1,225 @@
+//! Host-file-backed write-once device.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use clio_types::{BlockNo, ClioError, Result, INVALIDATED_BYTE};
+
+use crate::traits::{check_len, LogDevice};
+
+/// A write-once device backed by an ordinary host file.
+///
+/// The append-only discipline is enforced by this wrapper: the written
+/// portion is exactly the file's current extent, so the append point is
+/// `file_len / block_size` and persists across process restarts. This mirrors
+/// the paper's own development configuration, which simulated write-once
+/// storage on magnetic disk (§3.1).
+pub struct FileWormDevice {
+    file: Mutex<File>,
+    block_size: usize,
+    capacity: u64,
+    end_query: bool,
+}
+
+impl FileWormDevice {
+    /// Creates (or truncates) a device file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P, block_size: usize, capacity: u64) -> Result<FileWormDevice> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileWormDevice {
+            file: Mutex::new(file),
+            block_size,
+            capacity,
+            end_query: true,
+        })
+    }
+
+    /// Opens an existing device file, preserving its written contents.
+    ///
+    /// Fails with [`ClioError::Io`] if the file length is not a multiple of
+    /// the block size (a torn final write; see `FaultPlan::torn_append` for
+    /// how Clio handles those on recovery).
+    pub fn open<P: AsRef<Path>>(path: P, block_size: usize, capacity: u64) -> Result<FileWormDevice> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % block_size as u64 != 0 {
+            return Err(ClioError::Io(format!(
+                "device file length {len} is not a multiple of block size {block_size}"
+            )));
+        }
+        Ok(FileWormDevice {
+            file: Mutex::new(file),
+            block_size,
+            capacity,
+            end_query: true,
+        })
+    }
+
+    /// Disables the end query, forcing binary-search end location.
+    #[must_use]
+    pub fn without_end_query(mut self) -> FileWormDevice {
+        self.end_query = false;
+        self
+    }
+
+    fn end_blocks(&self, file: &File) -> Result<u64> {
+        Ok(file.metadata()?.len() / self.block_size as u64)
+    }
+}
+
+impl LogDevice for FileWormDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.capacity
+    }
+
+    fn query_end(&self) -> Option<BlockNo> {
+        if !self.end_query {
+            return None;
+        }
+        let g = self.file.lock();
+        self.end_blocks(&g).ok().map(BlockNo)
+    }
+
+    fn is_written(&self, block: BlockNo) -> Result<bool> {
+        if block.0 >= self.capacity {
+            return Err(ClioError::OutOfRange(block));
+        }
+        let g = self.file.lock();
+        Ok(block.0 < self.end_blocks(&g)?)
+    }
+
+    fn append_block(&self, expected: BlockNo, data: &[u8]) -> Result<()> {
+        check_len(self.block_size, data.len())?;
+        let mut g = self.file.lock();
+        let end = self.end_blocks(&g)?;
+        if end >= self.capacity {
+            return Err(ClioError::VolumeFull);
+        }
+        if expected.0 != end {
+            return Err(ClioError::NotAppendOnly {
+                attempted: expected,
+                end: BlockNo(end),
+            });
+        }
+        g.seek(SeekFrom::End(0))?;
+        g.write_all(data)?;
+        Ok(())
+    }
+
+    fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {
+        check_len(self.block_size, buf.len())?;
+        if block.0 >= self.capacity {
+            return Err(ClioError::OutOfRange(block));
+        }
+        let mut g = self.file.lock();
+        if block.0 >= self.end_blocks(&g)? {
+            return Err(ClioError::UnwrittenBlock(block));
+        }
+        g.seek(SeekFrom::Start(block.0 * self.block_size as u64))?;
+        g.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn invalidate_block(&self, block: BlockNo) -> Result<()> {
+        if block.0 >= self.capacity {
+            return Err(ClioError::OutOfRange(block));
+        }
+        let mut g = self.file.lock();
+        if block.0 >= self.end_blocks(&g)? {
+            return Err(ClioError::UnwrittenBlock(block));
+        }
+        g.seek(SeekFrom::Start(block.0 * self.block_size as u64))?;
+        g.write_all(&vec![INVALIDATED_BYTE; self.block_size])?;
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("clio-file-worm-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn create_append_read() {
+        let path = tmp("basic");
+        let dev = FileWormDevice::create(&path, 64, 10).unwrap();
+        dev.append_block(BlockNo(0), &[7u8; 64]).unwrap();
+        dev.append_block(BlockNo(1), &[8u8; 64]).unwrap();
+        let mut buf = vec![0u8; 64];
+        dev.read_block(BlockNo(1), &mut buf).unwrap();
+        assert_eq!(buf, vec![8u8; 64]);
+        assert_eq!(dev.query_end(), Some(BlockNo(2)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn contents_survive_reopen() {
+        let path = tmp("reopen");
+        {
+            let dev = FileWormDevice::create(&path, 32, 10).unwrap();
+            dev.append_block(BlockNo(0), &[0x5A; 32]).unwrap();
+            dev.sync().unwrap();
+        }
+        let dev = FileWormDevice::open(&path, 32, 10).unwrap();
+        assert_eq!(dev.query_end(), Some(BlockNo(1)));
+        let mut buf = vec![0u8; 32];
+        dev.read_block(BlockNo(0), &mut buf).unwrap();
+        assert_eq!(buf, vec![0x5A; 32]);
+        // Append point carries on correctly.
+        dev.append_block(BlockNo(1), &[0x6B; 32]).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_only_enforced() {
+        let path = tmp("worm");
+        let dev = FileWormDevice::create(&path, 32, 10).unwrap();
+        dev.append_block(BlockNo(0), &[1u8; 32]).unwrap();
+        assert!(matches!(
+            dev.append_block(BlockNo(0), &[2u8; 32]).unwrap_err(),
+            ClioError::NotAppendOnly { .. }
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn invalidate_persists() {
+        let path = tmp("invalidate");
+        let dev = FileWormDevice::create(&path, 32, 10).unwrap();
+        dev.append_block(BlockNo(0), &[3u8; 32]).unwrap();
+        dev.invalidate_block(BlockNo(0)).unwrap();
+        let mut buf = vec![0u8; 32];
+        dev.read_block(BlockNo(0), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == INVALIDATED_BYTE));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_torn_file() {
+        let path = tmp("torn");
+        std::fs::write(&path, vec![0u8; 48]).unwrap();
+        assert!(FileWormDevice::open(&path, 32, 10).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

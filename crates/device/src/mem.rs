@@ -1,0 +1,263 @@
+//! In-memory write-once device.
+
+use parking_lot::Mutex;
+
+use clio_types::{BlockNo, ClioError, Result, INVALIDATED_BYTE};
+
+use crate::traits::{check_len, LogDevice};
+
+/// An in-memory write-once (WORM) device.
+///
+/// The written portion is a prefix of the block array; [`MemWormDevice::
+/// append_block`] rejects any write that is not at the append point, which is
+/// the defining property the Clio algorithms rely on. The device survives a
+/// simulated server crash simply by outliving the server structures (its
+/// contents model the non-volatile medium).
+pub struct MemWormDevice {
+    inner: Mutex<Inner>,
+    block_size: usize,
+    capacity: u64,
+    end_query: bool,
+}
+
+struct Inner {
+    /// Concatenated block contents; `end` counts written blocks.
+    data: Vec<u8>,
+    end: u64,
+    /// Blocks burned to all 1s (kept for cheap `is_invalidated` checks in
+    /// tests; the data itself is also overwritten).
+    invalidated: Vec<u64>,
+}
+
+impl MemWormDevice {
+    /// Creates a device of `capacity` blocks of `block_size` bytes.
+    #[must_use]
+    pub fn new(block_size: usize, capacity: u64) -> MemWormDevice {
+        MemWormDevice {
+            inner: Mutex::new(Inner {
+                data: Vec::new(),
+                end: 0,
+                invalidated: Vec::new(),
+            }),
+            block_size,
+            capacity,
+            end_query: true,
+        }
+    }
+
+    /// Disables the direct end-of-written-portion query, forcing recovery to
+    /// locate the end by binary search (§2.3.1).
+    #[must_use]
+    pub fn without_end_query(mut self) -> MemWormDevice {
+        self.end_query = false;
+        self
+    }
+
+    /// Blocks invalidated so far, in invalidation order. Test hook.
+    #[must_use]
+    pub fn invalidated_blocks(&self) -> Vec<BlockNo> {
+        self.inner.lock().invalidated.iter().map(|&b| BlockNo(b)).collect()
+    }
+
+    /// Directly scribbles garbage into a block, bypassing the append-only
+    /// check — the hardware/software failure of §2.3.2 ("a failure may cause
+    /// a portion of the log volume to be written with garbage").
+    ///
+    /// If the block lies beyond the current end, the written region is
+    /// extended to cover it, modelling a runaway write head: the blocks in
+    /// between read back as garbage (zero-filled here, undetectable magic).
+    pub fn scribble(&self, block: BlockNo, garbage: &[u8]) -> Result<()> {
+        if block.0 >= self.capacity {
+            return Err(ClioError::OutOfRange(block));
+        }
+        let mut g = self.inner.lock();
+        let needed = (block.0 + 1) * self.block_size as u64;
+        if (g.data.len() as u64) < needed {
+            g.data.resize(needed as usize, 0);
+        }
+        if block.0 >= g.end {
+            g.end = block.0 + 1;
+        }
+        let off = block.0 as usize * self.block_size;
+        let n = garbage.len().min(self.block_size);
+        g.data[off..off + n].copy_from_slice(&garbage[..n]);
+        Ok(())
+    }
+}
+
+impl LogDevice for MemWormDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.capacity
+    }
+
+    fn query_end(&self) -> Option<BlockNo> {
+        self.end_query.then(|| BlockNo(self.inner.lock().end))
+    }
+
+    fn is_written(&self, block: BlockNo) -> Result<bool> {
+        if block.0 >= self.capacity {
+            return Err(ClioError::OutOfRange(block));
+        }
+        Ok(block.0 < self.inner.lock().end)
+    }
+
+    fn append_block(&self, expected: BlockNo, data: &[u8]) -> Result<()> {
+        check_len(self.block_size, data.len())?;
+        let mut g = self.inner.lock();
+        if g.end >= self.capacity {
+            return Err(ClioError::VolumeFull);
+        }
+        if expected.0 != g.end {
+            return Err(ClioError::NotAppendOnly {
+                attempted: expected,
+                end: BlockNo(g.end),
+            });
+        }
+        g.data.extend_from_slice(data);
+        g.end += 1;
+        Ok(())
+    }
+
+    fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {
+        check_len(self.block_size, buf.len())?;
+        if block.0 >= self.capacity {
+            return Err(ClioError::OutOfRange(block));
+        }
+        let g = self.inner.lock();
+        if block.0 >= g.end {
+            return Err(ClioError::UnwrittenBlock(block));
+        }
+        let off = block.0 as usize * self.block_size;
+        buf.copy_from_slice(&g.data[off..off + self.block_size]);
+        Ok(())
+    }
+
+    fn invalidate_block(&self, block: BlockNo) -> Result<()> {
+        if block.0 >= self.capacity {
+            return Err(ClioError::OutOfRange(block));
+        }
+        let mut g = self.inner.lock();
+        if block.0 >= g.end {
+            return Err(ClioError::UnwrittenBlock(block));
+        }
+        let off = block.0 as usize * self.block_size;
+        g.data[off..off + self.block_size].fill(INVALIDATED_BYTE);
+        g.invalidated.push(block.0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(b: u8, size: usize) -> Vec<u8> {
+        vec![b; size]
+    }
+
+    #[test]
+    fn append_then_read_round_trips() {
+        let dev = MemWormDevice::new(32, 4);
+        dev.append_block(BlockNo(0), &blk(0xAA, 32)).unwrap();
+        dev.append_block(BlockNo(1), &blk(0xBB, 32)).unwrap();
+        let mut buf = vec![0u8; 32];
+        dev.read_block(BlockNo(0), &mut buf).unwrap();
+        assert_eq!(buf, blk(0xAA, 32));
+        dev.read_block(BlockNo(1), &mut buf).unwrap();
+        assert_eq!(buf, blk(0xBB, 32));
+    }
+
+    #[test]
+    fn append_only_is_enforced() {
+        let dev = MemWormDevice::new(32, 4);
+        dev.append_block(BlockNo(0), &blk(1, 32)).unwrap();
+        // Rewriting block 0 is refused.
+        let err = dev.append_block(BlockNo(0), &blk(2, 32)).unwrap_err();
+        assert!(matches!(err, ClioError::NotAppendOnly { .. }));
+        // Skipping ahead is refused.
+        let err = dev.append_block(BlockNo(2), &blk(2, 32)).unwrap_err();
+        assert!(matches!(err, ClioError::NotAppendOnly { .. }));
+        // The original data is intact.
+        let mut buf = vec![0u8; 32];
+        dev.read_block(BlockNo(0), &mut buf).unwrap();
+        assert_eq!(buf, blk(1, 32));
+    }
+
+    #[test]
+    fn reading_unwritten_fails() {
+        let dev = MemWormDevice::new(32, 4);
+        let mut buf = vec![0u8; 32];
+        assert_eq!(
+            dev.read_block(BlockNo(0), &mut buf).unwrap_err(),
+            ClioError::UnwrittenBlock(BlockNo(0))
+        );
+        assert_eq!(
+            dev.read_block(BlockNo(9), &mut buf).unwrap_err(),
+            ClioError::OutOfRange(BlockNo(9))
+        );
+    }
+
+    #[test]
+    fn volume_fills_up() {
+        let dev = MemWormDevice::new(16, 2);
+        dev.append_block(BlockNo(0), &blk(0, 16)).unwrap();
+        dev.append_block(BlockNo(1), &blk(0, 16)).unwrap();
+        assert_eq!(
+            dev.append_block(BlockNo(2), &blk(0, 16)).unwrap_err(),
+            ClioError::VolumeFull
+        );
+    }
+
+    #[test]
+    fn invalidation_burns_to_ones() {
+        let dev = MemWormDevice::new(16, 4);
+        dev.append_block(BlockNo(0), &blk(0x12, 16)).unwrap();
+        dev.invalidate_block(BlockNo(0)).unwrap();
+        let mut buf = vec![0u8; 16];
+        dev.read_block(BlockNo(0), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == INVALIDATED_BYTE));
+        assert_eq!(dev.invalidated_blocks(), vec![BlockNo(0)]);
+        // Cannot invalidate unwritten blocks.
+        assert!(dev.invalidate_block(BlockNo(3)).is_err());
+    }
+
+    #[test]
+    fn tail_rewrite_unsupported_on_pure_worm() {
+        let dev = MemWormDevice::new(16, 4);
+        dev.append_block(BlockNo(0), &blk(0, 16)).unwrap();
+        assert!(!dev.supports_tail_rewrite());
+        assert!(matches!(
+            dev.rewrite_tail(BlockNo(0), &blk(1, 16)).unwrap_err(),
+            ClioError::Unsupported(_)
+        ));
+    }
+
+    #[test]
+    fn scribble_extends_end_and_overwrites() {
+        let dev = MemWormDevice::new(16, 8);
+        dev.append_block(BlockNo(0), &blk(1, 16)).unwrap();
+        dev.scribble(BlockNo(3), &blk(0xEE, 16)).unwrap();
+        assert_eq!(dev.query_end(), Some(BlockNo(4)));
+        let mut buf = vec![0u8; 16];
+        dev.read_block(BlockNo(3), &mut buf).unwrap();
+        assert_eq!(buf, blk(0xEE, 16));
+        // Block 0 is untouched, blocks 1–2 read as zero garbage.
+        dev.read_block(BlockNo(0), &mut buf).unwrap();
+        assert_eq!(buf, blk(1, 16));
+        dev.read_block(BlockNo(1), &mut buf).unwrap();
+        assert_eq!(buf, blk(0, 16));
+    }
+
+    #[test]
+    fn wrong_buffer_length_is_an_internal_error() {
+        let dev = MemWormDevice::new(16, 2);
+        assert!(matches!(
+            dev.append_block(BlockNo(0), &[0u8; 15]).unwrap_err(),
+            ClioError::Internal(_)
+        ));
+    }
+}

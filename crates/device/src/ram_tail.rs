@@ -1,0 +1,282 @@
+//! Battery-backed RAM staging for the tail of the log.
+//!
+//! On a purely write-once device, frequent forced writes cause internal
+//! fragmentation because a partially filled block, once written, can never
+//! be completed. The paper therefore proposes that "the tail end of the log
+//! device is implemented as rewriteable non-volatile storage, such as
+//! battery backed-up RAM" (§2.3.1). [`RamTailDevice`] models exactly that:
+//! the block at the append point may be rewritten any number of times, and
+//! is burned to the underlying WORM device only when sealed.
+
+use parking_lot::Mutex;
+
+use clio_types::{BlockNo, ClioError, Result, INVALIDATED_BYTE};
+
+use crate::traits::{check_len, LogDevice, SharedDevice};
+
+/// A log device with a rewriteable, non-volatile tail block.
+///
+/// The wrapper is itself non-volatile: in simulations a server "crash"
+/// destroys the server's in-memory structures but keeps the device (and with
+/// it the battery-backed tail buffer) alive, so no forced data is lost.
+pub struct RamTailDevice {
+    inner: SharedDevice,
+    tail: Mutex<Option<Tail>>,
+}
+
+struct Tail {
+    block: BlockNo,
+    data: Vec<u8>,
+}
+
+impl RamTailDevice {
+    /// Wraps `inner` with a battery-backed tail buffer.
+    #[must_use]
+    pub fn new(inner: SharedDevice) -> RamTailDevice {
+        RamTailDevice {
+            inner,
+            tail: Mutex::new(None),
+        }
+    }
+
+    /// The underlying device's append point (first block not burned to WORM).
+    fn inner_end(&self) -> Result<BlockNo> {
+        match self.inner.query_end() {
+            Some(e) => Ok(e),
+            None => Ok(crate::traits::locate_end(&*self.inner)?.0),
+        }
+    }
+
+    /// Whether a tail buffer currently holds an unsealed block. Test hook.
+    #[must_use]
+    pub fn has_tail(&self) -> bool {
+        self.tail.lock().is_some()
+    }
+}
+
+impl LogDevice for RamTailDevice {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.inner.capacity_blocks()
+    }
+
+    fn query_end(&self) -> Option<BlockNo> {
+        let end = self.inner.query_end()?;
+        let g = self.tail.lock();
+        Some(match &*g {
+            Some(t) if t.block == end => end.next(),
+            _ => end,
+        })
+    }
+
+    fn is_written(&self, block: BlockNo) -> Result<bool> {
+        if let Some(t) = &*self.tail.lock() {
+            if t.block == block {
+                return Ok(true);
+            }
+        }
+        self.inner.is_written(block)
+    }
+
+    fn append_block(&self, expected: BlockNo, data: &[u8]) -> Result<()> {
+        check_len(self.block_size(), data.len())?;
+        let mut g = self.tail.lock();
+        match &*g {
+            // Sealing the staged block: the append burns the *new* (final)
+            // contents through to WORM and retires the buffer.
+            Some(t) if t.block == expected => {
+                self.inner.append_block(expected, data)?;
+                *g = None;
+                Ok(())
+            }
+            // Appending past a staged block (e.g. after a crash recovered
+            // the staged tail as-is): flush the buffer to WORM first, then
+            // append — the battery-backed RAM drains to the medium.
+            Some(t) if t.block.next() == expected => {
+                self.inner.append_block(t.block, &t.data)?;
+                *g = None;
+                self.inner.append_block(expected, data)
+            }
+            Some(t) => Err(ClioError::NotAppendOnly {
+                attempted: expected,
+                end: t.block.next(),
+            }),
+            None => self.inner.append_block(expected, data),
+        }
+    }
+
+    fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {
+        check_len(self.block_size(), buf.len())?;
+        if let Some(t) = &*self.tail.lock() {
+            if t.block == block {
+                buf.copy_from_slice(&t.data);
+                return Ok(());
+            }
+        }
+        self.inner.read_block(block, buf)
+    }
+
+    fn invalidate_block(&self, block: BlockNo) -> Result<()> {
+        let mut g = self.tail.lock();
+        if let Some(t) = &mut *g {
+            if t.block == block {
+                t.data.fill(INVALIDATED_BYTE);
+                return Ok(());
+            }
+        }
+        self.inner.invalidate_block(block)
+    }
+
+    fn rewrite_tail(&self, block: BlockNo, data: &[u8]) -> Result<()> {
+        check_len(self.block_size(), data.len())?;
+        if block.0 >= self.capacity_blocks() {
+            return Err(ClioError::OutOfRange(block));
+        }
+        let mut g = self.tail.lock();
+        // Opening the next tail while the previous one is still staged
+        // (e.g. right after a crash recovery) drains the old buffer to the
+        // WORM medium first.
+        if let Some(t) = &*g {
+            if t.block.next() == block {
+                self.inner.append_block(t.block, &t.data)?;
+                *g = None;
+            }
+        }
+        let end = self.inner_end()?;
+        if block != end {
+            return Err(ClioError::NotAppendOnly {
+                attempted: block,
+                end,
+            });
+        }
+        *g = Some(Tail {
+            block,
+            data: data.to_vec(),
+        });
+        Ok(())
+    }
+
+    fn supports_tail_rewrite(&self) -> bool {
+        true
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::mem::MemWormDevice;
+
+    fn device() -> (Arc<MemWormDevice>, RamTailDevice) {
+        let worm = Arc::new(MemWormDevice::new(32, 16));
+        let dev = RamTailDevice::new(worm.clone());
+        (worm, dev)
+    }
+
+    #[test]
+    fn tail_is_rewriteable_until_sealed() {
+        let (worm, dev) = device();
+        assert!(dev.supports_tail_rewrite());
+        dev.rewrite_tail(BlockNo(0), &[1u8; 32]).unwrap();
+        dev.rewrite_tail(BlockNo(0), &[2u8; 32]).unwrap();
+        dev.rewrite_tail(BlockNo(0), &[3u8; 32]).unwrap();
+        // Visible through reads, but not yet on the WORM medium.
+        let mut buf = vec![0u8; 32];
+        dev.read_block(BlockNo(0), &mut buf).unwrap();
+        assert_eq!(buf, vec![3u8; 32]);
+        assert_eq!(worm.query_end(), Some(BlockNo(0)));
+        assert_eq!(dev.query_end(), Some(BlockNo(1)));
+        // Sealing burns the final contents.
+        dev.append_block(BlockNo(0), &[4u8; 32]).unwrap();
+        assert!(!dev.has_tail());
+        assert_eq!(worm.query_end(), Some(BlockNo(1)));
+        let mut buf = vec![0u8; 32];
+        worm.read_block(BlockNo(0), &mut buf).unwrap();
+        assert_eq!(buf, vec![4u8; 32]);
+    }
+
+    #[test]
+    fn rewrite_is_only_allowed_at_the_append_point() {
+        let (_worm, dev) = device();
+        dev.append_block(BlockNo(0), &[9u8; 32]).unwrap();
+        // Rewriting a sealed block is refused.
+        assert!(matches!(
+            dev.rewrite_tail(BlockNo(0), &[1u8; 32]).unwrap_err(),
+            ClioError::NotAppendOnly { .. }
+        ));
+        // Rewriting beyond the append point is refused.
+        assert!(matches!(
+            dev.rewrite_tail(BlockNo(2), &[1u8; 32]).unwrap_err(),
+            ClioError::NotAppendOnly { .. }
+        ));
+        // At the append point it succeeds.
+        dev.rewrite_tail(BlockNo(1), &[1u8; 32]).unwrap();
+    }
+
+    #[test]
+    fn tail_survives_while_device_lives() {
+        // A server crash drops server state, not the device; the tail buffer
+        // models battery-backed RAM and must still be readable.
+        let (_worm, dev) = device();
+        let dev = Arc::new(dev);
+        dev.rewrite_tail(BlockNo(0), &[0x77; 32]).unwrap();
+        // "Crash": all we keep is the device handle.
+        let recovered = dev.clone();
+        let mut buf = vec![0u8; 32];
+        recovered.read_block(BlockNo(0), &mut buf).unwrap();
+        assert_eq!(buf, vec![0x77; 32]);
+        assert!(recovered.is_written(BlockNo(0)).unwrap());
+    }
+
+    #[test]
+    fn invalidate_hits_tail_buffer_when_present() {
+        let (_worm, dev) = device();
+        dev.rewrite_tail(BlockNo(0), &[5u8; 32]).unwrap();
+        dev.invalidate_block(BlockNo(0)).unwrap();
+        let mut buf = vec![0u8; 32];
+        dev.read_block(BlockNo(0), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == INVALIDATED_BYTE));
+    }
+
+    #[test]
+    fn appends_without_tail_pass_through() {
+        let (worm, dev) = device();
+        dev.append_block(BlockNo(0), &[1u8; 32]).unwrap();
+        dev.append_block(BlockNo(1), &[2u8; 32]).unwrap();
+        assert_eq!(worm.query_end(), Some(BlockNo(2)));
+    }
+}
+
+#[cfg(test)]
+mod seal_tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::mem::MemWormDevice;
+
+    #[test]
+    fn appending_past_a_staged_tail_flushes_it() {
+        let worm = Arc::new(MemWormDevice::new(32, 16));
+        let dev = RamTailDevice::new(worm.clone());
+        dev.rewrite_tail(BlockNo(0), &[1u8; 32]).unwrap();
+        // A recovered server continues at block 1 without re-sealing.
+        dev.append_block(BlockNo(1), &[2u8; 32]).unwrap();
+        assert!(!dev.has_tail());
+        let mut buf = vec![0u8; 32];
+        worm.read_block(BlockNo(0), &mut buf).unwrap();
+        assert_eq!(buf, vec![1u8; 32]);
+        worm.read_block(BlockNo(1), &mut buf).unwrap();
+        assert_eq!(buf, vec![2u8; 32]);
+        // Appending far past the tail is still refused.
+        dev.rewrite_tail(BlockNo(2), &[3u8; 32]).unwrap();
+        assert!(dev.append_block(BlockNo(5), &[0u8; 32]).is_err());
+    }
+}

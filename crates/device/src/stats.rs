@@ -1,0 +1,250 @@
+//! Device instrumentation.
+//!
+//! Every evaluation number in the paper reduces to counts of physical device
+//! operations (block reads, appends, seeks) times per-operation costs.
+//! [`InstrumentedDevice`] wraps any [`LogDevice`] and counts those operations
+//! so that the benchmark harness can report both raw counts and modelled
+//! latencies (see `clio-sim`).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use clio_types::{BlockNo, Result};
+
+use crate::traits::{LogDevice, SharedDevice};
+
+/// Shared operation counters for one device.
+#[derive(Debug, Default)]
+pub struct DeviceStats {
+    reads: AtomicU64,
+    appends: AtomicU64,
+    invalidations: AtomicU64,
+    tail_rewrites: AtomicU64,
+    end_probes: AtomicU64,
+    /// Number of operations whose block was not at or adjacent to the
+    /// previous operation's block (a head seek on a physical drive).
+    seeks: AtomicU64,
+    /// Sum of absolute seek distances in blocks.
+    seek_distance: AtomicU64,
+    /// Position of the last access; -1 means "no access yet".
+    last_pos: AtomicI64,
+}
+
+/// A point-in-time copy of [`DeviceStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Block reads served by the device.
+    pub reads: u64,
+    /// Blocks appended.
+    pub appends: u64,
+    /// Blocks invalidated.
+    pub invalidations: u64,
+    /// Tail-buffer rewrites.
+    pub tail_rewrites: u64,
+    /// `is_written` probes (binary-search end location).
+    pub end_probes: u64,
+    /// Non-sequential accesses (head seeks).
+    pub seeks: u64,
+    /// Total seek distance in blocks.
+    pub seek_distance: u64,
+}
+
+impl StatsSnapshot {
+    /// Total physical block accesses (reads + appends + probes).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.appends + self.end_probes
+    }
+}
+
+impl DeviceStats {
+    /// Creates a fresh, zeroed stats block.
+    #[must_use]
+    pub fn new() -> Arc<DeviceStats> {
+        Arc::new(DeviceStats {
+            last_pos: AtomicI64::new(-1),
+            ..DeviceStats::default()
+        })
+    }
+
+    fn touch(&self, block: BlockNo) {
+        let pos = block.0 as i64;
+        let prev = self.last_pos.swap(pos, Ordering::Relaxed);
+        if prev >= 0 {
+            let dist = (pos - prev).unsigned_abs();
+            // Sequential (same or next block) accesses do not seek.
+            if dist > 1 {
+                self.seeks.fetch_add(1, Ordering::Relaxed);
+                self.seek_distance.fetch_add(dist, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Copies the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            tail_rewrites: self.tail_rewrites.load(Ordering::Relaxed),
+            end_probes: self.end_probes.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
+            seek_distance: self.seek_distance.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes all counters (and forgets the head position).
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.appends.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
+        self.tail_rewrites.store(0, Ordering::Relaxed);
+        self.end_probes.store(0, Ordering::Relaxed);
+        self.seeks.store(0, Ordering::Relaxed);
+        self.seek_distance.store(0, Ordering::Relaxed);
+        self.last_pos.store(-1, Ordering::Relaxed);
+    }
+}
+
+/// A [`LogDevice`] wrapper that records operation counts in a shared
+/// [`DeviceStats`].
+pub struct InstrumentedDevice {
+    inner: SharedDevice,
+    stats: Arc<DeviceStats>,
+}
+
+impl InstrumentedDevice {
+    /// Wraps `inner`; callers keep a clone of `stats` to read the counters.
+    #[must_use]
+    pub fn new(inner: SharedDevice, stats: Arc<DeviceStats>) -> InstrumentedDevice {
+        InstrumentedDevice { inner, stats }
+    }
+
+    /// The shared counters.
+    #[must_use]
+    pub fn stats(&self) -> Arc<DeviceStats> {
+        self.stats.clone()
+    }
+}
+
+impl LogDevice for InstrumentedDevice {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.inner.capacity_blocks()
+    }
+
+    fn query_end(&self) -> Option<BlockNo> {
+        self.inner.query_end()
+    }
+
+    fn is_written(&self, block: BlockNo) -> Result<bool> {
+        self.stats.end_probes.fetch_add(1, Ordering::Relaxed);
+        self.stats.touch(block);
+        self.inner.is_written(block)
+    }
+
+    fn append_block(&self, expected: BlockNo, data: &[u8]) -> Result<()> {
+        self.inner.append_block(expected, data)?;
+        self.stats.appends.fetch_add(1, Ordering::Relaxed);
+        self.stats.touch(expected);
+        Ok(())
+    }
+
+    fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_block(block, buf)?;
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats.touch(block);
+        Ok(())
+    }
+
+    fn invalidate_block(&self, block: BlockNo) -> Result<()> {
+        self.inner.invalidate_block(block)?;
+        self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.stats.touch(block);
+        Ok(())
+    }
+
+    fn rewrite_tail(&self, block: BlockNo, data: &[u8]) -> Result<()> {
+        self.inner.rewrite_tail(block, data)?;
+        self.stats.tail_rewrites.fetch_add(1, Ordering::Relaxed);
+        // Tail rewrites hit NV-RAM, not the disk head: no seek accounting.
+        Ok(())
+    }
+
+    fn supports_tail_rewrite(&self) -> bool {
+        self.inner.supports_tail_rewrite()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemWormDevice;
+
+    fn instrumented() -> (InstrumentedDevice, Arc<DeviceStats>) {
+        let stats = DeviceStats::new();
+        let dev = InstrumentedDevice::new(Arc::new(MemWormDevice::new(32, 64)), stats.clone());
+        (dev, stats)
+    }
+
+    #[test]
+    fn counts_reads_and_appends() {
+        let (dev, stats) = instrumented();
+        let blk = vec![0u8; 32];
+        for i in 0..4 {
+            dev.append_block(BlockNo(i), &blk).unwrap();
+        }
+        let mut buf = vec![0u8; 32];
+        dev.read_block(BlockNo(2), &mut buf).unwrap();
+        dev.read_block(BlockNo(3), &mut buf).unwrap();
+        let s = stats.snapshot();
+        assert_eq!(s.appends, 4);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.accesses(), 6);
+    }
+
+    #[test]
+    fn failed_ops_are_not_counted() {
+        let (dev, stats) = instrumented();
+        let mut buf = vec![0u8; 32];
+        assert!(dev.read_block(BlockNo(0), &mut buf).is_err());
+        assert!(dev.append_block(BlockNo(5), &[0u8; 32]).is_err());
+        let s = stats.snapshot();
+        assert_eq!(s.reads, 0);
+        assert_eq!(s.appends, 0);
+    }
+
+    #[test]
+    fn seeks_count_nonsequential_accesses() {
+        let (dev, stats) = instrumented();
+        let blk = vec![0u8; 32];
+        for i in 0..10 {
+            dev.append_block(BlockNo(i), &blk).unwrap();
+        }
+        stats.reset();
+        let mut buf = vec![0u8; 32];
+        dev.read_block(BlockNo(0), &mut buf).unwrap(); // first access: no seek
+        dev.read_block(BlockNo(1), &mut buf).unwrap(); // sequential
+        dev.read_block(BlockNo(9), &mut buf).unwrap(); // seek of 8
+        dev.read_block(BlockNo(2), &mut buf).unwrap(); // seek of 7
+        let s = stats.snapshot();
+        assert_eq!(s.seeks, 2);
+        assert_eq!(s.seek_distance, 15);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let (dev, stats) = instrumented();
+        dev.append_block(BlockNo(0), &[0u8; 32]).unwrap();
+        stats.reset();
+        assert_eq!(stats.snapshot(), StatsSnapshot::default());
+    }
+}

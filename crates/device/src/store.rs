@@ -1,0 +1,231 @@
+//! Rewriteable block stores.
+//!
+//! The conventional file server that Clio extends (§2) — and the
+//! indirect-block file system baseline of §1 — run on ordinary rewriteable
+//! disks. [`BlockStore`] is that abstraction: fixed-size blocks, random read
+//! *and write* access.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use clio_types::{BlockNo, ClioError, Result};
+
+/// A rewriteable, block-oriented storage device (a conventional disk).
+pub trait BlockStore: Send + Sync {
+    /// The block size in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Total number of blocks.
+    fn capacity_blocks(&self) -> u64;
+
+    /// Reads block `block` into `buf`.
+    fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes block `block` from `data` (any block, any number of times).
+    fn write_block(&self, block: BlockNo, data: &[u8]) -> Result<()>;
+
+    /// Flushes to stable storage.
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<T: BlockStore + ?Sized> BlockStore for std::sync::Arc<T> {
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        (**self).capacity_blocks()
+    }
+
+    fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {
+        (**self).read_block(block, buf)
+    }
+
+    fn write_block(&self, block: BlockNo, data: &[u8]) -> Result<()> {
+        (**self).write_block(block, data)
+    }
+
+    fn sync(&self) -> Result<()> {
+        (**self).sync()
+    }
+}
+
+/// An in-memory rewriteable block store.
+pub struct MemBlockStore {
+    block_size: usize,
+    capacity: u64,
+    data: Mutex<Vec<u8>>,
+}
+
+impl MemBlockStore {
+    /// Creates a zero-filled store of `capacity` blocks.
+    #[must_use]
+    pub fn new(block_size: usize, capacity: u64) -> MemBlockStore {
+        MemBlockStore {
+            block_size,
+            capacity,
+            data: Mutex::new(vec![0; block_size * capacity as usize]),
+        }
+    }
+
+    fn check(&self, block: BlockNo, len: usize) -> Result<usize> {
+        if block.0 >= self.capacity {
+            return Err(ClioError::OutOfRange(block));
+        }
+        if len != self.block_size {
+            return Err(ClioError::Internal(format!(
+                "buffer of {len} bytes does not match block size {}",
+                self.block_size
+            )));
+        }
+        Ok(block.0 as usize * self.block_size)
+    }
+}
+
+impl BlockStore for MemBlockStore {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.capacity
+    }
+
+    fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {
+        let off = self.check(block, buf.len())?;
+        buf.copy_from_slice(&self.data.lock()[off..off + self.block_size]);
+        Ok(())
+    }
+
+    fn write_block(&self, block: BlockNo, data: &[u8]) -> Result<()> {
+        let off = self.check(block, data.len())?;
+        self.data.lock()[off..off + self.block_size].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+/// A host-file-backed rewriteable block store.
+pub struct FileBlockStore {
+    block_size: usize,
+    capacity: u64,
+    file: Mutex<File>,
+}
+
+impl FileBlockStore {
+    /// Creates (or truncates) a store file of the full capacity.
+    pub fn create<P: AsRef<Path>>(path: P, block_size: usize, capacity: u64) -> Result<FileBlockStore> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len(block_size as u64 * capacity)?;
+        Ok(FileBlockStore {
+            block_size,
+            capacity,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Opens an existing store file.
+    pub fn open<P: AsRef<Path>>(path: P, block_size: usize, capacity: u64) -> Result<FileBlockStore> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(FileBlockStore {
+            block_size,
+            capacity,
+            file: Mutex::new(file),
+        })
+    }
+
+    fn check(&self, block: BlockNo, len: usize) -> Result<u64> {
+        if block.0 >= self.capacity {
+            return Err(ClioError::OutOfRange(block));
+        }
+        if len != self.block_size {
+            return Err(ClioError::Internal(format!(
+                "buffer of {len} bytes does not match block size {}",
+                self.block_size
+            )));
+        }
+        Ok(block.0 * self.block_size as u64)
+    }
+}
+
+impl BlockStore for FileBlockStore {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.capacity
+    }
+
+    fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {
+        let off = self.check(block, buf.len())?;
+        let mut g = self.file.lock();
+        g.seek(SeekFrom::Start(off))?;
+        g.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_block(&self, block: BlockNo, data: &[u8]) -> Result<()> {
+        let off = self.check(block, data.len())?;
+        let mut g = self.file.lock();
+        g.seek(SeekFrom::Start(off))?;
+        g.write_all(data)?;
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_store_read_write() {
+        let st = MemBlockStore::new(32, 4);
+        st.write_block(BlockNo(2), &[9u8; 32]).unwrap();
+        st.write_block(BlockNo(2), &[10u8; 32]).unwrap(); // rewriteable
+        let mut buf = vec![0u8; 32];
+        st.read_block(BlockNo(2), &mut buf).unwrap();
+        assert_eq!(buf, vec![10u8; 32]);
+        st.read_block(BlockNo(0), &mut buf).unwrap();
+        assert_eq!(buf, vec![0u8; 32]); // zero-filled initially
+    }
+
+    #[test]
+    fn mem_store_bounds() {
+        let st = MemBlockStore::new(32, 4);
+        let mut buf = vec![0u8; 32];
+        assert!(st.read_block(BlockNo(4), &mut buf).is_err());
+        assert!(st.write_block(BlockNo(4), &buf).is_err());
+        assert!(st.write_block(BlockNo(0), &[0u8; 31]).is_err());
+    }
+
+    #[test]
+    fn file_store_round_trip() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("clio-block-store-{}", std::process::id()));
+        let st = FileBlockStore::create(&p, 64, 8).unwrap();
+        st.write_block(BlockNo(7), &[0x42; 64]).unwrap();
+        let mut buf = vec![0u8; 64];
+        st.read_block(BlockNo(7), &mut buf).unwrap();
+        assert_eq!(buf, vec![0x42; 64]);
+        drop(st);
+        let st = FileBlockStore::open(&p, 64, 8).unwrap();
+        st.read_block(BlockNo(7), &mut buf).unwrap();
+        assert_eq!(buf, vec![0x42; 64]);
+        std::fs::remove_file(&p).unwrap();
+    }
+}

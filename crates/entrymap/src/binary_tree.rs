@@ -1,0 +1,135 @@
+//! A Daniels-style binary-tree locator (baseline, §5.1).
+//!
+//! Daniels, Spector & Thompson's distributed logging design "uses a binary
+//! tree structure to locate log entries. The performance of this scheme is
+//! within a constant factor of ours (both schemes have logarithmic
+//! performance — asymptotically the best possible), but our scheme requires
+//! significantly fewer disk read operations, on average, to locate very
+//! distant log entries." (§5.1)
+//!
+//! The essential difference: a balanced binary search tree over a log
+//! file's entry blocks costs `~log2(m)` block reads per lookup, where `m`
+//! is the *total* number of blocks the file occupies — independent of how
+//! far away the target is — while the entrymap costs `~2·log_N(d)` in the
+//! *distance* `d`. With `N = 16`, `2·log_16 d = 0.5·log2 d`, so the
+//! entrymap wins by roughly 2–4× for distant targets and far more for near
+//! ones. This module models the binary-tree scheme faithfully enough to
+//! reproduce that comparison: each node visited during a descent is one
+//! block read.
+
+use std::collections::BTreeMap;
+
+use clio_types::LogFileId;
+
+/// A per-file balanced binary search tree over block numbers, with lookup
+/// cost counted in node visits (block reads).
+#[derive(Debug, Default, Clone)]
+pub struct BinaryTreeIndex {
+    per_file: BTreeMap<LogFileId, Vec<u64>>,
+}
+
+/// Result of a baseline lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtLookup {
+    /// The located block, if any.
+    pub block: Option<u64>,
+    /// Node visits ≈ device block reads for an on-disk balanced tree.
+    pub reads: u64,
+}
+
+impl BinaryTreeIndex {
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> BinaryTreeIndex {
+        BinaryTreeIndex::default()
+    }
+
+    /// Records that block `db` contains entries of `id`. Blocks must be
+    /// noted in ascending order (the log is append-only).
+    pub fn note_block(&mut self, db: u64, id: LogFileId) {
+        let v = self.per_file.entry(id).or_default();
+        if v.last() != Some(&db) {
+            debug_assert!(v.last().is_none_or(|&l| l < db), "blocks noted out of order");
+            v.push(db);
+        }
+    }
+
+    /// Number of blocks indexed for `id`.
+    #[must_use]
+    pub fn blocks_for(&self, id: LogFileId) -> usize {
+        self.per_file.get(&id).map_or(0, Vec::len)
+    }
+
+    /// Finds the greatest indexed block `<= from` for `id`, counting the
+    /// balanced-BST descent: every probed node is a block read.
+    #[must_use]
+    pub fn locate_before(&self, id: LogFileId, from: u64) -> BtLookup {
+        let Some(v) = self.per_file.get(&id) else {
+            return BtLookup {
+                block: None,
+                reads: 0,
+            };
+        };
+        let mut reads = 0;
+        let (mut lo, mut hi) = (0usize, v.len());
+        let mut best = None;
+        // Balanced-BST descent over the sorted block list: each midpoint
+        // inspection is one node (one disk block) visited.
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            reads += 1;
+            if v[mid] <= from {
+                best = Some(v[mid]);
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        BtLookup { block: best, reads }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(blocks: &[u64]) -> BinaryTreeIndex {
+        let mut ix = BinaryTreeIndex::new();
+        for &b in blocks {
+            ix.note_block(b, LogFileId(8));
+        }
+        ix
+    }
+
+    #[test]
+    fn finds_nearest_before() {
+        let ix = index(&[2, 30, 55]);
+        assert_eq!(ix.locate_before(LogFileId(8), 60).block, Some(55));
+        assert_eq!(ix.locate_before(LogFileId(8), 54).block, Some(30));
+        assert_eq!(ix.locate_before(LogFileId(8), 2).block, Some(2));
+        assert_eq!(ix.locate_before(LogFileId(8), 1).block, None);
+        assert_eq!(ix.locate_before(LogFileId(9), 60).block, None);
+    }
+
+    #[test]
+    fn duplicate_notes_collapse() {
+        let mut ix = BinaryTreeIndex::new();
+        ix.note_block(5, LogFileId(8));
+        ix.note_block(5, LogFileId(8));
+        assert_eq!(ix.blocks_for(LogFileId(8)), 1);
+    }
+
+    #[test]
+    fn cost_depends_on_total_size_not_distance() {
+        // 2^14 blocks for the file; looking up a *nearby* target still
+        // costs ~log2(16384) = 14 reads — the weakness the paper calls out.
+        let blocks: Vec<u64> = (0..16384u64).map(|i| i * 3).collect();
+        let ix = index(&blocks);
+        let near = ix.locate_before(LogFileId(8), 3 * 16383);
+        let far = ix.locate_before(LogFileId(8), 10);
+        assert_eq!(near.block, Some(3 * 16383));
+        assert_eq!(far.block, Some(9));
+        assert!(near.reads >= 10 && near.reads <= 16, "{}", near.reads);
+        assert!(far.reads >= 10 && far.reads <= 16, "{}", far.reads);
+    }
+}

@@ -1,0 +1,485 @@
+//! Searching the entrymap tree.
+//!
+//! [`Locator::locate_before`] finds the nearest block at or before a
+//! starting point that contains entries of a given set of log files (a set,
+//! because reading a log file includes its sublogs); `locate_at_or_after`
+//! is the forward mirror. Both climb the entrymap tree from the starting
+//! block and descend into the nearest marked subtree, examining about
+//! `2·log_N d` entrymap entries to cover a distance of `d` blocks
+//! (§3.3.1) — each block read along the way is counted in
+//! [`LocateStats`], which is what Table 1 and Figure 3 report.
+//!
+//! The locator tolerates the §2.3.2 failure modes: an invalidated or
+//! corrupt map block is skipped and the map is looked for in the next few
+//! blocks (displaced maps); if no map can be found at all, the search
+//! "simply assumes that no such entrymap entry is present, at the cost of
+//! some additional searching of the lower levels of the tree" — the
+//! fallback path here.
+
+use clio_types::{LogFileId, Result, SmallBitmap};
+
+use clio_format::{BlockView, EntrymapRecord};
+
+use crate::geometry::Geometry;
+use crate::pending::PendingMaps;
+use crate::source::BlockSource;
+
+/// How many blocks after the nominal map block to look for displaced maps.
+const DISPLACEMENT_WINDOW: u64 = 4;
+
+/// Operation counts accumulated by a [`Locator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LocateStats {
+    /// Device/cache block reads issued.
+    pub blocks_read: u64,
+    /// Entrymap log entries consulted (Table 1's "# of entrymap log
+    /// entries read").
+    pub map_entries_examined: u64,
+    /// Times the search had to proceed without a map (missing or
+    /// destroyed) and scan the level below instead.
+    pub fallbacks: u64,
+}
+
+/// A search over one volume's entrymap tree.
+pub struct Locator<'a, S: BlockSource> {
+    src: &'a S,
+    pending: Option<&'a PendingMaps>,
+    geo: Geometry,
+    /// Accumulated operation counts.
+    pub stats: LocateStats,
+}
+
+impl<'a, S: BlockSource> Locator<'a, S> {
+    /// Creates a locator; `pending` supplies the in-memory bitmaps for the
+    /// unmapped tail (pass `None` to force tail fallback scans, as when
+    /// measuring cold recovery behaviour).
+    pub fn new(src: &'a S, pending: Option<&'a PendingMaps>) -> Locator<'a, S> {
+        Locator {
+            geo: Geometry::new(src.fanout()),
+            src,
+            pending,
+            stats: LocateStats::default(),
+        }
+    }
+
+    fn read(&mut self, db: u64) -> Result<std::sync::Arc<Vec<u8>>> {
+        self.stats.blocks_read += 1;
+        self.src.read(db)
+    }
+
+    /// Whether data block `db` holds an entry of any id in `ids`.
+    /// Unreadable blocks count as empty — their data is lost (§2.3.2).
+    pub fn block_contains(&mut self, db: u64, ids: &[LogFileId]) -> Result<bool> {
+        let img = self.read(db)?;
+        let Ok(view) = BlockView::parse(&img) else {
+            return Ok(false);
+        };
+        for e in view.entries() {
+            let Ok(e) = e else { break };
+            if ids.contains(&e.header.id) {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// The union bitmap over `ids` for group (`level`, `group`).
+    ///
+    /// `Some` is authoritative (possibly all-zero); `None` means no map
+    /// could be found and the caller must search the level below.
+    fn get_map(&mut self, level: u8, group: u64, ids: &[LogFileId]) -> Result<Option<SmallBitmap>> {
+        let m = self.geo.map_block(level, group);
+        let end = self.src.data_end();
+        if m >= end {
+            // The covering map has not been written; the in-memory pending
+            // bitmaps stand in for it (§2.3.1).
+            let ans = self.pending.and_then(|p| p.union_for(level, group, ids));
+            if ans.is_some() {
+                self.stats.map_entries_examined += 1;
+            }
+            return Ok(ans);
+        }
+        let mut limit = m.saturating_add(DISPLACEMENT_WINDOW).min(end);
+        let mut acc: Option<SmallBitmap> = None;
+        let mut awaiting_more = false;
+        let mut cand = m;
+        while cand < limit {
+            let img = self.read(cand)?;
+            let Ok(view) = BlockView::parse(&img) else {
+                // Invalidated or corrupt: the map may be displaced into the
+                // next uncorrupted block (§2.3.2).
+                cand += 1;
+                continue;
+            };
+            let mut found_here = false;
+            let mut continued_here = false;
+            for e in view.entries() {
+                let Ok(e) = e else { break };
+                if e.header.id != LogFileId::ENTRYMAP {
+                    continue;
+                }
+                let Ok(rec) = EntrymapRecord::decode(e.payload) else {
+                    continue;
+                };
+                if rec.level == level
+                    && rec.group == group
+                    && u64::from(rec.bits) == self.geo.fanout()
+                {
+                    found_here = true;
+                    continued_here |= rec.continued;
+                    let a = acc.get_or_insert_with(|| {
+                        SmallBitmap::new(self.geo.fanout() as usize)
+                    });
+                    for id in ids {
+                        if let Some(bm) = rec.map_for(*id) {
+                            a.union_with(bm);
+                        }
+                    }
+                }
+            }
+            if found_here {
+                self.stats.map_entries_examined += 1;
+                if !continued_here {
+                    return Ok(acc);
+                }
+                // More pieces of this map were displaced forward; widen
+                // the search window past this block.
+                awaiting_more = true;
+                limit = (cand + 1).saturating_add(DISPLACEMENT_WINDOW).min(end);
+            }
+            cand += 1;
+        }
+        // A chain that never terminated is incomplete: answering from it
+        // could hide entries, so fall back to searching the level below.
+        if awaiting_more {
+            return Ok(None);
+        }
+        Ok(acc)
+    }
+
+    /// Pending maps at level ≥ 2 reflect only *completed, propagated*
+    /// sub-groups; the sub-group still accumulating at the tail of the log
+    /// may contain entries that no bitmap mentions yet. When the searched
+    /// group overlaps the tail, force a descent into that sub-group. (Maps
+    /// read from the device never overlap the tail — they are written only
+    /// after their whole range — so this is a no-op for them.)
+    fn force_tail_subgroup(&self, level: u8, group: u64, bm: &mut SmallBitmap) {
+        if level < 2 {
+            // Level-1 pending bits are set per sealed block and are always
+            // authoritative.
+            return;
+        }
+        let end = self.src.data_end();
+        if end == 0 {
+            return;
+        }
+        let n = self.geo.fanout();
+        let tail_sub = self.geo.group_of(level - 1, end - 1);
+        if tail_sub >= group * n && tail_sub < (group + 1) * n {
+            bm.set((tail_sub - group * n) as usize);
+        }
+    }
+
+    /// Finds the greatest data block `<= from` containing entries of `ids`.
+    pub fn locate_before(&mut self, ids: &[LogFileId], from: u64) -> Result<Option<u64>> {
+        let end = self.src.data_end();
+        if end == 0 {
+            return Ok(None);
+        }
+        let mut upper = from.min(end - 1);
+        let mut level = 1u8;
+        let mut group = self.geo.group_of(1, upper);
+        loop {
+            if let Some(db) = self.descend_back(level, group, upper, ids)? {
+                return Ok(Some(db));
+            }
+            let gstart = self.geo.group_start(level, group);
+            if gstart == 0 {
+                return Ok(None);
+            }
+            upper = gstart - 1;
+            level += 1;
+            group = self.geo.group_of(level, upper);
+        }
+    }
+
+    fn descend_back(
+        &mut self,
+        level: u8,
+        group: u64,
+        upper: u64,
+        ids: &[LogFileId],
+    ) -> Result<Option<u64>> {
+        let end = self.src.data_end();
+        if level == 0 {
+            // `group` is a data block the parent bitmap marked. Verify by
+            // reading it ("the log server reads this block and searches it
+            // sequentially", §2.1): the bitmap may be stale if the block
+            // was invalidated after it was mapped (§2.3.2).
+            if group > upper || group >= end {
+                return Ok(None);
+            }
+            return Ok(self.block_contains(group, ids)?.then_some(group));
+        }
+        let gstart = self.geo.group_start(level, group);
+        if gstart >= end || gstart > upper {
+            return Ok(None);
+        }
+        let n = self.geo.fanout();
+        let sub_period = self.geo.period(level - 1);
+        match self.get_map(level, group, ids)? {
+            Some(mut bm) => {
+                self.force_tail_subgroup(level, group, &mut bm);
+                let mut next = bm.highest_below(n as usize);
+                while let Some(j) = next {
+                    let sub_group = group * n + j as u64;
+                    if sub_group.saturating_mul(sub_period) <= upper {
+                        if let Some(db) = self.descend_back(level - 1, sub_group, upper, ids)? {
+                            return Ok(Some(db));
+                        }
+                    }
+                    next = bm.highest_below(j);
+                }
+                Ok(None)
+            }
+            None => {
+                // No map: search the level below directly (§2.3.2).
+                self.stats.fallbacks += 1;
+                for j in (0..n).rev() {
+                    let sub_group = group * n + j;
+                    let sub_start = sub_group.saturating_mul(sub_period);
+                    if sub_start >= end || sub_start > upper {
+                        continue;
+                    }
+                    if level == 1 {
+                        if self.block_contains(sub_group, ids)? {
+                            return Ok(Some(sub_group));
+                        }
+                    } else if let Some(db) = self.descend_back(level - 1, sub_group, upper, ids)? {
+                        return Ok(Some(db));
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Finds the least data block `>= from` containing entries of `ids`.
+    pub fn locate_at_or_after(&mut self, ids: &[LogFileId], from: u64) -> Result<Option<u64>> {
+        let end = self.src.data_end();
+        if from >= end {
+            return Ok(None);
+        }
+        let mut lower = from;
+        let mut level = 1u8;
+        let mut group = self.geo.group_of(1, lower);
+        loop {
+            if let Some(db) = self.descend_fwd(level, group, lower, ids)? {
+                return Ok(Some(db));
+            }
+            let gend = self.geo.group_start(level, group + 1);
+            if gend >= end {
+                return Ok(None);
+            }
+            lower = gend;
+            level += 1;
+            group = self.geo.group_of(level, lower);
+        }
+    }
+
+    fn descend_fwd(
+        &mut self,
+        level: u8,
+        group: u64,
+        lower: u64,
+        ids: &[LogFileId],
+    ) -> Result<Option<u64>> {
+        let end = self.src.data_end();
+        if level == 0 {
+            // Verify the candidate block; see `descend_back`.
+            if group < lower || group >= end {
+                return Ok(None);
+            }
+            return Ok(self.block_contains(group, ids)?.then_some(group));
+        }
+        let gstart = self.geo.group_start(level, group);
+        if gstart >= end {
+            return Ok(None);
+        }
+        let gend = self.geo.group_start(level, group + 1);
+        if gend <= lower {
+            return Ok(None);
+        }
+        let n = self.geo.fanout();
+        let sub_period = self.geo.period(level - 1);
+        match self.get_map(level, group, ids)? {
+            Some(mut bm) => {
+                self.force_tail_subgroup(level, group, &mut bm);
+                let mut next = bm.lowest_at_or_above(0);
+                while let Some(j) = next {
+                    let sub_group = group * n + j as u64;
+                    let sub_end = (sub_group + 1).saturating_mul(sub_period);
+                    if sub_end > lower {
+                        if let Some(db) = self.descend_fwd(level - 1, sub_group, lower, ids)? {
+                            return Ok(Some(db));
+                        }
+                    }
+                    next = bm.lowest_at_or_above(j + 1);
+                }
+                Ok(None)
+            }
+            None => {
+                self.stats.fallbacks += 1;
+                for j in 0..n {
+                    let sub_group = group * n + j;
+                    let sub_start = sub_group.saturating_mul(sub_period);
+                    let sub_end = (sub_group + 1).saturating_mul(sub_period);
+                    if sub_start >= end || sub_end <= lower {
+                        continue;
+                    }
+                    if level == 1 {
+                        if sub_group >= lower && self.block_contains(sub_group, ids)? {
+                            return Ok(Some(sub_group));
+                        }
+                    } else if let Some(db) = self.descend_fwd(level - 1, sub_group, lower, ids)? {
+                        return Ok(Some(db));
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::build_log;
+    use crate::naive;
+
+    /// Plan helper: `blocks[db]` lists raw log file ids present in block db.
+    fn plan(total: usize, placed: &[(usize, u16)]) -> Vec<Vec<u16>> {
+        let mut p: Vec<Vec<u16>> = (0..total).map(|_| vec![]).collect();
+        for &(db, id) in placed {
+            p[db].push(id);
+        }
+        p
+    }
+
+    #[test]
+    fn finds_nearest_before_across_groups() {
+        // N=4: entries of file 8 at blocks 2 and 30; search back from 60.
+        let p = plan(64, &[(2, 8), (30, 8)]);
+        let (src, pending) = build_log(4, 512, &p);
+        let mut loc = Locator::new(&src, Some(&pending));
+        assert_eq!(loc.locate_before(&[LogFileId(8)], 60).unwrap(), Some(30));
+        assert_eq!(loc.locate_before(&[LogFileId(8)], 29).unwrap(), Some(2));
+        assert_eq!(loc.locate_before(&[LogFileId(8)], 1).unwrap(), None);
+        assert_eq!(loc.locate_before(&[LogFileId(8)], 2).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn finds_nearest_after() {
+        let p = plan(64, &[(2, 8), (30, 8)]);
+        let (src, pending) = build_log(4, 512, &p);
+        let mut loc = Locator::new(&src, Some(&pending));
+        assert_eq!(loc.locate_at_or_after(&[LogFileId(8)], 0).unwrap(), Some(2));
+        assert_eq!(loc.locate_at_or_after(&[LogFileId(8)], 3).unwrap(), Some(30));
+        assert_eq!(loc.locate_at_or_after(&[LogFileId(8)], 30).unwrap(), Some(30));
+        assert_eq!(loc.locate_at_or_after(&[LogFileId(8)], 31).unwrap(), None);
+    }
+
+    #[test]
+    fn union_over_sublog_ids() {
+        let p = plan(40, &[(5, 8), (11, 9)]);
+        let (src, pending) = build_log(4, 512, &p);
+        let mut loc = Locator::new(&src, Some(&pending));
+        // Reading the parent means reading both ids.
+        assert_eq!(
+            loc.locate_before(&[LogFileId(8), LogFileId(9)], 39).unwrap(),
+            Some(11)
+        );
+        assert_eq!(loc.locate_before(&[LogFileId(8)], 39).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn tail_searches_use_pending() {
+        // Entries only in the unmapped tail (no boundary passed yet).
+        let p = plan(10, &[(7, 8)]);
+        let (src, pending) = build_log(16, 512, &p);
+        let mut loc = Locator::new(&src, Some(&pending));
+        assert_eq!(loc.locate_before(&[LogFileId(8)], 9).unwrap(), Some(7));
+        // With pending state, no data blocks are scanned.
+        assert_eq!(loc.stats.fallbacks, 0);
+        // Without pending state the search still succeeds via fallback.
+        let mut cold = Locator::new(&src, None);
+        assert_eq!(cold.locate_before(&[LogFileId(8)], 9).unwrap(), Some(7));
+        assert!(cold.stats.fallbacks > 0);
+    }
+
+    #[test]
+    fn matches_naive_oracle_on_random_logs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [2usize, 4, 16] {
+            let total = 200;
+            let p: Vec<Vec<u16>> = (0..total)
+                .map(|_| {
+                    let mut ids = vec![];
+                    for id in [8u16, 9, 10] {
+                        if rng.gen_bool(0.07) {
+                            ids.push(id);
+                        }
+                    }
+                    ids
+                })
+                .collect();
+            let (src, pending) = build_log(n, 512, &p);
+            for _ in 0..40 {
+                let from = rng.gen_range(0..total as u64);
+                let id = LogFileId(rng.gen_range(8..11));
+                let mut loc = Locator::new(&src, Some(&pending));
+                let got = loc.locate_before(&[id], from).unwrap();
+                let (want, _) = naive::locate_before(&src, &[id], from).unwrap();
+                assert_eq!(got, want, "back n={n} from={from} id={id}");
+                let mut loc = Locator::new(&src, Some(&pending));
+                let got = loc.locate_at_or_after(&[id], from).unwrap();
+                let (want, _) = naive::locate_at_or_after(&src, &[id], from).unwrap();
+                assert_eq!(got, want, "fwd n={n} from={from} id={id}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_scales_logarithmically_with_distance() {
+        // One entry far away; search from the end. The number of blocks
+        // read must be around 2·log_N(d), not O(d).
+        let total = 4096;
+        let p = plan(total, &[(1, 8)]);
+        let (src, pending) = build_log(16, 512, &p);
+        let mut loc = Locator::new(&src, Some(&pending));
+        assert_eq!(
+            loc.locate_before(&[LogFileId(8)], total as u64 - 1).unwrap(),
+            Some(1)
+        );
+        // d ≈ 4096 = 16^3; theory says ~6 map reads. Allow generous slack
+        // for climb boundaries, but far below a linear scan.
+        assert!(
+            loc.stats.blocks_read <= 13,
+            "read {} blocks (maps + the verified target)",
+            loc.stats.blocks_read
+        );
+    }
+
+    #[test]
+    fn empty_log_and_missing_file() {
+        let (src, pending) = build_log(4, 512, &[]);
+        let mut loc = Locator::new(&src, Some(&pending));
+        assert_eq!(loc.locate_before(&[LogFileId(8)], 100).unwrap(), None);
+        let p = plan(20, &[(3, 9)]);
+        let (src, pending) = build_log(4, 512, &p);
+        let mut loc = Locator::new(&src, Some(&pending));
+        assert_eq!(loc.locate_before(&[LogFileId(8)], 19).unwrap(), None);
+    }
+}

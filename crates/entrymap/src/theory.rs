@@ -1,0 +1,60 @@
+//! The paper's closed-form cost curves.
+//!
+//! Figure 3 plots the average number of entrymap entries examined to locate
+//! an entry `d` blocks away without caching, `n = 2·log_N d`; Figure 4
+//! plots the average number of blocks examined to reconstruct entrymap
+//! information over a `b`-block volume, `n = (N·log_N b) / 2`.
+
+/// Figure 3: expected entrymap entries examined to cover distance `d` with
+/// degree `n`, no caching: `2·log_n d` (0 when `d < 1`).
+#[must_use]
+pub fn fig3_locate_cost(n: usize, d: f64) -> f64 {
+    if d < 1.0 {
+        return 0.0;
+    }
+    2.0 * d.ln() / (n as f64).ln()
+}
+
+/// Figure 4: expected blocks examined to reconstruct entrymap information
+/// for a volume with `b` written blocks and degree `n`:
+/// `(n · log_n b) / 2` (0 when `b <= 1`).
+#[must_use]
+pub fn fig4_rebuild_cost(n: usize, b: f64) -> f64 {
+    if b <= 1.0 {
+        return 0.0;
+    }
+    (n as f64) * (b.ln() / (n as f64).ln()) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape() {
+        // §3.3.1: "there is little benefit in N being larger than 16 or 32,
+        // even for locating entries that are as many as 10^7 blocks away."
+        let d = 1e7;
+        let n16 = fig3_locate_cost(16, d);
+        let n128 = fig3_locate_cost(128, d);
+        assert!((n16 - 11.62).abs() < 0.1, "n16 = {n16}");
+        assert!(n128 > 6.0 && n128 < n16);
+        // Larger N decreases cost only ~1/log N.
+        assert!(n16 / n128 < 2.1);
+        // Monotone in d.
+        assert!(fig3_locate_cost(16, 1e3) < fig3_locate_cost(16, 1e6));
+        assert_eq!(fig3_locate_cost(16, 0.5), 0.0);
+    }
+
+    #[test]
+    fn fig4_shape() {
+        // §3.4: "this cost increases if N is increased."
+        let b = 1e6;
+        assert!(fig4_rebuild_cost(16, b) < fig4_rebuild_cost(64, b));
+        assert!(fig4_rebuild_cost(64, b) < fig4_rebuild_cost(128, b));
+        // N=16, b=10^6: (16 * log_16 1e6)/2 = 8 * 4.98 ≈ 39.9.
+        let v = fig4_rebuild_cost(16, b);
+        assert!((v - 39.86).abs() < 0.2, "v = {v}");
+        assert_eq!(fig4_rebuild_cost(16, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Deciding which entrymap records to write, and where.
+//!
+//! The writer is driven by the log service's append path:
+//!
+//! 1. When a new data block `db` is opened, call
+//!    [`EntrymapWriter::begin_block`]; the returned records (if any) must be
+//!    written as the first entries of that block — level-`i` maps appear
+//!    every `N^i` blocks (§2.1), and a block due a level-`(i+1)` map also
+//!    carries the level-`i` map (§3.3.1).
+//! 2. When a data block is sealed, call [`EntrymapWriter::note_block`] with
+//!    the set of log files whose entries it contains.
+//!
+//! Between boundaries the writer accumulates [`PendingMaps`], which double
+//! as the locator's view of the unmapped tail.
+
+use clio_types::{LogFileId, SmallBitmap};
+
+use clio_format::EntrymapRecord;
+
+use crate::geometry::Geometry;
+use crate::pending::PendingMaps;
+
+/// Emits entrymap records at group boundaries and maintains pending state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntrymapWriter {
+    geo: Geometry,
+    pending: PendingMaps,
+    next_block: u64,
+}
+
+impl EntrymapWriter {
+    /// A writer for a fresh volume.
+    #[must_use]
+    pub fn new(geo: Geometry) -> EntrymapWriter {
+        EntrymapWriter {
+            geo,
+            pending: PendingMaps::new(geo),
+            next_block: 0,
+        }
+    }
+
+    /// Reconstructs a writer from recovered pending state (§2.3.1).
+    #[must_use]
+    pub fn from_pending(pending: PendingMaps, next_block: u64) -> EntrymapWriter {
+        EntrymapWriter {
+            geo: pending.geometry(),
+            pending,
+            next_block,
+        }
+    }
+
+    /// The tree geometry.
+    #[must_use]
+    pub fn geometry(&self) -> Geometry {
+        self.geo
+    }
+
+    /// The pending (unmapped tail) bitmaps, for the locator.
+    #[must_use]
+    pub fn pending(&self) -> &PendingMaps {
+        &self.pending
+    }
+
+    /// The data block the writer expects to see opened next.
+    #[must_use]
+    pub fn next_block(&self) -> u64 {
+        self.next_block
+    }
+
+    /// Declares that data block `db` is being opened and returns the
+    /// entrymap records due at its start (ascending level order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if blocks are opened out of order — the append path owns the
+    /// block sequence, so a gap is a bug, not an input error.
+    pub fn begin_block(&mut self, db: u64) -> Vec<EntrymapRecord> {
+        assert_eq!(db, self.next_block, "blocks must be opened in order");
+        self.next_block = db + 1;
+        let top = self.geo.boundary_level(db);
+        let n = self.geo.fanout() as u16;
+        let mut records = Vec::with_capacity(usize::from(top));
+        for level in 1..=top {
+            let completed_group = db / self.geo.period(level) - 1;
+            let maps = self.pending.take(level, completed_group + 1);
+            // Propagate: the completed group becomes one bit of its parent.
+            let parent_bit = (completed_group % self.geo.fanout()) as usize;
+            for (id, bm) in &maps {
+                if bm.any() {
+                    self.pending.set_bit(level + 1, *id, parent_bit);
+                }
+            }
+            records.push(EntrymapRecord::new(
+                level,
+                completed_group,
+                n,
+                maps.into_iter().collect::<Vec<(LogFileId, SmallBitmap)>>(),
+            ));
+        }
+        records
+    }
+
+    /// Declares that sealed data block `db` contains entries of `ids`.
+    ///
+    /// Ids that the entrymap does not track (the volume-sequence log and the
+    /// entrymap log itself, §2.1 footnote 6) are ignored, so callers can
+    /// pass the raw per-block id set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `db` is not the block most recently opened.
+    pub fn note_block<I: IntoIterator<Item = LogFileId>>(&mut self, db: u64, ids: I) {
+        assert_eq!(
+            db + 1,
+            self.next_block,
+            "can only note the most recently opened block"
+        );
+        let bit = (db % self.geo.fanout()) as usize;
+        for id in ids {
+            if id.is_entrymapped() {
+                self.pending.set_bit(1, id, bit);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u16]) -> Vec<LogFileId> {
+        raw.iter().map(|&r| LogFileId(r)).collect()
+    }
+
+    /// Drives the writer over `blocks` where element `db` is the id set of
+    /// block `db`; returns all emitted records tagged with their block.
+    fn drive(n: usize, blocks: &[Vec<u16>]) -> (EntrymapWriter, Vec<(u64, EntrymapRecord)>) {
+        let mut w = EntrymapWriter::new(Geometry::new(n));
+        let mut out = Vec::new();
+        for (db, present) in blocks.iter().enumerate() {
+            let db = db as u64;
+            for rec in w.begin_block(db) {
+                out.push((db, rec));
+            }
+            w.note_block(db, ids(present));
+        }
+        (w, out)
+    }
+
+    #[test]
+    fn no_records_before_first_boundary() {
+        let blocks: Vec<Vec<u16>> = (0..4).map(|_| vec![8]).collect();
+        let (_, recs) = drive(4, &blocks);
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn level1_record_at_every_nth_block() {
+        // N=4; blocks 0..9 with file 8 in blocks 1 and 6.
+        let mut blocks: Vec<Vec<u16>> = (0..9).map(|_| vec![]).collect();
+        blocks[1] = vec![8];
+        blocks[6] = vec![8];
+        let (_, recs) = drive(4, &blocks);
+        // Boundaries at blocks 4 and 8.
+        assert_eq!(recs.len(), 2);
+        let (at, r0) = &recs[0];
+        assert_eq!((*at, r0.level, r0.group), (4, 1, 0));
+        assert_eq!(
+            r0.map_for(LogFileId(8)).unwrap().iter_ones().collect::<Vec<_>>(),
+            vec![1]
+        );
+        let (at, r1) = &recs[1];
+        assert_eq!((*at, r1.level, r1.group), (8, 1, 1));
+        assert_eq!(
+            r1.map_for(LogFileId(8)).unwrap().iter_ones().collect::<Vec<_>>(),
+            vec![2] // block 6 is bit 2 of group 1 (blocks 4..8)
+        );
+    }
+
+    #[test]
+    fn level2_boundary_emits_both_levels_figure_2() {
+        // Reproduce Figure 2: N=4, file entries in blocks marked below.
+        // The figure shades five blocks within the first 16; we mark blocks
+        // 1, 6, 7, 12, 15 for file 8.
+        let mut blocks: Vec<Vec<u16>> = (0..17).map(|_| vec![]).collect();
+        for b in [1usize, 6, 7, 12, 15] {
+            blocks[b] = vec![8];
+        }
+        let (_, recs) = drive(4, &blocks);
+        // Level-1 records at 4, 8, 12, 16; level-2 record at 16.
+        assert_eq!(recs.len(), 5);
+        let at16: Vec<_> = recs.iter().filter(|(b, _)| *b == 16).collect();
+        assert_eq!(at16.len(), 2);
+        assert_eq!(at16[0].1.level, 1);
+        assert_eq!(at16[1].1.level, 2);
+        // The level-2 bitmap marks all four level-1 groups that contain
+        // entries: groups 0 (block 1), 1 (blocks 6, 7), 3 (blocks 12, 15).
+        let l2 = at16[1].1.map_for(LogFileId(8)).unwrap();
+        assert_eq!(l2.iter_ones().collect::<Vec<_>>(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn quiet_files_do_not_appear() {
+        // §2.1: an entrymap entry contains a bitmap only for log files with
+        // entries in the covered range.
+        let mut blocks: Vec<Vec<u16>> = (0..5).map(|_| vec![]).collect();
+        blocks[0] = vec![8];
+        blocks[2] = vec![9];
+        let (_, recs) = drive(4, &blocks);
+        let rec = &recs[0].1;
+        assert!(rec.map_for(LogFileId(8)).is_some());
+        assert!(rec.map_for(LogFileId(9)).is_some());
+        assert!(rec.map_for(LogFileId(10)).is_none());
+        assert_eq!(rec.maps.len(), 2);
+    }
+
+    #[test]
+    fn untracked_ids_are_ignored() {
+        let mut blocks: Vec<Vec<u16>> = (0..5).map(|_| vec![]).collect();
+        blocks[0] = vec![0, 1, 8]; // volume-sequence and entrymap ids dropped
+        let (_, recs) = drive(4, &blocks);
+        let rec = &recs[0].1;
+        assert_eq!(rec.maps.len(), 1);
+        assert!(rec.map_for(LogFileId(8)).is_some());
+    }
+
+    #[test]
+    fn pending_reflects_tail() {
+        let mut blocks: Vec<Vec<u16>> = (0..7).map(|_| vec![]).collect();
+        blocks[5] = vec![8];
+        let (w, _) = drive(4, &blocks);
+        // Blocks 4..7 are the tail of level-1 group 1; block 5 is bit 1.
+        let u = w.pending().union_for(1, 1, &[LogFileId(8)]).unwrap();
+        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "opened in order")]
+    fn out_of_order_blocks_panic() {
+        let mut w = EntrymapWriter::new(Geometry::new(4));
+        let _ = w.begin_block(0);
+        let _ = w.begin_block(2);
+    }
+
+    #[test]
+    fn deep_tree_propagates_three_levels() {
+        // N=2 keeps the tree deep with few blocks: 8 blocks = 3 full levels.
+        let mut blocks: Vec<Vec<u16>> = (0..9).map(|_| vec![]).collect();
+        blocks[3] = vec![8];
+        let (_, recs) = drive(2, &blocks);
+        // Level-3 record at block 8 covers group 0 (blocks 0..8); its bit 1
+        // (sub-group blocks 4..8... bit 0 covers 0..4) — block 3 is in
+        // sub-group 0.
+        let l3: Vec<_> = recs.iter().filter(|(_, r)| r.level == 3).collect();
+        assert_eq!(l3.len(), 1);
+        let bm = l3[0].1.map_for(LogFileId(8)).unwrap();
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![0]);
+        // And the level-2 record at block 4 has bit 1 set (block 3 is in
+        // level-1 group 1 = blocks 2..4).
+        let l2_at4: Vec<_> = recs
+            .iter()
+            .filter(|(b, r)| *b == 4 && r.level == 2)
+            .collect();
+        assert_eq!(l2_at4.len(), 1);
+        assert_eq!(
+            l2_at4[0].1.map_for(LogFileId(8)).unwrap().iter_ones().collect::<Vec<_>>(),
+            vec![1]
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the entrymap subsystem: the locator and timestamp
+//! search against brute-force oracles, including under block corruption.
+
+use proptest::prelude::*;
+
+use clio_entrymap::harness::{build_log, BLOCK_TIME_STEP};
+use clio_entrymap::{naive, rebuild_pending, tsearch, Locator};
+use clio_types::{LogFileId, Timestamp};
+
+fn arb_plan() -> impl Strategy<Value = (usize, Vec<Vec<u16>>)> {
+    (
+        prop_oneof![Just(2usize), Just(4), Just(16)],
+        proptest::collection::vec(
+            proptest::collection::vec(8u16..12, 0..3),
+            1..260,
+        ),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn locator_matches_oracle((n, plan) in arb_plan(), from in any::<u64>(), id in 8u16..12) {
+        let (src, pending) = build_log(n, 1024, &plan);
+        let from = from % plan.len() as u64;
+        let ids = [LogFileId(id)];
+        let mut loc = Locator::new(&src, Some(&pending));
+        let back = loc.locate_before(&ids, from).expect("in-memory reads");
+        let (want_back, _) = naive::locate_before(&src, &ids, from).expect("oracle");
+        prop_assert_eq!(back, want_back);
+        let mut loc = Locator::new(&src, Some(&pending));
+        let fwd = loc.locate_at_or_after(&ids, from).expect("in-memory reads");
+        let (want_fwd, _) = naive::locate_at_or_after(&src, &ids, from).expect("oracle");
+        prop_assert_eq!(fwd, want_fwd);
+    }
+
+    #[test]
+    fn locator_tolerates_invalidated_blocks(
+        (n, plan) in arb_plan(),
+        holes in proptest::collection::vec(any::<u64>(), 0..8),
+        from in any::<u64>(),
+    ) {
+        // Burn random blocks to all-1s (§2.3.2 invalidation); the locator
+        // must agree with the oracle over what is still readable, with
+        // *stale* pending state (recovered from the damaged log) too.
+        let (mut src, _) = build_log(n, 1024, &plan);
+        for h in &holes {
+            let at = (*h % plan.len() as u64) as usize;
+            src.blocks[at] = vec![0xFF; 1024];
+        }
+        let (pending, _) = rebuild_pending(&src).expect("rebuild");
+        let from = from % plan.len() as u64;
+        let ids = [LogFileId(9)];
+        let mut loc = Locator::new(&src, Some(&pending));
+        let got = loc.locate_before(&ids, from).expect("reads");
+        let (want, _) = naive::locate_before(&src, &ids, from).expect("oracle");
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn timestamp_search_matches_oracle((n, plan) in arb_plan(), tsq in any::<u64>()) {
+        let (src, _) = build_log(n, 1024, &plan);
+        let total = plan.len() as u64;
+        let ts = Timestamp(tsq % (total * BLOCK_TIME_STEP + 2 * BLOCK_TIME_STEP));
+        let (got, _) = tsearch::find_block_by_time(&src, ts).expect("search");
+        // Oracle: greatest block whose first_ts (db * STEP) <= ts.
+        let want = if ts.0 / BLOCK_TIME_STEP >= total {
+            Some(total - 1)
+        } else {
+            Some(ts.0 / BLOCK_TIME_STEP)
+        };
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rebuild_is_idempotent((n, plan) in arb_plan()) {
+        let (src, live) = build_log(n, 1024, &plan);
+        let (a, _) = rebuild_pending(&src).expect("rebuild");
+        let (b, _) = rebuild_pending(&src).expect("rebuild");
+        prop_assert_eq!(&a, &b);
+        // And answers match the live writer for the current groups.
+        let end = plan.len() as u64;
+        if end > 0 {
+            let geo = clio_entrymap::Geometry::new(n);
+            for level in 1..=geo.levels_for(end) {
+                let group = geo.group_of(level, end - 1);
+                for id in 8u16..12 {
+                    let ids = [LogFileId(id)];
+                    prop_assert_eq!(
+                        a.union_for(level, group, &ids),
+                        live.union_for(level, group, &ids)
+                    );
+                }
+            }
+        }
+    }
+}

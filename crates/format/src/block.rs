@@ -1,0 +1,610 @@
+//! The log block layout (Figure 1).
+//!
+//! ```text
+//! +----------+----------+-----+------------+---------+----+----+----+---------+
+//! | entry 1  | entry 2  | ... |  free (0s) | ... s3    s2   s1 | trailer      |
+//! +----------+----------+-----+------------+-------------------+--------------+
+//!                                            index (entry sizes,  magic, flags,
+//!                                            growing downwards)   count, first
+//!                                                                 timestamp, CRC
+//! ```
+//!
+//! Entry records are packed from the front; the *index* of 16-bit entry
+//! sizes grows backwards from the trailer, so a block can be scanned either
+//! forwards (accumulating sizes) or backwards (walking the index) — "this
+//! makes it easy to scan a disk block, either forwards or backwards, to
+//! examine the log entries that it contains" (§2.1).
+//!
+//! The trailer carries the mandatory timestamp of the first entry in the
+//! block (§2.1: "a header timestamp is mandatory for the first log entry in
+//! each block, so the search succeeds to a resolution of at least a single
+//! block") and a CRC32, which is how this implementation detects the
+//! garbage blocks §2.3.2 assumes detectable.
+
+use clio_types::crc::crc32;
+use clio_types::{ClioError, Result, Timestamp, INVALIDATED_BYTE, MIN_BLOCK_SIZE};
+
+use crate::header::{EntryHeader, FragKind};
+
+/// Bytes of fixed trailer at the end of every block.
+pub const TRAILER_SIZE: usize = 18;
+
+/// Magic number identifying a Clio log block.
+const MAGIC: u16 = 0xC110;
+
+/// Current block format version.
+const VERSION: u8 = 1;
+
+/// Per-block flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockFlags {
+    /// The block contains at least one entrymap log entry. A locator hint
+    /// only; the source of truth is the entries themselves.
+    pub has_entrymap: bool,
+    /// The first record continues an entry fragmented from the previous
+    /// block.
+    pub continues_prev: bool,
+    /// The block was sealed before it was full by a forced (synchronous)
+    /// write on a pure write-once device (§2.3.1).
+    pub sealed_early: bool,
+}
+
+impl BlockFlags {
+    fn to_byte(self) -> u8 {
+        u8::from(self.has_entrymap)
+            | u8::from(self.continues_prev) << 1
+            | u8::from(self.sealed_early) << 2
+    }
+
+    fn from_byte(b: u8) -> BlockFlags {
+        BlockFlags {
+            has_entrymap: b & 1 != 0,
+            continues_prev: b & 2 != 0,
+            sealed_early: b & 4 != 0,
+        }
+    }
+}
+
+/// Builds one block in memory.
+///
+/// The builder is the unit the log writer keeps for the currently open
+/// block; [`BlockBuilder::finish`] produces the exact device image.
+#[derive(Debug, Clone)]
+pub struct BlockBuilder {
+    block_size: usize,
+    first_ts: Timestamp,
+    flags: BlockFlags,
+    data: Vec<u8>,
+    sizes: Vec<u16>,
+}
+
+/// The result of attempting to add a record to a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The record was written; this is its slot within the block.
+    Written(u16),
+    /// The block cannot fit the record. The writer uses this to fragment
+    /// large entries.
+    NoSpace {
+        /// Payload bytes that *would* fit alongside this header (0 if not
+        /// even the header fits).
+        payload_room: usize,
+    },
+}
+
+impl BlockBuilder {
+    /// Starts an empty block.
+    ///
+    /// `first_ts` is the service time when the block was opened; it becomes
+    /// the block's mandatory first-entry timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is below [`MIN_BLOCK_SIZE`] or above 64 KiB
+    /// (the size index stores 16-bit sizes); geometry is fixed at volume
+    /// creation, so a bad size is a configuration bug.
+    #[must_use]
+    pub fn new(block_size: usize, first_ts: Timestamp) -> BlockBuilder {
+        assert!(
+            (MIN_BLOCK_SIZE..=65536).contains(&block_size),
+            "unsupported block size {block_size}"
+        );
+        BlockBuilder {
+            block_size,
+            first_ts,
+            flags: BlockFlags::default(),
+            data: Vec::new(),
+            sizes: Vec::new(),
+        }
+    }
+
+    /// Number of records pushed so far.
+    #[must_use]
+    pub fn count(&self) -> u16 {
+        self.sizes.len() as u16
+    }
+
+    /// Whether no records have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// The block's first-entry timestamp.
+    #[must_use]
+    pub fn first_ts(&self) -> Timestamp {
+        self.first_ts
+    }
+
+    /// Bytes of record data (headers + payloads) written so far.
+    #[must_use]
+    pub fn data_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Mutable access to the block flags.
+    pub fn flags_mut(&mut self) -> &mut BlockFlags {
+        &mut self.flags
+    }
+
+    /// Bytes of payload that would fit for a record whose header encodes to
+    /// `header_len` bytes (accounting for the record's index slot).
+    #[must_use]
+    pub fn payload_room(&self, header_len: usize) -> usize {
+        let fixed = self.data.len() + TRAILER_SIZE + 2 * (self.sizes.len() + 1);
+        self.block_size
+            .saturating_sub(fixed)
+            .saturating_sub(header_len)
+    }
+
+    /// Appends a record. Fails (without modifying the block) if it does not
+    /// fit; see [`PushOutcome::NoSpace`].
+    pub fn push(&mut self, header: &EntryHeader, payload: &[u8]) -> PushOutcome {
+        let room = self.payload_room(header.encoded_len());
+        // `payload_room` saturates at 0 when even the header cannot fit, so
+        // check the exact byte budget as well: a header-only record is
+        // acceptable only if the header genuinely fits.
+        let fixed = self.data.len() + TRAILER_SIZE + 2 * (self.sizes.len() + 1);
+        if payload.len() > room || fixed + header.encoded_len() + payload.len() > self.block_size {
+            return PushOutcome::NoSpace { payload_room: room };
+        }
+        let slot = self.sizes.len() as u16;
+        let before = self.data.len();
+        header.encode(&mut self.data);
+        self.data.extend_from_slice(payload);
+        let rec_len = self.data.len() - before;
+        self.sizes.push(rec_len as u16);
+        if matches!(header.frag, FragKind::Continuation { .. }) && slot == 0 {
+            self.flags.continues_prev = true;
+        }
+        PushOutcome::Written(slot)
+    }
+
+    /// Serializes the block to its exact device image.
+    pub fn finish(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.block_size];
+        out[..self.data.len()].copy_from_slice(&self.data);
+        // Size index: entry i's size at block_size - TRAILER - 2*(i+1).
+        for (i, &s) in self.sizes.iter().enumerate() {
+            let off = self.block_size - TRAILER_SIZE - 2 * (i + 1);
+            out[off..off + 2].copy_from_slice(&s.to_le_bytes());
+        }
+        let t = self.block_size - TRAILER_SIZE;
+        out[t..t + 2].copy_from_slice(&MAGIC.to_le_bytes());
+        out[t + 2] = VERSION;
+        out[t + 3] = self.flags.to_byte();
+        out[t + 4..t + 6].copy_from_slice(&(self.sizes.len() as u16).to_le_bytes());
+        out[t + 6..t + 14].copy_from_slice(&self.first_ts.0.to_le_bytes());
+        let crc = crc32(&out[..self.block_size - 4]);
+        out[self.block_size - 4..].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+}
+
+/// A decoded reference to one entry record inside a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryRef<'a> {
+    /// The record's slot within the block (0-based).
+    pub slot: u16,
+    /// The decoded header.
+    pub header: EntryHeader,
+    /// The record's payload bytes (one fragment's worth if fragmented).
+    pub payload: &'a [u8],
+}
+
+/// A validated, read-only view of a block image.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockView<'a> {
+    bytes: &'a [u8],
+    count: u16,
+    flags: BlockFlags,
+    first_ts: Timestamp,
+}
+
+impl<'a> BlockView<'a> {
+    /// Validates and wraps a block image.
+    ///
+    /// Distinguishes the three §2.3.2 cases: a good block, an *invalidated*
+    /// block (burned to all 1s → [`ClioError::InvalidatedBlock`] with block
+    /// number 0 as a placeholder the caller rewrites), and a *corrupt*
+    /// block (bad magic, version, CRC, or inconsistent geometry).
+    pub fn parse(bytes: &'a [u8]) -> Result<BlockView<'a>> {
+        use clio_types::BlockNo;
+        let n = bytes.len();
+        if n < MIN_BLOCK_SIZE {
+            return Err(ClioError::BadRecord("block too small"));
+        }
+        if bytes.iter().all(|&b| b == INVALIDATED_BYTE) {
+            return Err(ClioError::InvalidatedBlock(BlockNo(0)));
+        }
+        let t = n - TRAILER_SIZE;
+        let magic = u16::from_le_bytes([bytes[t], bytes[t + 1]]);
+        if magic != MAGIC || bytes[t + 2] != VERSION {
+            return Err(ClioError::CorruptBlock(BlockNo(0)));
+        }
+        let crc_stored = u32::from_le_bytes(bytes[n - 4..].try_into().expect("4 bytes"));
+        if crc32(&bytes[..n - 4]) != crc_stored {
+            return Err(ClioError::CorruptBlock(BlockNo(0)));
+        }
+        let count = u16::from_le_bytes([bytes[t + 4], bytes[t + 5]]);
+        // Geometry sanity: the index must fit.
+        if usize::from(count) * 2 + TRAILER_SIZE > n {
+            return Err(ClioError::CorruptBlock(BlockNo(0)));
+        }
+        let first_ts = Timestamp(u64::from_le_bytes(
+            bytes[t + 6..t + 14].try_into().expect("8 bytes"),
+        ));
+        Ok(BlockView {
+            bytes,
+            count,
+            flags: BlockFlags::from_byte(bytes[t + 3]),
+            first_ts,
+        })
+    }
+
+    /// Whether an image is an invalidated (all-1s) block.
+    #[must_use]
+    pub fn is_invalidated(bytes: &[u8]) -> bool {
+        bytes.iter().all(|&b| b == INVALIDATED_BYTE)
+    }
+
+    /// Number of entry records in the block.
+    #[must_use]
+    pub fn count(&self) -> u16 {
+        self.count
+    }
+
+    /// The block flags.
+    #[must_use]
+    pub fn flags(&self) -> BlockFlags {
+        self.flags
+    }
+
+    /// The mandatory first-entry timestamp.
+    #[must_use]
+    pub fn first_ts(&self) -> Timestamp {
+        self.first_ts
+    }
+
+    /// The record size (header + payload) of `slot`, from the index.
+    pub fn record_size(&self, slot: u16) -> Result<usize> {
+        if slot >= self.count {
+            return Err(ClioError::BadRecord("slot out of range"));
+        }
+        let off = self.bytes.len() - TRAILER_SIZE - 2 * (usize::from(slot) + 1);
+        Ok(usize::from(u16::from_le_bytes([
+            self.bytes[off],
+            self.bytes[off + 1],
+        ])))
+    }
+
+    /// Decodes the record in `slot`.
+    ///
+    /// Cost is O(slot) within the block: offsets accumulate from the size
+    /// index, mirroring the paper's "reads this block and searches it
+    /// sequentially for the desired entry" (§2.1).
+    pub fn entry(&self, slot: u16) -> Result<EntryRef<'a>> {
+        let mut off = 0usize;
+        for s in 0..slot {
+            off += self.record_size(s)?;
+        }
+        let size = self.record_size(slot)?;
+        if off + size > self.bytes.len() - TRAILER_SIZE - 2 * usize::from(self.count) {
+            return Err(ClioError::BadRecord("record overruns data area"));
+        }
+        let rec = &self.bytes[off..off + size];
+        let (header, hlen) = EntryHeader::decode(rec)?;
+        Ok(EntryRef {
+            slot,
+            header,
+            payload: &rec[hlen..],
+        })
+    }
+
+    /// Iterates over all records, front to back.
+    pub fn entries(&self) -> impl Iterator<Item = Result<EntryRef<'a>>> + '_ {
+        let mut off = 0usize;
+        (0..self.count).map(move |slot| {
+            let size = self.record_size(slot)?;
+            let data_end = self.bytes.len() - TRAILER_SIZE - 2 * usize::from(self.count);
+            if off + size > data_end {
+                return Err(ClioError::BadRecord("record overruns data area"));
+            }
+            let rec = &self.bytes[off..off + size];
+            off += size;
+            let (header, hlen) = EntryHeader::decode(rec)?;
+            Ok(EntryRef {
+                slot,
+                header,
+                payload: &rec[hlen..],
+            })
+        })
+    }
+
+    /// Iterates backwards (last record first) using the size index, the
+    /// access pattern of backward log scans.
+    pub fn entries_rev(&self) -> impl Iterator<Item = Result<EntryRef<'a>>> + '_ {
+        // One pass over the index yields every record's offset, so each
+        // reverse step decodes in O(1) instead of re-accumulating.
+        let mut offsets = Vec::with_capacity(usize::from(self.count));
+        let mut off = 0usize;
+        let mut ok = true;
+        for s in 0..self.count {
+            offsets.push(off);
+            match self.record_size(s) {
+                Ok(sz) => off += sz,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        let data_end = self.bytes.len() - TRAILER_SIZE - 2 * usize::from(self.count);
+        let view = *self;
+        (0..self.count).rev().map(move |slot| {
+            if !ok {
+                return Err(ClioError::BadRecord("bad size index"));
+            }
+            let start = offsets[usize::from(slot)];
+            let size = view.record_size(slot)?;
+            if start + size > data_end {
+                return Err(ClioError::BadRecord("record overruns data area"));
+            }
+            let rec = &view.bytes[start..start + size];
+            let (header, hlen) = EntryHeader::decode(rec)?;
+            Ok(EntryRef {
+                slot,
+                header,
+                payload: &rec[hlen..],
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use clio_types::{LogFileId, SeqNo};
+
+    use super::*;
+    use crate::header::EntryForm;
+
+    fn hdr(id: u16) -> EntryHeader {
+        EntryHeader::new(LogFileId(id), EntryForm::Minimal, None, None)
+    }
+
+    #[test]
+    fn build_and_parse_round_trip() {
+        let mut b = BlockBuilder::new(256, Timestamp(1000));
+        assert_eq!(b.push(&hdr(8), b"alpha"), PushOutcome::Written(0));
+        assert_eq!(b.push(&hdr(9), b"beta"), PushOutcome::Written(1));
+        let full = EntryHeader::new(
+            LogFileId(10),
+            EntryForm::Full,
+            Some(Timestamp(2000)),
+            Some(SeqNo(7)),
+        );
+        assert_eq!(b.push(&full, b"gamma"), PushOutcome::Written(2));
+        let img = b.finish();
+        assert_eq!(img.len(), 256);
+
+        let v = BlockView::parse(&img).unwrap();
+        assert_eq!(v.count(), 3);
+        assert_eq!(v.first_ts(), Timestamp(1000));
+        let e0 = v.entry(0).unwrap();
+        assert_eq!(e0.header.id, LogFileId(8));
+        assert_eq!(e0.payload, b"alpha");
+        let e2 = v.entry(2).unwrap();
+        assert_eq!(e2.header.timestamp, Some(Timestamp(2000)));
+        assert_eq!(e2.header.seqno, Some(SeqNo(7)));
+        assert_eq!(e2.payload, b"gamma");
+    }
+
+    #[test]
+    fn forward_and_backward_scans_agree() {
+        let mut b = BlockBuilder::new(512, Timestamp(5));
+        for i in 0..10u16 {
+            let payload = vec![i as u8; usize::from(i) * 3];
+            assert!(matches!(b.push(&hdr(8 + i), &payload), PushOutcome::Written(_)));
+        }
+        let img = b.finish();
+        let v = BlockView::parse(&img).unwrap();
+        let fwd: Vec<_> = v.entries().map(|e| e.unwrap().header.id).collect();
+        let mut bwd: Vec<_> = v.entries_rev().map(|e| e.unwrap().header.id).collect();
+        bwd.reverse();
+        assert_eq!(fwd, bwd);
+        assert_eq!(fwd.len(), 10);
+    }
+
+    #[test]
+    fn no_space_reports_remaining_room() {
+        let mut b = BlockBuilder::new(MIN_BLOCK_SIZE, Timestamp(0));
+        let room = b.payload_room(2);
+        // A payload exactly filling the room fits...
+        assert!(matches!(
+            b.push(&hdr(8), &vec![0u8; room]),
+            PushOutcome::Written(0)
+        ));
+        // ...and then nothing else does.
+        match b.push(&hdr(8), b"x") {
+            PushOutcome::NoSpace { payload_room } => assert_eq!(payload_room, 0),
+            other => panic!("expected NoSpace, got {other:?}"),
+        }
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn crc_detects_corruption() {
+        let mut b = BlockBuilder::new(256, Timestamp(0));
+        b.push(&hdr(8), b"data");
+        let mut img = b.finish();
+        assert!(BlockView::parse(&img).is_ok());
+        img[10] ^= 0x40;
+        assert!(matches!(
+            BlockView::parse(&img).unwrap_err(),
+            ClioError::CorruptBlock(_)
+        ));
+    }
+
+    #[test]
+    fn invalidated_block_is_distinguished_from_corrupt() {
+        let img = vec![INVALIDATED_BYTE; 256];
+        assert!(BlockView::is_invalidated(&img));
+        assert!(matches!(
+            BlockView::parse(&img).unwrap_err(),
+            ClioError::InvalidatedBlock(_)
+        ));
+        let garbage = vec![0x3Cu8; 256];
+        assert!(matches!(
+            BlockView::parse(&garbage).unwrap_err(),
+            ClioError::CorruptBlock(_)
+        ));
+    }
+
+    #[test]
+    fn empty_block_is_valid() {
+        let b = BlockBuilder::new(128, Timestamp(42));
+        let img = b.finish();
+        let v = BlockView::parse(&img).unwrap();
+        assert_eq!(v.count(), 0);
+        assert_eq!(v.first_ts(), Timestamp(42));
+        assert!(v.entries().next().is_none());
+    }
+
+    #[test]
+    fn continuation_first_sets_flag() {
+        let mut b = BlockBuilder::new(256, Timestamp(0));
+        let cont = EntryHeader {
+            id: LogFileId(8),
+            form: EntryForm::Minimal,
+            frag: FragKind::Continuation { chain: 5 },
+            timestamp: None,
+            seqno: None,
+        };
+        b.push(&cont, b"rest of entry");
+        let img = b.finish();
+        let v = BlockView::parse(&img).unwrap();
+        assert!(v.flags().continues_prev);
+        assert_eq!(
+            v.entry(0).unwrap().header.frag,
+            FragKind::Continuation { chain: 5 }
+        );
+    }
+
+    #[test]
+    fn flags_round_trip() {
+        let mut b = BlockBuilder::new(128, Timestamp(0));
+        b.flags_mut().has_entrymap = true;
+        b.flags_mut().sealed_early = true;
+        let v = b.finish();
+        let v = BlockView::parse(&v).unwrap();
+        assert!(v.flags().has_entrymap);
+        assert!(v.flags().sealed_early);
+        assert!(!v.flags().continues_prev);
+    }
+
+    #[test]
+    fn fill_packs_paper_density() {
+        // §2.2: with 36 bytes of client data the minimal header costs <10%.
+        let mut b = BlockBuilder::new(1024, Timestamp(0));
+        let mut n = 0;
+        while let PushOutcome::Written(_) = b.push(&hdr(8), &[0u8; 36]) {
+            n += 1;
+        }
+        // 1024 - 18 trailer = 1006; each entry costs 36 + 4 = 40.
+        assert_eq!(n, (1024 - TRAILER_SIZE) / 40);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use clio_types::{LogFileId, SeqNo};
+    use proptest::prelude::*;
+
+    use super::*;
+    use crate::header::EntryForm;
+
+    fn arb_header() -> impl Strategy<Value = EntryHeader> {
+        (
+            0u16..4096,
+            prop_oneof![
+                Just(EntryForm::Minimal),
+                Just(EntryForm::Timestamped),
+                Just(EntryForm::Full)
+            ],
+            any::<u64>(),
+            any::<u32>(),
+        )
+            .prop_map(|(id, form, ts, sq)| {
+                EntryHeader::new(
+                    LogFileId(id),
+                    form,
+                    matches!(form, EntryForm::Timestamped | EntryForm::Full)
+                        .then_some(Timestamp(ts)),
+                    matches!(form, EntryForm::Full).then_some(SeqNo(sq)),
+                )
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn pack_then_scan_is_identity(
+            entries in proptest::collection::vec((arb_header(), proptest::collection::vec(any::<u8>(), 0..120)), 0..20),
+            first_ts in any::<u64>(),
+        ) {
+            let mut b = BlockBuilder::new(4096, Timestamp(first_ts));
+            let mut written = Vec::new();
+            for (h, p) in &entries {
+                if let PushOutcome::Written(slot) = b.push(h, p) {
+                    written.push((slot, *h, p.clone()));
+                }
+            }
+            let img = b.finish();
+            let v = BlockView::parse(&img).unwrap();
+            prop_assert_eq!(usize::from(v.count()), written.len());
+            for (slot, h, p) in &written {
+                let e = v.entry(*slot).unwrap();
+                prop_assert_eq!(&e.header, h);
+                prop_assert_eq!(e.payload, &p[..]);
+            }
+        }
+
+        #[test]
+        fn parse_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 128..512)) {
+            // Any byte soup either parses or errors; it must not panic.
+            let _ = BlockView::parse(&noise);
+        }
+
+        #[test]
+        fn single_bitflip_never_parses_clean(
+            flip_at in 0usize..1024,
+            bit in 0u8..8,
+        ) {
+            let mut b = BlockBuilder::new(1024, Timestamp(7));
+            b.push(&EntryHeader::new(LogFileId(8), EntryForm::Minimal, None, None), b"payload");
+            let mut img = b.finish();
+            let at = flip_at % img.len();
+            img[at] ^= 1 << bit;
+            prop_assert!(BlockView::parse(&img).is_err());
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The payload of an entrymap log entry.
+//!
+//! A level-`i` entrymap log entry appears every `N^i` blocks and contains,
+//! for each active log file with entries in the previous `N^i` blocks, a
+//! bitmap of size `N` indicating which sub-groups (blocks for level 1,
+//! groups of `N^(i-1)` blocks for higher levels) contain such entries
+//! (§2.1). From §3.5, an entrymap entry's size is `h + a(N/8 + c)` bytes:
+//! `a` bitmaps of `N/8` bytes each plus a small per-file constant `c` (the
+//! 2-byte file id here) and the entry header `h`.
+
+use clio_types::{ClioError, LogFileId, Result, SmallBitmap};
+
+/// A decoded entrymap log entry payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntrymapRecord {
+    /// Tree level: 1 covers blocks, 2 covers groups of `N`, and so on.
+    pub level: u8,
+    /// Which level-`level` group the record covers: the blocks
+    /// `[group * N^level, (group + 1) * N^level)`. Normally implied by the
+    /// record's location, but stored explicitly so a map displaced from an
+    /// invalidated block (§2.3.2) remains self-identifying.
+    pub group: u64,
+    /// Bitmap width `N` (the tree degree).
+    pub bits: u16,
+    /// Whether further records for the same (`level`, `group`) follow in a
+    /// *subsequent* block — set when a record's per-file maps are too
+    /// numerous to fit the block that should carry them and the remainder
+    /// is displaced forward (§2.3.2 spirit). Readers merge until they see a
+    /// record with this flag clear.
+    pub continued: bool,
+    /// One bitmap per log file that has entries in the covered range,
+    /// sorted by id.
+    pub maps: Vec<(LogFileId, SmallBitmap)>,
+}
+
+impl EntrymapRecord {
+    /// Creates a record; the map list is sorted by id for determinism.
+    #[must_use]
+    pub fn new(level: u8, group: u64, bits: u16, mut maps: Vec<(LogFileId, SmallBitmap)>) -> EntrymapRecord {
+        maps.sort_by_key(|(id, _)| *id);
+        EntrymapRecord {
+            level,
+            group,
+            bits,
+            continued: false,
+            maps,
+        }
+    }
+
+    /// Fixed bytes before the per-file maps.
+    pub const HEADER_LEN: usize = 14;
+
+    /// Bytes per per-file map entry for a given bitmap width.
+    #[must_use]
+    pub fn per_map_len(bits: u16) -> usize {
+        2 + usize::from(bits).div_ceil(8)
+    }
+
+    /// Encoded payload length in bytes.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        Self::HEADER_LEN + self.maps.len() * Self::per_map_len(self.bits)
+    }
+
+    /// Serializes the payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.push(self.level);
+        out.extend_from_slice(&self.group.to_le_bytes());
+        out.extend_from_slice(&self.bits.to_le_bytes());
+        out.push(u8::from(self.continued));
+        out.extend_from_slice(&(self.maps.len() as u16).to_le_bytes());
+        for (id, bm) in &self.maps {
+            out.extend_from_slice(&id.0.to_le_bytes());
+            debug_assert_eq!(bm.len(), usize::from(self.bits));
+            out.extend_from_slice(bm.as_bytes());
+        }
+        out
+    }
+
+    /// Parses a payload.
+    pub fn decode(data: &[u8]) -> Result<EntrymapRecord> {
+        if data.len() < Self::HEADER_LEN {
+            return Err(ClioError::BadRecord("truncated entrymap record"));
+        }
+        let level = data[0];
+        let group = u64::from_le_bytes(data[1..9].try_into().expect("8 bytes"));
+        let bits = u16::from_le_bytes([data[9], data[10]]);
+        if bits == 0 || bits > 1024 {
+            return Err(ClioError::BadRecord("implausible entrymap width"));
+        }
+        let continued = data[11] != 0;
+        let count = usize::from(u16::from_le_bytes([data[12], data[13]]));
+        let per = Self::per_map_len(bits);
+        if data.len() < Self::HEADER_LEN + count * per {
+            return Err(ClioError::BadRecord("truncated entrymap bitmaps"));
+        }
+        let mut maps = Vec::with_capacity(count);
+        let mut off = Self::HEADER_LEN;
+        for _ in 0..count {
+            let id = u16::from_le_bytes([data[off], data[off + 1]]);
+            let id = LogFileId::new(id).ok_or(ClioError::BadRecord("entrymap id out of range"))?;
+            let bm = SmallBitmap::from_bytes(usize::from(bits), &data[off + 2..off + per])
+                .ok_or(ClioError::BadRecord("short bitmap"))?;
+            maps.push((id, bm));
+            off += per;
+        }
+        Ok(EntrymapRecord {
+            level,
+            group,
+            bits,
+            continued,
+            maps,
+        })
+    }
+
+    /// The bitmap for `id`, if the covered range contains its entries.
+    #[must_use]
+    pub fn map_for(&self, id: LogFileId) -> Option<&SmallBitmap> {
+        self.maps
+            .binary_search_by_key(&id, |(i, _)| *i)
+            .ok()
+            .map(|at| &self.maps[at].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bm(bits: u16, ones: &[usize]) -> SmallBitmap {
+        let mut b = SmallBitmap::new(usize::from(bits));
+        for &i in ones {
+            b.set(i);
+        }
+        b
+    }
+
+    #[test]
+    fn round_trip() {
+        let rec = EntrymapRecord::new(
+            2,
+            31,
+            16,
+            vec![
+                (LogFileId(9), bm(16, &[0, 15])),
+                (LogFileId(2), bm(16, &[3])),
+            ],
+        );
+        let bytes = rec.encode();
+        assert_eq!(bytes.len(), rec.encoded_len());
+        let back = EntrymapRecord::decode(&bytes).unwrap();
+        assert_eq!(back, rec);
+        // Sorted by id.
+        assert_eq!(back.maps[0].0, LogFileId(2));
+    }
+
+    #[test]
+    fn map_lookup() {
+        let rec = EntrymapRecord::new(1, 0, 8, vec![(LogFileId(8), bm(8, &[1]))]);
+        assert!(rec.map_for(LogFileId(8)).unwrap().get(1));
+        assert!(rec.map_for(LogFileId(9)).is_none());
+    }
+
+    #[test]
+    fn empty_record_is_legal() {
+        // A quiet period can still force an (empty) entrymap entry.
+        let rec = EntrymapRecord::new(1, 5, 16, vec![]);
+        let back = EntrymapRecord::decode(&rec.encode()).unwrap();
+        assert!(back.maps.is_empty());
+        assert_eq!(back.encoded_len(), EntrymapRecord::HEADER_LEN);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_junk() {
+        assert!(EntrymapRecord::decode(&[]).is_err());
+        assert!(EntrymapRecord::decode(&[1, 16, 0]).is_err());
+        let rec = EntrymapRecord::new(1, 0, 16, vec![(LogFileId(8), bm(16, &[0]))]);
+        let mut bytes = rec.encode();
+        bytes.truncate(bytes.len() - 1);
+        assert!(EntrymapRecord::decode(&bytes).is_err());
+        // Zero-width bitmaps are implausible.
+        assert!(EntrymapRecord::decode(&[1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn continued_flag_round_trips() {
+        let mut rec = EntrymapRecord::new(1, 3, 16, vec![(LogFileId(8), bm(16, &[2]))]);
+        rec.continued = true;
+        let back = EntrymapRecord::decode(&rec.encode()).unwrap();
+        assert!(back.continued);
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn size_matches_paper_formula() {
+        // §3.5: an entrymap entry's size is h + a(N/8 + c); our payload part
+        // is a(N/8 + 2) + 5 fixed bytes.
+        let n = 16u16;
+        for a in [0usize, 1, 5, 40] {
+            let maps: Vec<_> = (0..a)
+                .map(|i| (LogFileId(8 + i as u16), bm(n, &[i % 16])))
+                .collect();
+            let rec = EntrymapRecord::new(1, 0, n, maps);
+            assert_eq!(
+                rec.encoded_len(),
+                EntrymapRecord::HEADER_LEN + a * (usize::from(n) / 8 + 2)
+            );
+        }
+    }
+}

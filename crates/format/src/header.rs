@@ -1,0 +1,331 @@
+//! Log entry headers.
+//!
+//! Every log entry record starts with a 16-bit word packing a 4-bit *form*
+//! and the 12-bit local-logfile-id (§2.2). The form selects how much more
+//! header follows:
+//!
+//! | form | name | extra header | total in-data header |
+//! |------|------|--------------|----------------------|
+//! | 0x1 | minimal | — | 2 bytes |
+//! | 0x2 | timestamped | 8-byte timestamp | 10 bytes |
+//! | 0x3 | full | 8-byte timestamp + 4-byte client seq-no | 14 bytes |
+//! | 0x5/0x6/0x7 | fragmented first piece of the above | + 4-byte total payload length | +4 bytes |
+//! | 0x8 | continuation fragment | — | 2 bytes |
+//!
+//! The entry *size* is not stored in the header; it lives in the
+//! end-of-block index (§2.2, Figure 1), so the minimal per-entry overhead is
+//! 2 (header) + 2 (index) = 4 bytes — the paper's figure. The paper's
+//! "complete, 14-byte log entry header" (§3.2) corresponds to our `full`
+//! form: 2 + 8 + 4 = 14 bytes.
+
+use clio_types::{ClioError, LogFileId, Result, SeqNo, Timestamp};
+
+/// Mask extracting the 12-bit local-logfile-id from the leading word.
+const ID_MASK: u16 = 0x0FFF;
+/// Bit set on first-fragment forms.
+const FRAG_FIRST_BIT: u16 = 0x4;
+
+/// The header form of an entry record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryForm {
+    /// 2-byte header: form + id only.
+    Minimal,
+    /// Adds a 64-bit service timestamp (§2.1).
+    Timestamped,
+    /// Adds a timestamp and a client-chosen sequence number, for unique
+    /// identification of asynchronously written entries (§2.1).
+    Full,
+}
+
+impl EntryForm {
+    fn code(self) -> u16 {
+        match self {
+            EntryForm::Minimal => 0x1,
+            EntryForm::Timestamped => 0x2,
+            EntryForm::Full => 0x3,
+        }
+    }
+
+    /// In-data header bytes for an unfragmented record of this form.
+    #[must_use]
+    pub fn header_len(self) -> usize {
+        match self {
+            EntryForm::Minimal => 2,
+            EntryForm::Timestamped => 10,
+            EntryForm::Full => 14,
+        }
+    }
+
+    /// Accounting overhead per entry, including the 2-byte size-index slot.
+    ///
+    /// `Minimal` gives the paper's 4-byte minimum (§2.2).
+    #[must_use]
+    pub fn overhead(self) -> usize {
+        self.header_len() + 2
+    }
+}
+
+/// How a record participates in fragmentation (§2.1 footnote 7: "a log entry
+/// may also be fragmented over more than one block").
+///
+/// Fragments carry a `chain` tag — a per-entry nonce derived from the
+/// entry's service timestamp — so that a continuation can never be stitched
+/// to the wrong first fragment (e.g. across a crash that tore one entry and
+/// then wrote another of the same log file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragKind {
+    /// A whole entry in one record.
+    Whole,
+    /// The first fragment; carries the total payload length and the chain
+    /// tag its continuations must match.
+    First {
+        /// Total payload bytes across all fragments.
+        total_len: u32,
+        /// The chain nonce.
+        chain: u32,
+    },
+    /// A continuation fragment of the chain with this nonce.
+    Continuation {
+        /// The chain nonce.
+        chain: u32,
+    },
+}
+
+/// A decoded entry header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryHeader {
+    /// The log file the entry belongs to (its most specific sublog).
+    pub id: LogFileId,
+    /// Which header form was used.
+    pub form: EntryForm,
+    /// Fragmentation role.
+    pub frag: FragKind,
+    /// Service timestamp, if the form carries one.
+    pub timestamp: Option<Timestamp>,
+    /// Client sequence number, if the form carries one.
+    pub seqno: Option<SeqNo>,
+}
+
+impl EntryHeader {
+    /// A whole (unfragmented) header of the given form.
+    #[must_use]
+    pub fn new(id: LogFileId, form: EntryForm, timestamp: Option<Timestamp>, seqno: Option<SeqNo>) -> EntryHeader {
+        EntryHeader {
+            id,
+            form,
+            frag: FragKind::Whole,
+            timestamp,
+            seqno,
+        }
+    }
+
+    /// The encoded length of this header in the data area.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        match self.frag {
+            FragKind::Whole => self.form.header_len(),
+            FragKind::First { .. } => self.form.header_len() + 8,
+            FragKind::Continuation { .. } => 6,
+        }
+    }
+
+    /// Encodes the header into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self.frag {
+            FragKind::Continuation { chain } => {
+                out.extend_from_slice(&((0x8 << 12) | (self.id.0 & ID_MASK)).to_le_bytes());
+                out.extend_from_slice(&chain.to_le_bytes());
+            }
+            FragKind::Whole | FragKind::First { .. } => {
+                let mut code = self.form.code();
+                if matches!(self.frag, FragKind::First { .. }) {
+                    code |= FRAG_FIRST_BIT;
+                }
+                out.extend_from_slice(&((code << 12) | (self.id.0 & ID_MASK)).to_le_bytes());
+                if matches!(self.form, EntryForm::Timestamped | EntryForm::Full) {
+                    out.extend_from_slice(&self.timestamp.unwrap_or(Timestamp::ZERO).0.to_le_bytes());
+                }
+                if matches!(self.form, EntryForm::Full) {
+                    out.extend_from_slice(&self.seqno.unwrap_or_default().0.to_le_bytes());
+                }
+                if let FragKind::First { total_len, chain } = self.frag {
+                    out.extend_from_slice(&total_len.to_le_bytes());
+                    out.extend_from_slice(&chain.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decodes a header from the start of `data`, returning it and the
+    /// number of bytes consumed.
+    pub fn decode(data: &[u8]) -> Result<(EntryHeader, usize)> {
+        if data.len() < 2 {
+            return Err(ClioError::BadRecord("truncated entry header"));
+        }
+        let word = u16::from_le_bytes([data[0], data[1]]);
+        let code = word >> 12;
+        let id = LogFileId(word & ID_MASK);
+        if code == 0x8 {
+            if data.len() < 6 {
+                return Err(ClioError::BadRecord("truncated continuation chain"));
+            }
+            let chain = u32::from_le_bytes(data[2..6].try_into().expect("4 bytes"));
+            return Ok((
+                EntryHeader {
+                    id,
+                    form: EntryForm::Minimal,
+                    frag: FragKind::Continuation { chain },
+                    timestamp: None,
+                    seqno: None,
+                },
+                6,
+            ));
+        }
+        let frag_first = code & FRAG_FIRST_BIT != 0;
+        let form = match code & 0x3 {
+            0x1 => EntryForm::Minimal,
+            0x2 => EntryForm::Timestamped,
+            0x3 => EntryForm::Full,
+            _ => return Err(ClioError::BadRecord("unknown entry form")),
+        };
+        let mut off = 2;
+        let mut timestamp = None;
+        let mut seqno = None;
+        if matches!(form, EntryForm::Timestamped | EntryForm::Full) {
+            if data.len() < off + 8 {
+                return Err(ClioError::BadRecord("truncated timestamp"));
+            }
+            timestamp = Some(Timestamp(u64::from_le_bytes(
+                data[off..off + 8].try_into().expect("slice is 8 bytes"),
+            )));
+            off += 8;
+        }
+        if matches!(form, EntryForm::Full) {
+            if data.len() < off + 4 {
+                return Err(ClioError::BadRecord("truncated seqno"));
+            }
+            seqno = Some(SeqNo(u32::from_le_bytes(
+                data[off..off + 4].try_into().expect("slice is 4 bytes"),
+            )));
+            off += 4;
+        }
+        let frag = if frag_first {
+            if data.len() < off + 8 {
+                return Err(ClioError::BadRecord("truncated fragment length"));
+            }
+            let total_len = u32::from_le_bytes(data[off..off + 4].try_into().expect("slice is 4 bytes"));
+            let chain = u32::from_le_bytes(data[off + 4..off + 8].try_into().expect("slice is 4 bytes"));
+            off += 8;
+            FragKind::First { total_len, chain }
+        } else {
+            FragKind::Whole
+        };
+        Ok((
+            EntryHeader {
+                id,
+                form,
+                frag,
+                timestamp,
+                seqno,
+            },
+            off,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(h: EntryHeader) {
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), h.encoded_len());
+        let (back, used) = EntryHeader::decode(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn minimal_round_trip() {
+        round_trip(EntryHeader::new(LogFileId(42), EntryForm::Minimal, None, None));
+    }
+
+    #[test]
+    fn timestamped_round_trip() {
+        round_trip(EntryHeader::new(
+            LogFileId(4095),
+            EntryForm::Timestamped,
+            Some(Timestamp(123_456_789)),
+            None,
+        ));
+    }
+
+    #[test]
+    fn full_round_trip() {
+        round_trip(EntryHeader::new(
+            LogFileId(8),
+            EntryForm::Full,
+            Some(Timestamp(u64::MAX - 1)),
+            Some(SeqNo(0xDEAD_BEEF)),
+        ));
+    }
+
+    #[test]
+    fn fragment_first_round_trip() {
+        let mut h = EntryHeader::new(
+            LogFileId(9),
+            EntryForm::Timestamped,
+            Some(Timestamp(77)),
+            None,
+        );
+        h.frag = FragKind::First { total_len: 5000, chain: 0xABCD };
+        round_trip(h);
+    }
+
+    #[test]
+    fn continuation_round_trip() {
+        let h = EntryHeader {
+            id: LogFileId(9),
+            form: EntryForm::Minimal,
+            frag: FragKind::Continuation { chain: 77 },
+            timestamp: None,
+            seqno: None,
+        };
+        round_trip(h);
+    }
+
+    #[test]
+    fn header_lengths_match_the_paper() {
+        // §2.2: minimal header 2 bytes in-data + 2 bytes of index = 4 total.
+        assert_eq!(EntryForm::Minimal.header_len(), 2);
+        assert_eq!(EntryForm::Minimal.overhead(), 4);
+        // §3.2: "complete, 14-byte log entry header that included a (64-bit)
+        // timestamp".
+        assert_eq!(EntryForm::Full.header_len(), 14);
+    }
+
+    #[test]
+    fn decode_rejects_junk() {
+        assert!(EntryHeader::decode(&[]).is_err());
+        assert!(EntryHeader::decode(&[0x01]).is_err());
+        // Form 0 is invalid.
+        assert!(EntryHeader::decode(&[0x05, 0x00]).is_err());
+        // Timestamped form with missing timestamp bytes.
+        assert!(EntryHeader::decode(&[0x05, 0x20, 1, 2]).is_err());
+        // All-ones (invalidated block content) is rejected: code 0xF has
+        // low bits 0x3 (Full) but fragment length/seqno run past the data.
+        assert!(EntryHeader::decode(&[0xFF, 0xFF]).is_err());
+    }
+
+    #[test]
+    fn id_is_preserved_across_all_forms() {
+        for raw in [0u16, 1, 7, 8, 100, 4095] {
+            let h = EntryHeader::new(LogFileId(raw), EntryForm::Minimal, None, None);
+            let mut buf = Vec::new();
+            h.encode(&mut buf);
+            let (back, _) = EntryHeader::decode(&buf).unwrap();
+            assert_eq!(back.id, LogFileId(raw));
+        }
+    }
+}

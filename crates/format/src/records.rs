@@ -1,0 +1,324 @@
+//! Catalog and bad-block record payloads.
+//!
+//! "Any information that is an attribute of a log file as a whole is
+//! recorded separately, in a separate log file called the catalog log file.
+//! Such 'log file specific' attributes include a log file's name, its access
+//! permissions, and its time of creation. Any change to these attributes is
+//! also logged (at time of the change) in the catalog log file." (§2.2)
+//!
+//! The server's in-memory *catalog* — the table indexed by
+//! local-logfile-id — is derived by replaying these records. A
+//! [`CatalogRecord::Checkpoint`] is written at the start of every successor
+//! volume so each volume is self-describing on recovery.
+//!
+//! Bad-block records (§2.3.2) note corrupted previously-unwritten blocks so
+//! the server can skip them after a reboot.
+
+use clio_types::{BlockNo, ClioError, LogFileId, Result, Timestamp};
+
+/// Permission bit: the log file may be read.
+pub const PERM_READ: u16 = 1;
+/// Permission bit: the log file may be appended to.
+pub const PERM_APPEND: u16 = 2;
+
+/// The attributes the catalog tracks per log file (§2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogFileAttrs {
+    /// The log file's id.
+    pub id: LogFileId,
+    /// The log file this one is a sublog of ([`LogFileId::VOLUME_SEQUENCE`]
+    /// for top-level log files).
+    pub parent: LogFileId,
+    /// Access permissions ([`PERM_READ`] | [`PERM_APPEND`]).
+    pub perms: u16,
+    /// Creation time.
+    pub created: Timestamp,
+    /// Whether the log file has been sealed against further appends.
+    pub sealed: bool,
+    /// The path component naming this log file under its parent.
+    pub name: String,
+}
+
+/// A record in the catalog log file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogRecord {
+    /// A log file was created.
+    Create(LogFileAttrs),
+    /// A log file's permissions changed.
+    SetPerms {
+        /// Which log file.
+        id: LogFileId,
+        /// The new permission bits.
+        perms: u16,
+    },
+    /// A log file was renamed.
+    Rename {
+        /// Which log file.
+        id: LogFileId,
+        /// The new name component.
+        name: String,
+    },
+    /// A log file was sealed (no further appends accepted).
+    Seal {
+        /// Which log file.
+        id: LogFileId,
+    },
+    /// A full snapshot of the live catalog, written at the start of each
+    /// successor volume so recovery never needs predecessor volumes.
+    Checkpoint {
+        /// The id that will be handed to the next created log file.
+        next_id: u16,
+        /// All log files known at checkpoint time.
+        files: Vec<LogFileAttrs>,
+    },
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(data: &[u8], off: &mut usize) -> Result<String> {
+    if data.len() < *off + 2 {
+        return Err(ClioError::BadRecord("truncated string length"));
+    }
+    let len = usize::from(u16::from_le_bytes([data[*off], data[*off + 1]]));
+    *off += 2;
+    if data.len() < *off + len {
+        return Err(ClioError::BadRecord("truncated string"));
+    }
+    let s = std::str::from_utf8(&data[*off..*off + len])
+        .map_err(|_| ClioError::BadRecord("name is not utf-8"))?
+        .to_owned();
+    *off += len;
+    Ok(s)
+}
+
+fn put_attrs(out: &mut Vec<u8>, a: &LogFileAttrs) {
+    out.extend_from_slice(&a.id.0.to_le_bytes());
+    out.extend_from_slice(&a.parent.0.to_le_bytes());
+    out.extend_from_slice(&a.perms.to_le_bytes());
+    out.extend_from_slice(&a.created.0.to_le_bytes());
+    out.push(u8::from(a.sealed));
+    put_str(out, &a.name);
+}
+
+fn get_u16(data: &[u8], off: &mut usize) -> Result<u16> {
+    if data.len() < *off + 2 {
+        return Err(ClioError::BadRecord("truncated u16"));
+    }
+    let v = u16::from_le_bytes([data[*off], data[*off + 1]]);
+    *off += 2;
+    Ok(v)
+}
+
+fn get_u64(data: &[u8], off: &mut usize) -> Result<u64> {
+    if data.len() < *off + 8 {
+        return Err(ClioError::BadRecord("truncated u64"));
+    }
+    let v = u64::from_le_bytes(data[*off..*off + 8].try_into().expect("8 bytes"));
+    *off += 8;
+    Ok(v)
+}
+
+fn get_attrs(data: &[u8], off: &mut usize) -> Result<LogFileAttrs> {
+    let id = LogFileId::new(get_u16(data, off)?).ok_or(ClioError::BadRecord("bad id"))?;
+    let parent = LogFileId::new(get_u16(data, off)?).ok_or(ClioError::BadRecord("bad parent"))?;
+    let perms = get_u16(data, off)?;
+    let created = Timestamp(get_u64(data, off)?);
+    if data.len() < *off + 1 {
+        return Err(ClioError::BadRecord("truncated sealed flag"));
+    }
+    let sealed = data[*off] != 0;
+    *off += 1;
+    let name = get_str(data, off)?;
+    Ok(LogFileAttrs {
+        id,
+        parent,
+        perms,
+        created,
+        sealed,
+        name,
+    })
+}
+
+impl CatalogRecord {
+    /// Serializes the record payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            CatalogRecord::Create(a) => {
+                out.push(1);
+                put_attrs(&mut out, a);
+            }
+            CatalogRecord::SetPerms { id, perms } => {
+                out.push(2);
+                out.extend_from_slice(&id.0.to_le_bytes());
+                out.extend_from_slice(&perms.to_le_bytes());
+            }
+            CatalogRecord::Rename { id, name } => {
+                out.push(3);
+                out.extend_from_slice(&id.0.to_le_bytes());
+                put_str(&mut out, name);
+            }
+            CatalogRecord::Seal { id } => {
+                out.push(4);
+                out.extend_from_slice(&id.0.to_le_bytes());
+            }
+            CatalogRecord::Checkpoint { next_id, files } => {
+                out.push(5);
+                out.extend_from_slice(&next_id.to_le_bytes());
+                out.extend_from_slice(&(files.len() as u16).to_le_bytes());
+                for a in files {
+                    put_attrs(&mut out, a);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a record payload.
+    pub fn decode(data: &[u8]) -> Result<CatalogRecord> {
+        if data.is_empty() {
+            return Err(ClioError::BadRecord("empty catalog record"));
+        }
+        let mut off = 1;
+        match data[0] {
+            1 => Ok(CatalogRecord::Create(get_attrs(data, &mut off)?)),
+            2 => Ok(CatalogRecord::SetPerms {
+                id: LogFileId::new(get_u16(data, &mut off)?)
+                    .ok_or(ClioError::BadRecord("bad id"))?,
+                perms: get_u16(data, &mut off)?,
+            }),
+            3 => Ok(CatalogRecord::Rename {
+                id: LogFileId::new(get_u16(data, &mut off)?)
+                    .ok_or(ClioError::BadRecord("bad id"))?,
+                name: get_str(data, &mut off)?,
+            }),
+            4 => Ok(CatalogRecord::Seal {
+                id: LogFileId::new(get_u16(data, &mut off)?)
+                    .ok_or(ClioError::BadRecord("bad id"))?,
+            }),
+            5 => {
+                let next_id = get_u16(data, &mut off)?;
+                let count = usize::from(get_u16(data, &mut off)?);
+                let mut files = Vec::with_capacity(count);
+                for _ in 0..count {
+                    files.push(get_attrs(data, &mut off)?);
+                }
+                Ok(CatalogRecord::Checkpoint { next_id, files })
+            }
+            _ => Err(ClioError::BadRecord("unknown catalog record tag")),
+        }
+    }
+}
+
+/// A bad-block record: a corrupted, previously-unwritten block recorded so
+/// the server can skip it after a reboot (§2.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadBlockRecord {
+    /// The corrupted block's address.
+    pub block: BlockNo,
+}
+
+impl BadBlockRecord {
+    /// Serializes the record payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        self.block.0.to_le_bytes().to_vec()
+    }
+
+    /// Parses a record payload.
+    pub fn decode(data: &[u8]) -> Result<BadBlockRecord> {
+        if data.len() < 8 {
+            return Err(ClioError::BadRecord("truncated bad-block record"));
+        }
+        Ok(BadBlockRecord {
+            block: BlockNo(u64::from_le_bytes(
+                data[..8].try_into().expect("8 bytes"),
+            )),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(id: u16, name: &str) -> LogFileAttrs {
+        LogFileAttrs {
+            id: LogFileId(id),
+            parent: LogFileId::VOLUME_SEQUENCE,
+            perms: PERM_READ | PERM_APPEND,
+            created: Timestamp(17),
+            sealed: false,
+            name: name.to_owned(),
+        }
+    }
+
+    #[test]
+    fn create_round_trip() {
+        let rec = CatalogRecord::Create(attrs(8, "mail"));
+        assert_eq!(CatalogRecord::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn setperms_rename_seal_round_trip() {
+        for rec in [
+            CatalogRecord::SetPerms {
+                id: LogFileId(9),
+                perms: PERM_READ,
+            },
+            CatalogRecord::Rename {
+                id: LogFileId(9),
+                name: "smith".into(),
+            },
+            CatalogRecord::Seal { id: LogFileId(9) },
+        ] {
+            assert_eq!(CatalogRecord::decode(&rec.encode()).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let rec = CatalogRecord::Checkpoint {
+            next_id: 11,
+            files: vec![attrs(8, "mail"), attrs(9, "smith"), attrs(10, "audit")],
+        };
+        assert_eq!(CatalogRecord::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn unicode_names_survive() {
+        let rec = CatalogRecord::Rename {
+            id: LogFileId(8),
+            name: "журнал-λ".into(),
+        };
+        assert_eq!(CatalogRecord::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn decode_rejects_junk() {
+        assert!(CatalogRecord::decode(&[]).is_err());
+        assert!(CatalogRecord::decode(&[99]).is_err());
+        assert!(CatalogRecord::decode(&[1, 0]).is_err());
+        // Truncated checkpoint.
+        let rec = CatalogRecord::Checkpoint {
+            next_id: 9,
+            files: vec![attrs(8, "x")],
+        };
+        let mut bytes = rec.encode();
+        bytes.truncate(bytes.len() - 2);
+        assert!(CatalogRecord::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_block_round_trip() {
+        let rec = BadBlockRecord {
+            block: BlockNo(123_456_789),
+        };
+        assert_eq!(BadBlockRecord::decode(&rec.encode()).unwrap(), rec);
+        assert!(BadBlockRecord::decode(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! The free-block bitmap allocator.
+
+use clio_types::{BlockNo, ClioError, Result};
+
+use clio_device::BlockStore;
+
+/// A bitmap allocator over a contiguous range of data blocks.
+///
+/// The bitmap itself lives in `bitmap_blocks` blocks starting at
+/// `bitmap_start`; bit `i` covers absolute block `data_start + i`.
+pub struct BitmapAlloc {
+    bitmap_start: u64,
+    bitmap_blocks: u64,
+    data_start: u64,
+    data_blocks: u64,
+    /// In-memory copy of the bitmap (written through on change).
+    bits: Vec<u8>,
+    block_size: usize,
+    /// Next-fit rotor to avoid rescanning from 0.
+    rotor: u64,
+}
+
+impl BitmapAlloc {
+    /// Blocks needed to hold a bitmap of `data_blocks` bits.
+    #[must_use]
+    pub fn blocks_needed(data_blocks: u64, block_size: usize) -> u64 {
+        data_blocks.div_ceil(8 * block_size as u64)
+    }
+
+    /// Creates a fresh, all-free allocator and persists it.
+    pub fn format<S: BlockStore + ?Sized>(
+        store: &S,
+        bitmap_start: u64,
+        bitmap_blocks: u64,
+        data_start: u64,
+        data_blocks: u64,
+    ) -> Result<BitmapAlloc> {
+        let block_size = store.block_size();
+        let a = BitmapAlloc {
+            bitmap_start,
+            bitmap_blocks,
+            data_start,
+            data_blocks,
+            bits: vec![0; (bitmap_blocks as usize) * block_size],
+            block_size,
+            rotor: 0,
+        };
+        a.flush_all(store)?;
+        Ok(a)
+    }
+
+    /// Loads an existing bitmap from the store.
+    pub fn load<S: BlockStore + ?Sized>(
+        store: &S,
+        bitmap_start: u64,
+        bitmap_blocks: u64,
+        data_start: u64,
+        data_blocks: u64,
+    ) -> Result<BitmapAlloc> {
+        let block_size = store.block_size();
+        let mut bits = vec![0; (bitmap_blocks as usize) * block_size];
+        for b in 0..bitmap_blocks {
+            let off = b as usize * block_size;
+            store.read_block(BlockNo(bitmap_start + b), &mut bits[off..off + block_size])?;
+        }
+        Ok(BitmapAlloc {
+            bitmap_start,
+            bitmap_blocks,
+            data_start,
+            data_blocks,
+            bits,
+            block_size,
+            rotor: 0,
+        })
+    }
+
+    fn flush_bit<S: BlockStore + ?Sized>(&self, store: &S, bit: u64) -> Result<()> {
+        let blk = bit / (8 * self.block_size as u64);
+        let off = blk as usize * self.block_size;
+        store.write_block(
+            BlockNo(self.bitmap_start + blk),
+            &self.bits[off..off + self.block_size],
+        )
+    }
+
+    fn flush_all<S: BlockStore + ?Sized>(&self, store: &S) -> Result<()> {
+        for b in 0..self.bitmap_blocks {
+            let off = b as usize * self.block_size;
+            store.write_block(
+                BlockNo(self.bitmap_start + b),
+                &self.bits[off..off + self.block_size],
+            )?;
+        }
+        Ok(())
+    }
+
+    fn get(&self, i: u64) -> bool {
+        self.bits[(i / 8) as usize] & (1 << (i % 8)) != 0
+    }
+
+    fn set(&mut self, i: u64, v: bool) {
+        if v {
+            self.bits[(i / 8) as usize] |= 1 << (i % 8);
+        } else {
+            self.bits[(i / 8) as usize] &= !(1 << (i % 8));
+        }
+    }
+
+    /// Allocates one block (next-fit), returning its absolute number.
+    pub fn alloc<S: BlockStore + ?Sized>(&mut self, store: &S) -> Result<u64> {
+        for probe in 0..self.data_blocks {
+            let i = (self.rotor + probe) % self.data_blocks;
+            if !self.get(i) {
+                self.set(i, true);
+                self.rotor = (i + 1) % self.data_blocks;
+                self.flush_bit(store, i)?;
+                return Ok(self.data_start + i);
+            }
+        }
+        Err(ClioError::VolumeFull)
+    }
+
+    /// Frees an absolute block number.
+    pub fn free<S: BlockStore + ?Sized>(&mut self, store: &S, abs: u64) -> Result<()> {
+        let i = abs
+            .checked_sub(self.data_start)
+            .filter(|&i| i < self.data_blocks)
+            .ok_or(ClioError::OutOfRange(BlockNo(abs)))?;
+        if !self.get(i) {
+            return Err(ClioError::Internal(format!("double free of block {abs}")));
+        }
+        self.set(i, false);
+        self.flush_bit(store, i)
+    }
+
+    /// Number of free blocks remaining.
+    #[must_use]
+    pub fn free_count(&self) -> u64 {
+        (0..self.data_blocks).filter(|&i| !self.get(i)).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use clio_device::MemBlockStore;
+
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let store = MemBlockStore::new(64, 64);
+        let mut a = BitmapAlloc::format(&store, 1, 1, 8, 56).unwrap();
+        assert_eq!(a.free_count(), 56);
+        let b1 = a.alloc(&store).unwrap();
+        let b2 = a.alloc(&store).unwrap();
+        assert_ne!(b1, b2);
+        assert!(b1 >= 8 && b2 >= 8);
+        a.free(&store, b1).unwrap();
+        assert_eq!(a.free_count(), 55);
+        assert!(a.free(&store, b1).is_err(), "double free detected");
+        assert!(a.free(&store, 5).is_err(), "outside data range");
+    }
+
+    #[test]
+    fn exhaustion() {
+        let store = MemBlockStore::new(64, 16);
+        let mut a = BitmapAlloc::format(&store, 1, 1, 2, 4).unwrap();
+        for _ in 0..4 {
+            a.alloc(&store).unwrap();
+        }
+        assert!(matches!(a.alloc(&store).unwrap_err(), ClioError::VolumeFull));
+    }
+
+    #[test]
+    fn persistence_round_trip() {
+        let store = MemBlockStore::new(64, 64);
+        let allocated;
+        {
+            let mut a = BitmapAlloc::format(&store, 1, 1, 8, 56).unwrap();
+            allocated = a.alloc(&store).unwrap();
+        }
+        let a = BitmapAlloc::load(&store, 1, 1, 8, 56).unwrap();
+        assert_eq!(a.free_count(), 55);
+        assert!(a.get(allocated - 8));
+    }
+}

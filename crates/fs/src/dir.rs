@@ -1,0 +1,85 @@
+//! Directory content encoding: a packed list of (inode, name) entries.
+
+use clio_types::{ClioError, Result};
+
+/// One directory entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// The named inode.
+    pub ino: u64,
+    /// The name within this directory.
+    pub name: String,
+}
+
+/// Serializes a directory's entries.
+#[must_use]
+pub fn encode(entries: &[DirEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        out.extend_from_slice(&e.ino.to_le_bytes());
+        out.extend_from_slice(&(e.name.len() as u16).to_le_bytes());
+        out.extend_from_slice(e.name.as_bytes());
+    }
+    out
+}
+
+/// Parses a directory's entries.
+pub fn decode(data: &[u8]) -> Result<Vec<DirEntry>> {
+    if data.len() < 4 {
+        return Err(ClioError::BadRecord("short directory"));
+    }
+    let count = u32::from_le_bytes(data[..4].try_into().expect("4 bytes")) as usize;
+    let mut off = 4;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if data.len() < off + 10 {
+            return Err(ClioError::BadRecord("truncated directory entry"));
+        }
+        let ino = u64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"));
+        let nlen = u16::from_le_bytes([data[off + 8], data[off + 9]]) as usize;
+        off += 10;
+        if data.len() < off + nlen {
+            return Err(ClioError::BadRecord("truncated directory name"));
+        }
+        let name = std::str::from_utf8(&data[off..off + nlen])
+            .map_err(|_| ClioError::BadRecord("directory name not utf-8"))?
+            .to_owned();
+        off += nlen;
+        out.push(DirEntry { ino, name });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let entries = vec![
+            DirEntry {
+                ino: 1,
+                name: "etc".into(),
+            },
+            DirEntry {
+                ino: 42,
+                name: "readme.txt".into(),
+            },
+        ];
+        assert_eq!(decode(&encode(&entries)).unwrap(), entries);
+        assert!(decode(&encode(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let entries = vec![DirEntry {
+            ino: 1,
+            name: "x".into(),
+        }];
+        let mut bytes = encode(&entries);
+        bytes.truncate(bytes.len() - 1);
+        assert!(decode(&bytes).is_err());
+        assert!(decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! A conventional Unix-like file system substrate.
+//!
+//! Clio "is implemented as an extension of a conventional disk-based file
+//! server" (§2); and the paper's motivation (§1) rests on the behaviour of
+//! standard file systems on large, continually growing files: "in indirect
+//! block file systems (such as Unix), blocks at the tail end of such files
+//! become increasingly expensive to read and write", while "in extent-based
+//! file systems, such files use up many extents".
+//!
+//! This crate implements that conventional file server from scratch on a
+//! rewriteable [`clio_device::BlockStore`]:
+//!
+//! - [`fs`]: an indirect-block file system (superblock, free bitmap, inode
+//!   table, direct/single/double-indirect blocks, directories);
+//! - [`extent`]: an extent-based allocation simulator for the §1
+//!   fragmentation argument;
+//! - operation counters so the motivation benchmark can report the block
+//!   accesses needed to read and append at the tail of growing files.
+
+pub mod alloc;
+pub mod dir;
+pub mod extent;
+pub mod fs;
+pub mod inode;
+
+pub use extent::ExtentFs;
+pub use fs::{FileKind, FileSystem, FsCounters, Stat};

@@ -1,0 +1,561 @@
+//! The history-based file server (§4.1).
+//!
+//! "The file server maintains, in one or more log files, a file history for
+//! each file that it stores. The file history includes all updates to the
+//! contents and properties of files … The file server can extract, from the
+//! file history, either the current version of a file, or an earlier
+//! version. (The contents of the current version are typically cached.)"
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use clio_core::service::{AppendOpts, Durability, LogService};
+use clio_types::{ClioError, Result, Timestamp};
+
+/// One record in a file's history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileUpdate {
+    /// Write `data` at `offset` (extending the file if needed).
+    Write {
+        /// Byte offset.
+        offset: u64,
+        /// The written bytes.
+        data: Vec<u8>,
+    },
+    /// Truncate or extend to `len` bytes (extension zero-fills).
+    SetLen(u64),
+    /// The file was deleted (history is retained; state becomes absent).
+    Delete,
+    /// A checkpoint: the file's complete state at this point (`None` if it
+    /// was deleted). Replay can start from the latest checkpoint instead
+    /// of the beginning — §4's "slower, write-once storage being updated
+    /// less frequently, for checkpointing and archiving".
+    Snapshot(Option<Vec<u8>>),
+}
+
+impl FileUpdate {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            FileUpdate::Write { offset, data } => {
+                out.push(1);
+                out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(data);
+            }
+            FileUpdate::SetLen(len) => {
+                out.push(2);
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            FileUpdate::Delete => out.push(3),
+            FileUpdate::Snapshot(None) => out.push(4),
+            FileUpdate::Snapshot(Some(data)) => {
+                out.push(5);
+                out.extend_from_slice(data);
+            }
+        }
+        out
+    }
+
+    fn decode(data: &[u8]) -> Result<FileUpdate> {
+        match data.first() {
+            Some(1) => {
+                if data.len() < 9 {
+                    return Err(ClioError::BadRecord("short write record"));
+                }
+                Ok(FileUpdate::Write {
+                    offset: u64::from_le_bytes(data[1..9].try_into().expect("8")),
+                    data: data[9..].to_vec(),
+                })
+            }
+            Some(2) => {
+                if data.len() < 9 {
+                    return Err(ClioError::BadRecord("short setlen record"));
+                }
+                Ok(FileUpdate::SetLen(u64::from_le_bytes(
+                    data[1..9].try_into().expect("8"),
+                )))
+            }
+            Some(3) => Ok(FileUpdate::Delete),
+            Some(4) => Ok(FileUpdate::Snapshot(None)),
+            Some(5) => Ok(FileUpdate::Snapshot(Some(data[1..].to_vec()))),
+            _ => Err(ClioError::BadRecord("unknown file update tag")),
+        }
+    }
+
+    /// Applies this update to a materialized file state.
+    fn apply(&self, state: &mut Option<Vec<u8>>) {
+        match self {
+            FileUpdate::Write { offset, data } => {
+                let buf = state.get_or_insert_with(Vec::new);
+                let end = *offset as usize + data.len();
+                if buf.len() < end {
+                    buf.resize(end, 0);
+                }
+                buf[*offset as usize..end].copy_from_slice(data);
+            }
+            FileUpdate::SetLen(len) => {
+                let buf = state.get_or_insert_with(Vec::new);
+                buf.resize(*len as usize, 0);
+            }
+            FileUpdate::Delete => *state = None,
+            FileUpdate::Snapshot(snap) => *state = snap.clone(),
+        }
+    }
+
+    /// Whether this record fully determines the state (no earlier history
+    /// needed).
+    fn is_checkpoint(&self) -> bool {
+        matches!(self, FileUpdate::Snapshot(_))
+    }
+}
+
+/// The history-based file server: current state cached in RAM, truth in
+/// the log.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use clio_core::service::LogService;
+/// use clio_core::ServiceConfig;
+/// use clio_history::HistoryFs;
+/// use clio_types::{SystemClock, VolumeSeqId};
+/// use clio_volume::MemDevicePool;
+///
+/// let svc = Arc::new(LogService::create(
+///     VolumeSeqId(1),
+///     Arc::new(MemDevicePool::new(1024, 1 << 12)),
+///     ServiceConfig::default(),
+///     Arc::new(SystemClock),
+/// )?);
+/// let fs = HistoryFs::attach(svc, "/files")?;
+/// fs.create("notes")?;
+/// fs.write_at("notes", 0, b"draft")?;
+/// assert_eq!(fs.read("notes")?, b"draft");
+/// # Ok::<(), clio_types::ClioError>(())
+/// ```
+pub struct HistoryFs {
+    svc: Arc<LogService>,
+    root: String,
+    /// The cached "current state" — §4: "merely a cached summary of the
+    /// effect of this history".
+    cache: Mutex<HashMap<String, Option<Vec<u8>>>>,
+    /// When set, read accesses are themselves logged (§4.1: the file
+    /// history may include "information about read access to files").
+    audit_reads: Mutex<Option<String>>,
+}
+
+impl HistoryFs {
+    /// Creates (or re-attaches to) a history file server rooted at `root`
+    /// (e.g. `/fs`) and rebuilds its cache from the log.
+    pub fn attach(svc: Arc<LogService>, root: &str) -> Result<HistoryFs> {
+        if svc.resolve(root).is_err() {
+            svc.create_log(root)?;
+        }
+        let fs = HistoryFs {
+            svc,
+            root: root.to_owned(),
+            cache: Mutex::new(HashMap::new()),
+            audit_reads: Mutex::new(None),
+        };
+        fs.rebuild_cache()?;
+        Ok(fs)
+    }
+
+    /// Turns on read auditing: every [`HistoryFs::read`] appends a record
+    /// naming the file to the log file at `audit_path` (§4.1).
+    pub fn enable_read_audit(&self, audit_path: &str) -> Result<()> {
+        if self.svc.resolve(audit_path).is_err() {
+            self.svc.create_log(audit_path)?;
+        }
+        *self.audit_reads.lock() = Some(audit_path.to_owned());
+        Ok(())
+    }
+
+    fn file_path(&self, name: &str) -> String {
+        format!("{}/{}", self.root, name)
+    }
+
+    /// Rebuilds the RAM state by replaying every file history (§4:
+    /// "this state can be completely reconstructed from the log files").
+    /// Replay for each file starts at its most recent checkpoint, found by
+    /// scanning backward — recent entries are the cheap ones (§3.3).
+    /// Returns the number of records replayed (a cost measure).
+    pub fn rebuild_cache(&self) -> Result<u64> {
+        let mut cache = HashMap::new();
+        let mut replayed = 0u64;
+        for name in self.svc.list(&self.root)? {
+            let path = self.file_path(&name);
+            // Backward: find the latest checkpoint (if any).
+            let mut back = self.svc.cursor_from_end(&path)?;
+            let mut from: Option<Timestamp> = None;
+            while let Some(e) = back.prev()? {
+                if FileUpdate::decode(&e.data)?.is_checkpoint() {
+                    from = Some(e.effective_ts());
+                    break;
+                }
+            }
+            // Forward from the checkpoint (or the beginning).
+            let mut cur = match from {
+                Some(ts) => self.svc.cursor_from_time(&path, ts)?,
+                None => self.svc.cursor(&path)?,
+            };
+            let mut state: Option<Vec<u8>> = None;
+            while let Some(e) = cur.next()? {
+                FileUpdate::decode(&e.data)?.apply(&mut state);
+                replayed += 1;
+            }
+            cache.insert(name, state);
+        }
+        *self.cache.lock() = cache;
+        Ok(replayed)
+    }
+
+    /// Writes a checkpoint record for every file: its complete current
+    /// state, so a later cache rebuild replays only what follows (§4).
+    /// Forced, so a crash right after still benefits.
+    pub fn checkpoint(&self) -> Result<()> {
+        let names: Vec<String> = self.cache.lock().keys().cloned().collect();
+        for name in names {
+            let snap = self.cache.lock().get(&name).cloned().flatten();
+            self.log(&name, &FileUpdate::Snapshot(snap), Durability::Buffered)?;
+        }
+        self.svc.flush()
+    }
+
+    /// Creates a file (its history log file).
+    pub fn create(&self, name: &str) -> Result<()> {
+        self.svc.create_log(&self.file_path(name))?;
+        self.cache.lock().insert(name.to_owned(), Some(Vec::new()));
+        // An explicit zero-length SetLen marks creation time in the history.
+        self.log(name, &FileUpdate::SetLen(0), Durability::Buffered)?;
+        Ok(())
+    }
+
+    fn log(&self, name: &str, up: &FileUpdate, durability: Durability) -> Result<Timestamp> {
+        let opts = AppendOpts {
+            durability,
+            timestamped: true,
+            seqno: None,
+        };
+        let r = self.svc.append_path(&self.file_path(name), &up.encode(), opts)?;
+        Ok(r.timestamp)
+    }
+
+    /// Writes `data` at `offset`, updating the cache and logging the
+    /// history record.
+    pub fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> Result<()> {
+        let up = FileUpdate::Write {
+            offset,
+            data: data.to_vec(),
+        };
+        {
+            let mut g = self.cache.lock();
+            let state = g
+                .get_mut(name)
+                .ok_or_else(|| ClioError::NotFound(name.to_owned()))?;
+            if state.is_none() {
+                return Err(ClioError::NotFound(format!("{name} was deleted")));
+            }
+            up.apply(state);
+        }
+        self.log(name, &up, Durability::Buffered)?;
+        Ok(())
+    }
+
+    /// Truncates/extends the file.
+    pub fn set_len(&self, name: &str, len: u64) -> Result<()> {
+        let up = FileUpdate::SetLen(len);
+        {
+            let mut g = self.cache.lock();
+            let state = g
+                .get_mut(name)
+                .ok_or_else(|| ClioError::NotFound(name.to_owned()))?;
+            if state.is_none() {
+                return Err(ClioError::NotFound(format!("{name} was deleted")));
+            }
+            up.apply(state);
+        }
+        self.log(name, &up, Durability::Buffered)?;
+        Ok(())
+    }
+
+    /// Deletes the file. The history survives — the file merely has no
+    /// current version (§4: the system's "true, permanent state is based
+    /// upon its execution history").
+    pub fn delete(&self, name: &str) -> Result<Timestamp> {
+        {
+            let mut g = self.cache.lock();
+            let state = g
+                .get_mut(name)
+                .ok_or_else(|| ClioError::NotFound(name.to_owned()))?;
+            *state = None;
+        }
+        self.log(name, &FileUpdate::Delete, Durability::Forced)
+    }
+
+    /// The current contents (from the RAM cache).
+    pub fn read(&self, name: &str) -> Result<Vec<u8>> {
+        let out = self
+            .cache
+            .lock()
+            .get(name)
+            .ok_or_else(|| ClioError::NotFound(name.to_owned()))?
+            .clone()
+            .ok_or_else(|| ClioError::NotFound(format!("{name} was deleted")))?;
+        if let Some(audit) = self.audit_reads.lock().clone() {
+            let rec = format!("read {name}");
+            self.svc
+                .append_path(&audit, rec.as_bytes(), AppendOpts::standard())?;
+        }
+        Ok(out)
+    }
+
+    /// Whether the file currently exists.
+    #[must_use]
+    pub fn exists(&self, name: &str) -> bool {
+        matches!(self.cache.lock().get(name), Some(Some(_)))
+    }
+
+    /// Extracts the version of the file as of `ts` by replaying its
+    /// history up to that time (§4.1: "either the current version of a
+    /// file, or an earlier version").
+    pub fn version_at(&self, name: &str, ts: Timestamp) -> Result<Option<Vec<u8>>> {
+        let mut state: Option<Vec<u8>> = None;
+        let mut any = false;
+        let mut cur = self.svc.cursor(&self.file_path(name))?;
+        while let Some(e) = cur.next()? {
+            if e.effective_ts() > ts {
+                break;
+            }
+            any = true;
+            FileUpdate::decode(&e.data)?.apply(&mut state);
+        }
+        if !any {
+            return Ok(None);
+        }
+        Ok(state)
+    }
+
+    /// Forces the history to stable storage (e.g. before checkpointing).
+    pub fn sync(&self) -> Result<()> {
+        self.svc.flush()
+    }
+
+    /// Names of files with a live current version.
+    pub fn list_live(&self) -> Vec<String> {
+        let g = self.cache.lock();
+        let mut v: Vec<String> = g
+            .iter()
+            .filter(|(_, s)| s.is_some())
+            .map(|(n, _)| n.clone())
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use clio_core::ServiceConfig;
+    use clio_types::{ManualClock, VolumeSeqId};
+    use clio_volume::MemDevicePool;
+
+    use super::*;
+
+    fn service() -> Arc<LogService> {
+        Arc::new(
+            LogService::create(
+                VolumeSeqId(1),
+                Arc::new(MemDevicePool::new(512, 4096)),
+                ServiceConfig {
+                    block_size: 512,
+                    fanout: 4,
+                    cache_blocks: 128,
+                    ..ServiceConfig::default()
+                },
+                Arc::new(ManualClock::starting_at(Timestamp::from_secs(1))),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn write_read_current_version() {
+        let fs = HistoryFs::attach(service(), "/fs").unwrap();
+        fs.create("notes.txt").unwrap();
+        fs.write_at("notes.txt", 0, b"hello").unwrap();
+        fs.write_at("notes.txt", 5, b" world").unwrap();
+        assert_eq!(fs.read("notes.txt").unwrap(), b"hello world");
+        fs.write_at("notes.txt", 0, b"HELLO").unwrap();
+        assert_eq!(fs.read("notes.txt").unwrap(), b"HELLO world");
+        fs.set_len("notes.txt", 5).unwrap();
+        assert_eq!(fs.read("notes.txt").unwrap(), b"HELLO");
+    }
+
+    #[test]
+    fn earlier_versions_are_extractable() {
+        let fs = HistoryFs::attach(service(), "/fs").unwrap();
+        fs.create("doc").unwrap();
+        fs.write_at("doc", 0, b"v1").unwrap();
+        let t1 = fs.log("doc", &FileUpdate::SetLen(2), Durability::Buffered).unwrap();
+        fs.write_at("doc", 0, b"v2").unwrap();
+        assert_eq!(fs.read("doc").unwrap(), b"v2");
+        // As of t1, the content was still "v1".
+        let old = fs.version_at("doc", t1).unwrap().unwrap();
+        assert_eq!(old, b"v1");
+        // Before the file existed: no version.
+        assert_eq!(fs.version_at("doc", Timestamp(0)).unwrap(), None);
+    }
+
+    #[test]
+    fn delete_keeps_history() {
+        let fs = HistoryFs::attach(service(), "/fs").unwrap();
+        fs.create("tmp").unwrap();
+        fs.write_at("tmp", 0, b"precious").unwrap();
+        let t_del = fs.delete("tmp").unwrap();
+        assert!(!fs.exists("tmp"));
+        assert!(fs.read("tmp").is_err());
+        // The pre-deletion version is still in the history.
+        let old = fs
+            .version_at("tmp", Timestamp(t_del.0 - 1))
+            .unwrap()
+            .unwrap();
+        assert_eq!(old, b"precious");
+        assert_eq!(fs.version_at("tmp", t_del).unwrap(), None);
+    }
+
+    #[test]
+    fn cache_rebuild_reproduces_state() {
+        let svc = service();
+        let fs = HistoryFs::attach(svc.clone(), "/fs").unwrap();
+        fs.create("a").unwrap();
+        fs.create("b").unwrap();
+        fs.write_at("a", 0, b"alpha").unwrap();
+        fs.write_at("b", 0, b"beta").unwrap();
+        fs.delete("b").unwrap();
+        let live_before = fs.list_live();
+        let a_before = fs.read("a").unwrap();
+        drop(fs);
+        // Re-attach: cache rebuilt from the log alone.
+        let fs = HistoryFs::attach(svc, "/fs").unwrap();
+        assert_eq!(fs.list_live(), live_before);
+        assert_eq!(fs.read("a").unwrap(), a_before);
+        assert!(!fs.exists("b"));
+    }
+}
+
+#[cfg(test)]
+mod audit_tests {
+    use std::sync::Arc;
+
+    use clio_core::service::LogService;
+    use clio_core::ServiceConfig;
+    use clio_types::{ManualClock, Timestamp, VolumeSeqId};
+    use clio_volume::MemDevicePool;
+
+    use super::HistoryFs;
+
+    #[test]
+    fn read_audit_logs_accesses() {
+        let svc = Arc::new(
+            LogService::create(
+                VolumeSeqId(3),
+                Arc::new(MemDevicePool::new(512, 4096)),
+                ServiceConfig {
+                    block_size: 512,
+                    fanout: 4,
+                    cache_blocks: 128,
+                    ..ServiceConfig::default()
+                },
+                Arc::new(ManualClock::starting_at(Timestamp::from_secs(1))),
+            )
+            .unwrap(),
+        );
+        let fs = HistoryFs::attach(svc.clone(), "/fs").unwrap();
+        fs.create("secret").unwrap();
+        fs.write_at("secret", 0, b"classified").unwrap();
+        // No audit yet: reads leave no trace.
+        fs.read("secret").unwrap();
+        fs.enable_read_audit("/readlog").unwrap();
+        fs.read("secret").unwrap();
+        fs.read("secret").unwrap();
+        let mut cur = svc.cursor("/readlog").unwrap();
+        let audit = cur.collect_remaining().unwrap();
+        assert_eq!(audit.len(), 2);
+        assert_eq!(audit[0].data, b"read secret");
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use std::sync::Arc;
+
+    use clio_core::service::LogService;
+    use clio_core::ServiceConfig;
+    use clio_types::{ManualClock, Timestamp, VolumeSeqId};
+    use clio_volume::MemDevicePool;
+
+    use super::HistoryFs;
+
+    fn service() -> Arc<LogService> {
+        Arc::new(
+            LogService::create(
+                VolumeSeqId(4),
+                Arc::new(MemDevicePool::new(512, 8192)),
+                ServiceConfig {
+                    block_size: 512,
+                    fanout: 4,
+                    cache_blocks: 128,
+                    ..ServiceConfig::default()
+                },
+                Arc::new(ManualClock::starting_at(Timestamp::from_secs(1))),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn checkpoint_bounds_rebuild_replay() {
+        let svc = service();
+        let fs = HistoryFs::attach(svc.clone(), "/fs").unwrap();
+        fs.create("doc").unwrap();
+        for i in 0..200u32 {
+            fs.write_at("doc", 0, format!("rev {i}").as_bytes()).unwrap();
+        }
+        // Without a checkpoint, a rebuild replays the whole history.
+        let full = fs.rebuild_cache().unwrap();
+        assert!(full >= 200, "replayed {full}");
+        // Checkpoint, a few more edits, rebuild: replay is bounded by the
+        // checkpoint + the edits after it.
+        fs.checkpoint().unwrap();
+        for i in 0..5u32 {
+            fs.write_at("doc", 0, format!("post {i}").as_bytes()).unwrap();
+        }
+        let bounded = fs.rebuild_cache().unwrap();
+        assert!(
+            bounded <= 10,
+            "replayed {bounded} records despite checkpoint"
+        );
+        // Writes at offset 0 do not truncate: the last byte of the longer
+        // "rev 199" shows through behind the 6-byte "post 4".
+        assert_eq!(fs.read("doc").unwrap(), b"post 49".to_vec());
+        // Version-at-time still works across the checkpoint.
+        let old = fs.version_at("doc", Timestamp::MAX).unwrap().unwrap();
+        assert_eq!(old, b"post 49");
+    }
+
+    #[test]
+    fn checkpoint_of_deleted_file_round_trips() {
+        let svc = service();
+        let fs = HistoryFs::attach(svc.clone(), "/fs").unwrap();
+        fs.create("gone").unwrap();
+        fs.write_at("gone", 0, b"x").unwrap();
+        fs.delete("gone").unwrap();
+        fs.checkpoint().unwrap();
+        let fs = HistoryFs::attach(svc, "/fs").unwrap();
+        assert!(!fs.exists("gone"));
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! History-based applications (§4).
+//!
+//! "A history-based application … uses an underlying (append-only) logging
+//! service for permanent storage, recording its entire persistent state in
+//! one or more log files. The application's current state is an (at least
+//! partially) cached summary of the contents of these log files. This state
+//! can be completely reconstructed from the log files, if necessary."
+//!
+//! Two applications the paper sketches are built here:
+//!
+//! - [`hbfs`]: a history-based *file server* (§4.1) — each file's history
+//!   of updates lives in a log file; the current contents are a RAM cache;
+//!   any earlier version can be extracted by replaying to a point in time.
+//! - [`mail`]: a history-based *mail system* (§4.2) — each mailbox is a
+//!   sublog of `/mail`; delivered messages are permanently accessible and
+//!   the directory/query state is cached, reconstructible, and free to
+//!   evolve without touching old mail.
+//! - [`atomic`]: atomic update of *regular* files using log files for
+//!   recovery — the extension the paper announces as planned work (§6).
+
+pub mod atomic;
+pub mod hbfs;
+pub mod mail;
+
+pub use atomic::AtomicFiles;
+pub use hbfs::HistoryFs;
+pub use mail::MailSystem;

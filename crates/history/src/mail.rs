@@ -1,0 +1,254 @@
+//! The history-based mail system (§4.2).
+//!
+//! "Associated with each mailbox is a log file corresponding to mail
+//! messages that have been delivered to this mailbox. The local mail agent
+//! maintains pointers into this 'mail history'. In addition, it caches
+//! copies of mail messages from the history, for efficiency. In this way, a
+//! user's mail messages are permanently accessible, and the storage of the
+//! mail messages themselves is decoupled from the mail system's directory
+//! management and query facilities."
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use clio_core::service::{AppendOpts, Durability, LogService};
+use clio_types::{ClioError, EntryAddr, Result, Timestamp};
+
+/// A delivered message as stored in the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Subject line.
+    pub subject: String,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl Message {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.subject.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.subject.as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    fn decode(data: &[u8]) -> Result<Message> {
+        if data.len() < 2 {
+            return Err(ClioError::BadRecord("short message"));
+        }
+        let slen = u16::from_le_bytes([data[0], data[1]]) as usize;
+        if data.len() < 2 + slen {
+            return Err(ClioError::BadRecord("truncated subject"));
+        }
+        Ok(Message {
+            subject: std::str::from_utf8(&data[2..2 + slen])
+                .map_err(|_| ClioError::BadRecord("subject not utf-8"))?
+                .to_owned(),
+            body: data[2 + slen..].to_vec(),
+        })
+    }
+}
+
+/// The cached per-mailbox index: "pointers into this mail history".
+#[derive(Debug, Clone, Default)]
+struct BoxIndex {
+    /// (delivery time, subject, entry address) per message.
+    messages: Vec<(Timestamp, String, EntryAddr)>,
+}
+
+/// The mail system.
+pub struct MailSystem {
+    svc: Arc<LogService>,
+    root: String,
+    index: Mutex<HashMap<String, BoxIndex>>,
+}
+
+impl MailSystem {
+    /// Creates (or re-attaches to) the mail system rooted at `root`
+    /// (e.g. `/mail`), rebuilding the index cache from the histories.
+    pub fn attach(svc: Arc<LogService>, root: &str) -> Result<MailSystem> {
+        if svc.resolve(root).is_err() {
+            svc.create_log(root)?;
+        }
+        let m = MailSystem {
+            svc,
+            root: root.to_owned(),
+            index: Mutex::new(HashMap::new()),
+        };
+        m.rebuild_index()?;
+        Ok(m)
+    }
+
+    fn box_path(&self, user: &str) -> String {
+        format!("{}/{}", self.root, user)
+    }
+
+    /// Rebuilds the cached index by replaying the mailbox histories.
+    pub fn rebuild_index(&self) -> Result<()> {
+        let mut index = HashMap::new();
+        for user in self.svc.list(&self.root)? {
+            let mut bi = BoxIndex::default();
+            let mut cur = self.svc.cursor(&self.box_path(&user))?;
+            while let Some(e) = cur.next()? {
+                let msg = Message::decode(&e.data)?;
+                bi.messages.push((e.effective_ts(), msg.subject, e.addr));
+            }
+            index.insert(user, bi);
+        }
+        *self.index.lock() = index;
+        Ok(())
+    }
+
+    /// Creates a mailbox.
+    pub fn create_mailbox(&self, user: &str) -> Result<()> {
+        self.svc.create_log(&self.box_path(user))?;
+        self.index.lock().insert(user.to_owned(), BoxIndex::default());
+        Ok(())
+    }
+
+    /// Delivers a message (forced: mail must not be lost to a crash).
+    pub fn deliver(&self, user: &str, subject: &str, body: &[u8]) -> Result<Timestamp> {
+        let msg = Message {
+            subject: subject.to_owned(),
+            body: body.to_vec(),
+        };
+        let r = self.svc.append_path(
+            &self.box_path(user),
+            &msg.encode(),
+            AppendOpts {
+                durability: Durability::Forced,
+                timestamped: true,
+                seqno: None,
+            },
+        )?;
+        self.index
+            .lock()
+            .get_mut(user)
+            .ok_or_else(|| ClioError::NoSuchLogFile(user.to_owned()))?
+            .messages
+            .push((r.timestamp, subject.to_owned(), r.addr));
+        Ok(r.timestamp)
+    }
+
+    /// Lists `(delivery time, subject)` for a mailbox, newest last.
+    pub fn list(&self, user: &str) -> Result<Vec<(Timestamp, String)>> {
+        Ok(self
+            .index
+            .lock()
+            .get(user)
+            .ok_or_else(|| ClioError::NoSuchLogFile(user.to_owned()))?
+            .messages
+            .iter()
+            .map(|(ts, s, _)| (*ts, s.clone()))
+            .collect())
+    }
+
+    /// Reads message `index` (0-based, delivery order) from the history.
+    pub fn read(&self, user: &str, index: usize) -> Result<Message> {
+        let addr = {
+            let g = self.index.lock();
+            let bi = g
+                .get(user)
+                .ok_or_else(|| ClioError::NoSuchLogFile(user.to_owned()))?;
+            bi.messages
+                .get(index)
+                .map(|(_, _, a)| *a)
+                .ok_or_else(|| ClioError::NotFound(format!("message {index} of {user}")))?
+        };
+        let e = self.svc.read_entry(addr)?;
+        Message::decode(&e.data)
+    }
+
+    /// Messages delivered to `user` since `ts` (a query straight off the
+    /// history, no index needed).
+    pub fn since(&self, user: &str, ts: Timestamp) -> Result<Vec<Message>> {
+        let mut cur = self.svc.cursor_from_time(&self.box_path(user), ts)?;
+        let mut out = Vec::new();
+        while let Some(e) = cur.next()? {
+            out.push(Message::decode(&e.data)?);
+        }
+        Ok(out)
+    }
+
+    /// All mailbox names.
+    pub fn mailboxes(&self) -> Result<Vec<String>> {
+        self.svc.list(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use clio_core::ServiceConfig;
+    use clio_types::{ManualClock, VolumeSeqId};
+    use clio_volume::MemDevicePool;
+
+    use super::*;
+
+    fn service() -> Arc<LogService> {
+        Arc::new(
+            LogService::create(
+                VolumeSeqId(2),
+                Arc::new(MemDevicePool::new(512, 4096)),
+                ServiceConfig {
+                    block_size: 512,
+                    fanout: 4,
+                    cache_blocks: 128,
+                    ..ServiceConfig::default()
+                },
+                Arc::new(ManualClock::starting_at(Timestamp::from_secs(1))),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn deliver_list_read() {
+        let mail = MailSystem::attach(service(), "/mail").unwrap();
+        mail.create_mailbox("smith").unwrap();
+        mail.create_mailbox("jones").unwrap();
+        mail.deliver("smith", "hi", b"hello smith").unwrap();
+        mail.deliver("jones", "psst", b"hello jones").unwrap();
+        mail.deliver("smith", "again", b"second message").unwrap();
+
+        let listing = mail.list("smith").unwrap();
+        assert_eq!(listing.len(), 2);
+        assert_eq!(listing[0].1, "hi");
+        assert_eq!(listing[1].1, "again");
+        assert_eq!(mail.read("smith", 1).unwrap().body, b"second message");
+        assert_eq!(mail.list("jones").unwrap().len(), 1);
+        assert!(mail.read("smith", 5).is_err());
+        assert!(mail.deliver("nobody", "x", b"y").is_err());
+    }
+
+    #[test]
+    fn since_query_uses_time() {
+        let mail = MailSystem::attach(service(), "/mail").unwrap();
+        mail.create_mailbox("u").unwrap();
+        mail.deliver("u", "old", b"1").unwrap();
+        let t = mail.deliver("u", "mid", b"2").unwrap();
+        mail.deliver("u", "new", b"3").unwrap();
+        let recent = mail.since("u", t).unwrap();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].subject, "mid");
+        assert_eq!(recent[1].subject, "new");
+    }
+
+    #[test]
+    fn index_rebuild_after_restart() {
+        let svc = service();
+        {
+            let mail = MailSystem::attach(svc.clone(), "/mail").unwrap();
+            mail.create_mailbox("smith").unwrap();
+            mail.deliver("smith", "one", b"body one").unwrap();
+            mail.deliver("smith", "two", b"body two").unwrap();
+        }
+        // The agent restarts: only the log survives; the index is rebuilt.
+        let mail = MailSystem::attach(svc, "/mail").unwrap();
+        assert_eq!(mail.mailboxes().unwrap(), vec!["smith"]);
+        let listing = mail.list("smith").unwrap();
+        assert_eq!(listing.len(), 2);
+        assert_eq!(mail.read("smith", 0).unwrap().body, b"body one");
+    }
+}

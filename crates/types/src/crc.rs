@@ -1,0 +1,105 @@
+//! CRC32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Clio assumes it can detect blocks that were "written with garbage"
+//! (§2.3.2). A CRC in each block trailer is our concrete detection
+//! mechanism; it is implemented here so the workspace needs no extra
+//! dependency.
+
+/// The reflected IEEE CRC32 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Lazily built 256-entry lookup table.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// Computes the CRC32 of `data`.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Incremental CRC update; feed `0xFFFF_FFFF` as the initial state and XOR
+/// the final state with `0xFFFF_FFFF` to finish.
+#[must_use]
+pub fn crc32_update(state: u32, data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = state;
+    for &b in data {
+        c = t[usize::from((c as u8) ^ b)] ^ (c >> 8);
+    }
+    c
+}
+
+/// A streaming CRC32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a fresh hasher.
+    #[must_use]
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds bytes into the hasher.
+    pub fn update(&mut self, data: &[u8]) {
+        self.state = crc32_update(self.state, data);
+    }
+
+    /// Finishes and returns the checksum.
+    #[must_use]
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"hello, write-once world";
+        let mut h = Crc32::new();
+        h.update(&data[..7]);
+        h.update(&data[7..]);
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0xA5u8; 512];
+        let good = crc32(&data);
+        data[200] ^= 0x10;
+        assert_ne!(crc32(&data), good);
+    }
+}

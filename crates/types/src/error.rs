@@ -1,0 +1,140 @@
+//! The common error type for all Clio subsystems.
+
+use std::fmt;
+
+use crate::ids::{BlockNo, LogFileId};
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, ClioError>;
+
+/// Errors surfaced by the Clio log service and its substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClioError {
+    /// An attempt was made to write anywhere but the end of the written
+    /// portion of a write-once device.
+    NotAppendOnly {
+        /// The block the caller tried to write.
+        attempted: BlockNo,
+        /// The append point (first unwritten block).
+        end: BlockNo,
+    },
+    /// A read referenced a block beyond the written portion of the device.
+    UnwrittenBlock(BlockNo),
+    /// A block address is outside the device entirely.
+    OutOfRange(BlockNo),
+    /// The device (volume) has no unwritten blocks left.
+    VolumeFull,
+    /// The volume holding the requested data is not mounted; bring it
+    /// online and retry (§2.1: older volumes "may be made available on
+    /// demand, either automatically or manually").
+    VolumeOffline(u32),
+    /// A block failed its integrity check (bad magic or CRC mismatch).
+    CorruptBlock(BlockNo),
+    /// A block was explicitly invalidated (burned to all 1s).
+    InvalidatedBlock(BlockNo),
+    /// A record could not be decoded.
+    BadRecord(&'static str),
+    /// The named log file does not exist.
+    NoSuchLogFile(String),
+    /// The log file id is unknown to the catalog.
+    UnknownLogFileId(LogFileId),
+    /// A log file with this name already exists.
+    LogFileExists(String),
+    /// The 12-bit local-logfile-id space (4096 ids) is exhausted.
+    LogFileIdsExhausted,
+    /// An operation that requires an open-for-append log file was applied to
+    /// a sealed or read-only one.
+    ReadOnly,
+    /// Access denied by the log file's permissions.
+    PermissionDenied(String),
+    /// The requested entry, time, or position does not exist in the log.
+    NotFound(String),
+    /// An entry exceeds what a single write may carry.
+    EntryTooLarge {
+        /// The offered size in bytes.
+        size: usize,
+        /// The maximum supported size in bytes.
+        max: usize,
+    },
+    /// A malformed client-supplied path.
+    BadPath(String),
+    /// The operation is not supported by this device or configuration.
+    Unsupported(&'static str),
+    /// Underlying host I/O failure (file-backed devices).
+    Io(String),
+    /// Internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl fmt::Display for ClioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClioError::NotAppendOnly { attempted, end } => write!(
+                f,
+                "write-once violation: attempted write to block {attempted}, append point is {end}"
+            ),
+            ClioError::UnwrittenBlock(b) => write!(f, "block {b} has not been written"),
+            ClioError::OutOfRange(b) => write!(f, "block {b} is outside the device"),
+            ClioError::VolumeFull => write!(f, "volume is full"),
+            ClioError::VolumeOffline(idx) => {
+                write!(f, "volume {idx} is offline; mount it and retry")
+            }
+            ClioError::CorruptBlock(b) => write!(f, "block {b} is corrupt"),
+            ClioError::InvalidatedBlock(b) => write!(f, "block {b} was invalidated"),
+            ClioError::BadRecord(what) => write!(f, "malformed record: {what}"),
+            ClioError::NoSuchLogFile(name) => write!(f, "no such log file: {name}"),
+            ClioError::UnknownLogFileId(id) => write!(f, "unknown log file id {id}"),
+            ClioError::LogFileExists(name) => write!(f, "log file already exists: {name}"),
+            ClioError::LogFileIdsExhausted => write!(f, "no local-logfile-ids left (max 4096)"),
+            ClioError::ReadOnly => write!(f, "log file is not open for append"),
+            ClioError::PermissionDenied(what) => write!(f, "permission denied: {what}"),
+            ClioError::NotFound(what) => write!(f, "not found: {what}"),
+            ClioError::EntryTooLarge { size, max } => {
+                write!(f, "entry of {size} bytes exceeds maximum {max}")
+            }
+            ClioError::BadPath(p) => write!(f, "bad path: {p}"),
+            ClioError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            ClioError::Io(e) => write!(f, "i/o error: {e}"),
+            ClioError::Internal(what) => write!(f, "internal error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClioError {}
+
+impl From<std::io::Error> for ClioError {
+    fn from(e: std::io::Error) -> Self {
+        ClioError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ClioError::NotAppendOnly {
+            attempted: BlockNo(3),
+            end: BlockNo(7),
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('7'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("boom");
+        let e: ClioError = io.into();
+        assert!(matches!(e, ClioError::Io(ref m) if m.contains("boom")));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(ClioError::VolumeFull, ClioError::VolumeFull);
+        assert_ne!(
+            ClioError::UnwrittenBlock(BlockNo(1)),
+            ClioError::UnwrittenBlock(BlockNo(2))
+        );
+    }
+}

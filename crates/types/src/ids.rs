@@ -1,0 +1,220 @@
+//! Strongly typed identifiers.
+//!
+//! The paper identifies a log file by (i) a log volume sequence and (ii) a
+//! log file identifier relative to that sequence (§2.1). Within an entry
+//! header the log file identifier is a 12-bit *local-logfile-id* indexing the
+//! catalog (§2.2). Blocks are addressed by their position on a volume.
+
+use std::fmt;
+
+use crate::consts::{FIRST_CLIENT_LOGFILE_ID, MAX_LOGFILES};
+
+/// A block address on a single log device / volume, counted from zero.
+///
+/// Block 0 of every volume is the volume label; *data blocks* start at
+/// device block 1. Entrymap arithmetic is carried out in data-block
+/// coordinates (see `clio-entrymap`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockNo(pub u64);
+
+impl BlockNo {
+    /// Returns the next block address.
+    #[must_use]
+    pub fn next(self) -> BlockNo {
+        BlockNo(self.0 + 1)
+    }
+
+    /// Returns the previous block address, or `None` at block zero.
+    #[must_use]
+    pub fn prev(self) -> Option<BlockNo> {
+        self.0.checked_sub(1).map(BlockNo)
+    }
+}
+
+impl fmt::Display for BlockNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The 12-bit local-logfile-id: identifies a log file within one volume
+/// sequence, and indexes the server's catalog (§2.2).
+///
+/// Ids 0–7 are reserved for the service itself:
+///
+/// | id | log file |
+/// |----|----------|
+/// | 0  | the volume sequence log file (never tags an entry)  |
+/// | 1  | the entrymap log file |
+/// | 2  | the catalog log file |
+/// | 3  | the bad-block log file |
+/// | 4–7 | reserved for future service use |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogFileId(pub u16);
+
+impl LogFileId {
+    /// The volume sequence log file: the sequence of *all* entries ever
+    /// written to a volume sequence (§2).
+    pub const VOLUME_SEQUENCE: LogFileId = LogFileId(0);
+    /// The entrymap log file (§2.1).
+    pub const ENTRYMAP: LogFileId = LogFileId(1);
+    /// The catalog log file (§2.2).
+    pub const CATALOG: LogFileId = LogFileId(2);
+    /// The bad-block log file, recording corrupted unwritten blocks (§2.3.2).
+    pub const BAD_BLOCK: LogFileId = LogFileId(3);
+
+    /// Creates an id, returning `None` if it does not fit in 12 bits.
+    #[must_use]
+    pub fn new(raw: u16) -> Option<LogFileId> {
+        (usize::from(raw) < MAX_LOGFILES).then_some(LogFileId(raw))
+    }
+
+    /// The first id handed out to client log files.
+    #[must_use]
+    pub fn first_client() -> LogFileId {
+        LogFileId(FIRST_CLIENT_LOGFILE_ID)
+    }
+
+    /// Whether this id denotes one of the service's own log files.
+    #[must_use]
+    pub fn is_reserved(self) -> bool {
+        self.0 < FIRST_CLIENT_LOGFILE_ID
+    }
+
+    /// Whether entries of this log file are tracked by entrymap bitmaps.
+    ///
+    /// The entrymap log excludes the volume sequence log file and itself
+    /// (§2.1, footnote 6).
+    #[must_use]
+    pub fn is_entrymapped(self) -> bool {
+        self != LogFileId::VOLUME_SEQUENCE && self != LogFileId::ENTRYMAP
+    }
+}
+
+impl fmt::Display for LogFileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Identifies a physical log volume (one removable medium).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VolumeId(pub u64);
+
+impl fmt::Display for VolumeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vol-{:016x}", self.0)
+    }
+}
+
+/// Identifies a volume sequence: a chain of volumes totally ordered by time
+/// of writing (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VolumeSeqId(pub u64);
+
+impl fmt::Display for VolumeSeqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seq-{:016x}", self.0)
+    }
+}
+
+/// A client-chosen sequence number, used together with a client timestamp to
+/// uniquely identify an asynchronously written entry (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNo(pub u32);
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifies a client of the log service (used by the server boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClientId(pub u32);
+
+/// The physical address of a log entry within a volume sequence.
+///
+/// `volume_index` is the position of the volume within its sequence,
+/// `block` is the *data block* (volume label excluded, i.e. device block
+/// `block + 1`) holding the entry's first fragment, and `slot` is the
+/// entry's index within that block (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntryAddr {
+    /// Position of the holding volume within the volume sequence (0-based).
+    pub volume_index: u32,
+    /// Data block containing the entry's first fragment.
+    pub block: BlockNo,
+    /// Index of the entry within the block.
+    pub slot: u16,
+}
+
+impl EntryAddr {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(volume_index: u32, block: BlockNo, slot: u16) -> EntryAddr {
+        EntryAddr {
+            volume_index,
+            block,
+            slot,
+        }
+    }
+}
+
+impl fmt::Display for EntryAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}:b{}:e{}", self.volume_index, self.block, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_no_navigation() {
+        assert_eq!(BlockNo(0).next(), BlockNo(1));
+        assert_eq!(BlockNo(0).prev(), None);
+        assert_eq!(BlockNo(5).prev(), Some(BlockNo(4)));
+    }
+
+    #[test]
+    fn logfile_id_fits_12_bits() {
+        assert!(LogFileId::new(0).is_some());
+        assert!(LogFileId::new(4095).is_some());
+        assert!(LogFileId::new(4096).is_none());
+        assert!(LogFileId::new(u16::MAX).is_none());
+    }
+
+    #[test]
+    fn reserved_ids() {
+        assert!(LogFileId::VOLUME_SEQUENCE.is_reserved());
+        assert!(LogFileId::ENTRYMAP.is_reserved());
+        assert!(LogFileId::CATALOG.is_reserved());
+        assert!(LogFileId::BAD_BLOCK.is_reserved());
+        assert!(!LogFileId::first_client().is_reserved());
+    }
+
+    #[test]
+    fn entrymap_tracks_catalog_but_not_itself() {
+        assert!(!LogFileId::VOLUME_SEQUENCE.is_entrymapped());
+        assert!(!LogFileId::ENTRYMAP.is_entrymapped());
+        assert!(LogFileId::CATALOG.is_entrymapped());
+        assert!(LogFileId::BAD_BLOCK.is_entrymapped());
+        assert!(LogFileId::first_client().is_entrymapped());
+    }
+
+    #[test]
+    fn entry_addr_orders_by_volume_then_block_then_slot() {
+        let a = EntryAddr::new(0, BlockNo(9), 5);
+        let b = EntryAddr::new(1, BlockNo(0), 0);
+        let c = EntryAddr::new(1, BlockNo(0), 1);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(EntryAddr::new(2, BlockNo(7), 3).to_string(), "v2:b7:e3");
+        assert_eq!(LogFileId(12).to_string(), "#12");
+    }
+}

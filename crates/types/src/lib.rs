@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! Common types for the Clio log service.
+//!
+//! This crate holds the vocabulary shared by every Clio subsystem: strongly
+//! typed identifiers ([`BlockNo`], [`LogFileId`], [`EntryAddr`], …), the
+//! [`Timestamp`] type used to identify and locate log entries, the common
+//! [`ClioError`] type, a table-driven CRC32 used for block integrity, and a
+//! small bitmap used by entrymap log entries.
+//!
+//! Nothing in this crate performs I/O; it is the bottom of the dependency
+//! graph.
+
+pub mod bitmap;
+pub mod consts;
+pub mod crc;
+pub mod error;
+pub mod ids;
+pub mod time;
+
+pub use bitmap::SmallBitmap;
+pub use consts::*;
+pub use error::{ClioError, Result};
+pub use ids::{BlockNo, ClientId, EntryAddr, LogFileId, SeqNo, VolumeId, VolumeSeqId};
+pub use time::{Clock, ManualClock, SystemClock, Timestamp};

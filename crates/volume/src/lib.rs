@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! Log volumes and volume sequences.
+//!
+//! "A log volume is the removable, physical storage medium … on which log
+//! data is stored" (§2). "A log file may span several log volumes. Each log
+//! file is totally contained in one log volume sequence — a sequence of log
+//! volumes totally ordered by the time of writing. Whenever a volume fills
+//! up, a (previously unused) successor volume is loaded, with this
+//! successor being logically a continuation of its predecessor." (§2.1)
+//!
+//! [`Volume`] binds a write-once device to its label and the shared block
+//! cache; [`VolumeSequence`] chains volumes and loads successors from a
+//! [`DevicePool`].
+
+pub mod pool;
+pub mod sequence;
+pub mod volume;
+
+pub use pool::{DevicePool, MemDevicePool, RecordingPool};
+pub use sequence::VolumeSequence;
+pub use volume::Volume;

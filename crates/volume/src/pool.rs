@@ -1,0 +1,148 @@
+//! Sources of fresh volumes.
+//!
+//! When a volume fills up, "a (previously unused) successor volume is
+//! loaded" (§2.1) — in a real deployment by an operator or jukebox, here by
+//! a [`DevicePool`]. The pool owns the blank media; the sequence layer
+//! formats each one as it is consumed.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use clio_types::Result;
+
+use clio_device::{MemWormDevice, SharedDevice};
+
+/// Supplies previously-unused log devices on demand.
+pub trait DevicePool: Send + Sync {
+    /// Hands out the next blank device.
+    fn next_device(&self) -> Result<SharedDevice>;
+}
+
+/// A pool that fabricates in-memory WORM devices of fixed geometry —
+/// the "infinite stack of blank optical disks" used by tests and benches.
+pub struct MemDevicePool {
+    block_size: usize,
+    capacity_blocks: u64,
+    handed_out: Mutex<u64>,
+    limit: Option<u64>,
+}
+
+impl MemDevicePool {
+    /// A pool of unlimited blank volumes.
+    #[must_use]
+    pub fn new(block_size: usize, capacity_blocks: u64) -> MemDevicePool {
+        MemDevicePool {
+            block_size,
+            capacity_blocks,
+            handed_out: Mutex::new(0),
+            limit: None,
+        }
+    }
+
+    /// Limits how many volumes the pool will supply (to test exhaustion).
+    #[must_use]
+    pub fn with_limit(mut self, limit: u64) -> MemDevicePool {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Number of devices handed out so far.
+    #[must_use]
+    pub fn handed_out(&self) -> u64 {
+        *self.handed_out.lock()
+    }
+}
+
+impl DevicePool for MemDevicePool {
+    fn next_device(&self) -> Result<SharedDevice> {
+        let mut n = self.handed_out.lock();
+        if let Some(limit) = self.limit {
+            if *n >= limit {
+                return Err(clio_types::ClioError::VolumeFull);
+            }
+        }
+        *n += 1;
+        Ok(Arc::new(MemWormDevice::new(
+            self.block_size,
+            self.capacity_blocks,
+        )))
+    }
+}
+
+/// A pool wrapper that records every device it hands out — the standard
+/// way tests, benches, and examples simulate a server crash: drop the
+/// service, keep the recorded (non-volatile) devices, and recover from
+/// them. An optional `wrap` closure decorates each device (RAM tail,
+/// fault injection, mirroring) before it reaches the sequence layer.
+pub struct RecordingPool {
+    inner: Arc<dyn DevicePool>,
+    wrap: Option<Box<dyn Fn(SharedDevice) -> SharedDevice + Send + Sync>>,
+    devices: Mutex<Vec<SharedDevice>>,
+}
+
+impl RecordingPool {
+    /// Records devices from `inner` unchanged.
+    #[must_use]
+    pub fn new(inner: Arc<dyn DevicePool>) -> RecordingPool {
+        RecordingPool {
+            inner,
+            wrap: None,
+            devices: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records devices from `inner`, decorating each with `wrap` first.
+    #[must_use]
+    pub fn wrapping<F>(inner: Arc<dyn DevicePool>, wrap: F) -> RecordingPool
+    where
+        F: Fn(SharedDevice) -> SharedDevice + Send + Sync + 'static,
+    {
+        RecordingPool {
+            inner,
+            wrap: Some(Box::new(wrap)),
+            devices: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Every device handed out so far, in order — the survivors of a
+    /// simulated crash.
+    #[must_use]
+    pub fn devices(&self) -> Vec<SharedDevice> {
+        self.devices.lock().clone()
+    }
+}
+
+impl DevicePool for RecordingPool {
+    fn next_device(&self) -> Result<SharedDevice> {
+        let base = self.inner.next_device()?;
+        let dev = match &self.wrap {
+            Some(w) => w(base),
+            None => base,
+        };
+        self.devices.lock().push(dev.clone());
+        Ok(dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_hands_out_blank_devices() {
+        let pool = MemDevicePool::new(256, 32);
+        let a = pool.next_device().unwrap();
+        let b = pool.next_device().unwrap();
+        assert_eq!(a.block_size(), 256);
+        assert_eq!(b.capacity_blocks(), 32);
+        assert_eq!(pool.handed_out(), 2);
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let pool = MemDevicePool::new(256, 32).with_limit(1);
+        assert!(pool.next_device().is_ok());
+        assert!(pool.next_device().is_err());
+    }
+}
