@@ -1,10 +1,11 @@
-//! Criterion microbenchmarks for the hot paths: block building/scanning,
-//! entrymap emission and search, the append path, and the block cache.
+//! Microbenchmarks for the hot paths: block building/scanning, entrymap
+//! emission and search, the append path, and the block cache.
+//!
+//! Runs on `clio_testkit::bench` (`harness = false`); tune with
+//! `CLIO_BENCH_SAMPLES`, `CLIO_BENCH_SAMPLE_MS`, `CLIO_BENCH_WARMUP_MS`.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
-
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use clio_bench::synth::{SyntheticSource, SYNTH_FILE};
 use clio_cache::{BlockCache, CacheKey};
@@ -12,68 +13,65 @@ use clio_core::service::{AppendOpts, LogService};
 use clio_core::ServiceConfig;
 use clio_entrymap::{EntrymapWriter, Geometry, Locator};
 use clio_format::{BlockBuilder, BlockView, EntryForm, EntryHeader};
+use clio_testkit::bench::{black_box, Bench};
 use clio_types::crc::crc32;
 use clio_types::{BlockNo, LogFileId, ManualClock, Timestamp, VolumeSeqId};
 use clio_volume::MemDevicePool;
 
-fn bench_block_format(c: &mut Criterion) {
-    let header = EntryHeader::new(LogFileId(8), EntryForm::Timestamped, Some(Timestamp(7)), None);
+fn bench_block_format(c: &mut Bench) {
+    let header = EntryHeader::new(
+        LogFileId(8),
+        EntryForm::Timestamped,
+        Some(Timestamp(7)),
+        None,
+    );
     let payload = [0x5Au8; 48];
-    c.bench_function("block/pack_1k", |b| {
-        b.iter(|| {
-            let mut builder = BlockBuilder::new(1024, Timestamp(1));
-            while let clio_format::PushOutcome::Written(_) =
-                builder.push(black_box(&header), black_box(&payload))
-            {
-            }
-            black_box(builder.finish())
-        })
+    c.bench("block/pack_1k", || {
+        let mut builder = BlockBuilder::new(1024, Timestamp(1));
+        while let clio_format::PushOutcome::Written(_) =
+            builder.push(black_box(&header), black_box(&payload))
+        {}
+        black_box(builder.finish())
     });
     let img = {
         let mut builder = BlockBuilder::new(1024, Timestamp(1));
         while let clio_format::PushOutcome::Written(_) = builder.push(&header, &payload) {}
         builder.finish()
     };
-    c.bench_function("block/scan_1k", |b| {
-        b.iter(|| {
-            let view = BlockView::parse(black_box(&img)).expect("valid block");
-            let mut n = 0;
-            for e in view.entries() {
-                let e = e.expect("valid entry");
-                n += e.payload.len();
-            }
-            black_box(n)
-        })
+    c.bench("block/scan_1k", || {
+        let view = BlockView::parse(black_box(&img)).expect("valid block");
+        let mut n = 0;
+        for e in view.entries() {
+            let e = e.expect("valid entry");
+            n += e.payload.len();
+        }
+        black_box(n)
     });
-    c.bench_function("crc32/1k", |b| b.iter(|| black_box(crc32(black_box(&img)))));
+    c.bench("crc32/1k", || black_box(crc32(black_box(&img))));
 }
 
-fn bench_entrymap(c: &mut Criterion) {
-    c.bench_function("entrymap/writer_1k_blocks", |b| {
-        b.iter(|| {
-            let mut w = EntrymapWriter::new(Geometry::new(16));
-            for db in 0..1000u64 {
-                black_box(w.begin_block(db));
-                w.note_block(db, [LogFileId(8), LogFileId(9)]);
-            }
-            black_box(w.pending().level_count())
-        })
+fn bench_entrymap(c: &mut Bench) {
+    c.bench("entrymap/writer_1k_blocks", || {
+        let mut w = EntrymapWriter::new(Geometry::new(16));
+        for db in 0..1000u64 {
+            black_box(w.begin_block(db));
+            w.note_block(db, [LogFileId(8), LogFileId(9)]);
+        }
+        black_box(w.pending().level_count())
     });
     let placed: BTreeSet<u64> = [100u64].into_iter().collect();
     let src = SyntheticSource::new(16, 1024, 1_000_000, placed);
     let pending = src.pending();
-    c.bench_function("entrymap/locate_1M_distance", |b| {
-        b.iter(|| {
-            let mut loc = Locator::new(&src, Some(&pending));
-            black_box(
-                loc.locate_before(black_box(&[SYNTH_FILE]), 999_999)
-                    .expect("synthetic reads cannot fail"),
-            )
-        })
+    c.bench("entrymap/locate_1M_distance", || {
+        let mut loc = Locator::new(&src, Some(&pending));
+        black_box(
+            loc.locate_before(black_box(&[SYNTH_FILE]), 999_999)
+                .expect("synthetic reads cannot fail"),
+        )
     });
 }
 
-fn bench_service(c: &mut Criterion) {
+fn bench_service(c: &mut Bench) {
     let mk = || {
         let svc = LogService::create(
             VolumeSeqId(1),
@@ -87,18 +85,14 @@ fn bench_service(c: &mut Criterion) {
     };
     let payload = [0x42u8; 50];
     let svc = mk();
-    c.bench_function("service/append_buffered_50B", |b| {
-        b.iter(|| {
-            svc.append_path("/bench", black_box(&payload), AppendOpts::standard())
-                .expect("append")
-        })
+    c.bench("service/append_buffered_50B", || {
+        svc.append_path("/bench", black_box(&payload), AppendOpts::standard())
+            .expect("append")
     });
     let svc = mk();
-    c.bench_function("service/append_forced_50B", |b| {
-        b.iter(|| {
-            svc.append_path("/bench", black_box(&payload), AppendOpts::forced())
-                .expect("append")
-        })
+    c.bench("service/append_forced_50B", || {
+        svc.append_path("/bench", black_box(&payload), AppendOpts::forced())
+            .expect("append")
     });
     // Read path over a prebuilt log.
     let svc = mk();
@@ -107,43 +101,38 @@ fn bench_service(c: &mut Criterion) {
             .expect("append");
     }
     svc.flush().expect("flush");
-    c.bench_function("service/cursor_scan_5k", |b| {
-        b.iter(|| {
-            let mut cur = svc.cursor("/bench").expect("cursor");
-            let mut n = 0u64;
-            while let Some(e) = cur.next().expect("next") {
-                n += e.data.len() as u64;
-            }
-            black_box(n)
-        })
+    c.bench("service/cursor_scan_5k", || {
+        let mut cur = svc.cursor("/bench").expect("cursor");
+        let mut n = 0u64;
+        while let Some(e) = cur.next().expect("next") {
+            n += e.data.len() as u64;
+        }
+        black_box(n)
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache(c: &mut Bench) {
     let cache = BlockCache::new(1024);
     let data = Arc::new(vec![0u8; 1024]);
     for i in 0..1024u64 {
         cache.put(CacheKey::new(0, BlockNo(i)), data.clone());
     }
-    c.bench_function("cache/hit", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 1024;
-            black_box(cache.get(CacheKey::new(0, BlockNo(i))))
-        })
+    let mut i = 0u64;
+    c.bench("cache/hit", || {
+        i = (i + 1) % 1024;
+        black_box(cache.get(CacheKey::new(0, BlockNo(i))))
     });
-    c.bench_function("cache/put_evict", |b| {
-        let mut i = 10_000u64;
-        b.iter(|| {
-            i += 1;
-            cache.put(CacheKey::new(0, BlockNo(i)), data.clone());
-        })
+    let mut j = 10_000u64;
+    c.bench("cache/put_evict", || {
+        j += 1;
+        cache.put(CacheKey::new(0, BlockNo(j)), data.clone());
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_block_format, bench_entrymap, bench_service, bench_cache
+fn main() {
+    let mut c = Bench::from_env();
+    bench_block_format(&mut c);
+    bench_entrymap(&mut c);
+    bench_service(&mut c);
+    bench_cache(&mut c);
 }
-criterion_main!(benches);

@@ -33,15 +33,20 @@ fn main() {
         svc.create_log("/audit").expect("create");
         let mut wl = LoginWorkload::paper_calibrated(5);
         for u in 0..wl.n_users {
-            svc.create_log(&format!("/audit/user{u}")).expect("create user");
+            svc.create_log(&format!("/audit/user{u}"))
+                .expect("create user");
         }
         // A rare log file whose single old entry forces a distant lookup.
         svc.create_log("/rare").expect("create rare");
         svc.append_path("/rare", b"the needle", AppendOpts::standard())
             .expect("append");
         for (user, payload) in wl.events(10_000) {
-            svc.append_path(&format!("/audit/user{user}"), &payload, AppendOpts::standard())
-                .expect("append");
+            svc.append_path(
+                &format!("/audit/user{user}"),
+                &payload,
+                AppendOpts::standard(),
+            )
+            .expect("append");
         }
         svc.flush().expect("flush");
         let r = svc.report();
@@ -57,13 +62,8 @@ fn main() {
 
         // Recovery axis: crash and measure the entrymap rebuild (Fig. 4).
         drop(svc);
-        let (_svc, report) = LogService::recover(
-            pool.devices(),
-            pool.clone(),
-            cfg,
-            clock,
-        )
-        .expect("recover");
+        let (_svc, report) =
+            LogService::recover(pool.devices(), pool.clone(), cfg, clock).expect("recover");
 
         rows.push(vec![
             format!("{n}"),
@@ -74,7 +74,9 @@ fn main() {
             format!("{}", report.rebuild_blocks_read),
         ]);
     }
-    println!("§6 ablation — the N time–space trade-off (10,000 audit entries + 1 distant needle)\n");
+    println!(
+        "§6 ablation — the N time–space trade-off (10,000 audit entries + 1 distant needle)\n"
+    );
     print!(
         "{}",
         table::render(

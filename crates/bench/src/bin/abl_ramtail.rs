@@ -48,7 +48,8 @@ fn run(ram_tail: bool, txns: usize) -> (u64, u64, u64) {
     let mut wl = TxnWorkload::new(11, 4, 48);
     for txn in wl.transactions(txns) {
         for up in &txn.updates {
-            svc.append_path("/txn", up, AppendOpts::standard()).expect("update");
+            svc.append_path("/txn", up, AppendOpts::standard())
+                .expect("update");
         }
         // The commit forces the log (§2.3.1).
         svc.append_path("/txn", &txn.commit, AppendOpts::forced())
@@ -86,7 +87,12 @@ fn main() {
         )
     );
     let saving = 100.0 * (1.0 - ram_bytes as f64 / worm_bytes as f64);
-    println!("\nRAM-tail staging eliminates the early-seal fragmentation: {:.1}% fewer device bytes,", saving);
-    println!("{:.1}x fewer sealed blocks for identical durability.",
-        worm_blocks as f64 / ram_blocks.max(1) as f64);
+    println!(
+        "\nRAM-tail staging eliminates the early-seal fragmentation: {:.1}% fewer device bytes,",
+        saving
+    );
+    println!(
+        "{:.1}x fewer sealed blocks for identical durability.",
+        worm_blocks as f64 / ram_blocks.max(1) as f64
+    );
 }

@@ -20,12 +20,21 @@ fn main() {
             emitted.push((db, rec));
         }
         if db < 16 {
-            let ids: Vec<LogFileId> = if marked.contains(&db) { vec![file] } else { vec![] };
+            let ids: Vec<LogFileId> = if marked.contains(&db) {
+                vec![file]
+            } else {
+                vec![]
+            };
             w.note_block(db, ids);
         }
     }
     println!("Figure 2 — entrymap search tree for N = 4, file entries in blocks {marked:?}\n");
-    println!("blocks:  {}", (0..16).map(|b| if marked.contains(&b) { '#' } else { '.' }).collect::<String>());
+    println!(
+        "blocks:  {}",
+        (0..16)
+            .map(|b| if marked.contains(&b) { '#' } else { '.' })
+            .collect::<String>()
+    );
     for (at, rec) in &emitted {
         let bits = rec
             .map_for(file)

@@ -52,7 +52,8 @@ fn indirect_block_costs() {
         let ap = fs.counters();
         fs.reset_counters();
         let mut buf = vec![0u8; bs];
-        fs.read_at(ino, (size - 1) * bs as u64, &mut buf).expect("tail read");
+        fs.read_at(ino, (size - 1) * bs as u64, &mut buf)
+            .expect("tail read");
         let rd = fs.counters();
         rows.push(vec![
             format!("{size}"),
@@ -65,7 +66,12 @@ fn indirect_block_costs() {
     print!(
         "{}",
         table::render(
-            &["file blocks", "indirection", "append accesses", "tail-read accesses"],
+            &[
+                "file blocks",
+                "indirection",
+                "append accesses",
+                "tail-read accesses"
+            ],
             &rows
         )
     );
@@ -118,7 +124,8 @@ fn log_file_comparison() {
     svc.create_log("/grow").expect("create");
     let payload = vec![0xA5u8; 400];
     for _ in 0..4000 {
-        svc.append_path("/grow", &payload, AppendOpts::standard()).expect("append");
+        svc.append_path("/grow", &payload, AppendOpts::standard())
+            .expect("append");
     }
     svc.flush().expect("flush");
     let r = svc.report();
@@ -128,6 +135,8 @@ fn log_file_comparison() {
         r.blocks_sealed,
         r.blocks_sealed as f64 / 4000.0
     );
-    println!("\nThe paper's motivation holds if (a) grows with file size, (b) grows with interleaving,");
+    println!(
+        "\nThe paper's motivation holds if (a) grows with file size, (b) grows with interleaving,"
+    );
     println!("and (c) stays flat.");
 }

@@ -43,9 +43,7 @@ fn main() {
     ] {
         let t0 = Instant::now();
         for _ in 0..rounds {
-            client
-                .append_sync("/bench", &payload)
-                .expect("sync append");
+            client.append_sync("/bench", &payload).expect("sync append");
         }
         let wall_us = t0.elapsed().as_micros() as f64 / rounds as f64;
         let modelled = model.sync_write_us(payload.len());
@@ -65,11 +63,23 @@ fn main() {
         )
     );
     println!("\nModelled decomposition (paper's measured components):");
-    println!("  IPC (local)          {:>6} µs   (paper 0.5–1 ms)", model.ipc_local_us);
-    println!("  timestamp generation {:>6} µs   (paper ~400 µs)", model.timestamp_gen_us);
+    println!(
+        "  IPC (local)          {:>6} µs   (paper 0.5–1 ms)",
+        model.ipc_local_us
+    );
+    println!(
+        "  timestamp generation {:>6} µs   (paper ~400 µs)",
+        model.timestamp_gen_us
+    );
     println!("  server append work   {:>6} µs", model.server_append_us);
-    println!("  entrymap bookkeeping {:>6} µs   (paper ~70 µs/entry)", model.entrymap_note_us);
+    println!(
+        "  entrymap bookkeeping {:>6} µs   (paper ~70 µs/entry)",
+        model.entrymap_note_us
+    );
     println!("  copy (per byte)      {:>6} µs", model.copy_per_byte_us);
-    println!("\nActual IPC round trips observed: {}", server.ipc_round_trips());
+    println!(
+        "\nActual IPC round trips observed: {}",
+        server.ipc_round_trips()
+    );
     server.shutdown();
 }

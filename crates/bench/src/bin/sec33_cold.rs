@@ -59,7 +59,8 @@ fn main() {
     // ~20k blocks of hay between the needle and the reader.
     let filler = vec![0x68u8; 480];
     for _ in 0..40_000 {
-        svc.append_path("/hay", &filler, AppendOpts::standard()).expect("append");
+        svc.append_path("/hay", &filler, AppendOpts::standard())
+            .expect("append");
     }
     svc.flush().expect("flush");
     let distance = svc.volumes().active().data_end();
@@ -84,12 +85,20 @@ fn main() {
         ]);
     }
     println!("§3.3.2 — reading one entry ~{distance} blocks back through the real service");
-    println!("on a timed optical device ({} ms seek, {} ms transfer)\n",
-        model.optical_seek_us / 1000, model.optical_transfer_us / 1000);
+    println!(
+        "on a timed optical device ({} ms seek, {} ms transfer)\n",
+        model.optical_seek_us / 1000,
+        model.optical_transfer_us / 1000
+    );
     print!(
         "{}",
         table::render(
-            &["read", "device reads (misses)", "cache hits", "modelled time (ms)"],
+            &[
+                "read",
+                "device reads (misses)",
+                "cache hits",
+                "modelled time (ms)"
+            ],
             &rows
         )
     );

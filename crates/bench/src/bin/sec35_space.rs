@@ -37,12 +37,17 @@ fn main() {
     svc.create_log("/audit").expect("create /audit");
     let mut wl = LoginWorkload::paper_calibrated(42);
     for u in 0..wl.n_users {
-        svc.create_log(&format!("/audit/user{u}")).expect("create user log");
+        svc.create_log(&format!("/audit/user{u}"))
+            .expect("create user log");
     }
     let events = wl.events(20_000);
     for (user, payload) in &events {
-        svc.append_path(&format!("/audit/user{user}"), payload, AppendOpts::standard())
-            .expect("append audit event");
+        svc.append_path(
+            &format!("/audit/user{user}"),
+            payload,
+            AppendOpts::standard(),
+        )
+        .expect("append audit event");
     }
     svc.flush().expect("flush");
 
@@ -54,7 +59,9 @@ fn main() {
     let mut files = 0u64;
     for db in 0..src.data_end() {
         let img = src.read(db).expect("read block");
-        let Ok(view) = BlockView::parse(&img) else { continue };
+        let Ok(view) = BlockView::parse(&img) else {
+            continue;
+        };
         for e in view.entries() {
             let Ok(e) = e else { break };
             if e.header.id == LogFileId::ENTRYMAP {
@@ -76,21 +83,51 @@ fn main() {
     let bound = (h + a * (n / 8.0 + 2.0)) / (n - 1.0);
 
     let rows = vec![
-        vec!["avg entry size d (B)".into(), table::f2(d), "~64 (c=1/15 of 1 KiB)".into()],
-        vec!["c = (d+h)/blocksize".into(), format!("{:.4} (~1/{})", c, (1.0 / c).round()), "1/15".into()],
-        vec!["a (files per entrymap entry)".into(), table::f2(a), "8".into()],
-        vec!["avg header overhead h (B/entry)".into(), table::f2(h), "4 (minimal) … 14 (full)".into()],
-        vec!["entrymap overhead o_e (B/entry)".into(), table::f2(o_e), "< 0.16 … paper bound".into()],
-        vec!["o_e as % of entry size".into(), format!("{o_e_pct:.3} %"), "< 0.2 %".into()],
-        vec!["paper bound (h+a(N/8+c'))/(N-1)".into(), table::f2(bound), "—".into()],
+        vec![
+            "avg entry size d (B)".into(),
+            table::f2(d),
+            "~64 (c=1/15 of 1 KiB)".into(),
+        ],
+        vec![
+            "c = (d+h)/blocksize".into(),
+            format!("{:.4} (~1/{})", c, (1.0 / c).round()),
+            "1/15".into(),
+        ],
+        vec![
+            "a (files per entrymap entry)".into(),
+            table::f2(a),
+            "8".into(),
+        ],
+        vec![
+            "avg header overhead h (B/entry)".into(),
+            table::f2(h),
+            "4 (minimal) … 14 (full)".into(),
+        ],
+        vec![
+            "entrymap overhead o_e (B/entry)".into(),
+            table::f2(o_e),
+            "< 0.16 … paper bound".into(),
+        ],
+        vec![
+            "o_e as % of entry size".into(),
+            format!("{o_e_pct:.3} %"),
+            "< 0.2 %".into(),
+        ],
+        vec![
+            "paper bound (h+a(N/8+c'))/(N-1)".into(),
+            table::f2(bound),
+            "—".into(),
+        ],
     ];
     println!("§3.5 — space overhead on the login/logout audit workload (20,000 entries, 1 KiB blocks, N=16)\n");
     print!(
         "{}",
         table::render(&["quantity", "measured", "paper"], &rows)
     );
-    println!("\nentrymap entries written: {}; blocks sealed: {}; device bytes: {}",
-        r.entrymap_entries, r.blocks_sealed, r.device_bytes);
+    println!(
+        "\nentrymap entries written: {}; blocks sealed: {}; device bytes: {}",
+        r.entrymap_entries, r.blocks_sealed, r.device_bytes
+    );
     println!(
         "Paper's conclusion holds if o_e ≪ h: measured o_e/h = {:.3}",
         o_e / h

@@ -36,15 +36,26 @@ fn crossover() {
             format!("{pct}%"),
             format!("{ram:.1}"),
             format!("{disk:.1}"),
-            if ram < disk { "RAM".into() } else { "disk".into() },
+            if ram < disk {
+                "RAM".into()
+            } else {
+                "disk".into()
+            },
         ]);
     }
     println!("§4 — RAM vs magnetic-disk cache for a history-based application");
-    println!("(log-device miss 100 ms, disk cache 30 ms, RAM cache 1 ms per KiB; disk hit ratio 90%)\n");
+    println!(
+        "(log-device miss 100 ms, disk cache 30 ms, RAM cache 1 ms per KiB; disk hit ratio 90%)\n"
+    );
     print!(
         "{}",
         table::render(
-            &["RAM hit ratio / disk's", "RAM read ms", "disk read ms", "winner"],
+            &[
+                "RAM hit ratio / disk's",
+                "RAM read ms",
+                "disk read ms",
+                "winner"
+            ],
             &rows
         )
     );
@@ -101,9 +112,16 @@ fn trace_hit_ratios() {
     print!(
         "{}",
         table::render(
-            &["RAM cache size", "hit ratio", "miss ratio", "modelled read ms/KiB"],
+            &[
+                "RAM cache size",
+                "hit ratio",
+                "miss ratio",
+                "modelled read ms/KiB"
+            ],
             &rows
         )
     );
-    println!("\nFeasibility holds if the miss ratio falls under ~10% at moderate cache sizes (§4.1).");
+    println!(
+        "\nFeasibility holds if the miss ratio falls under ~10% at moderate cache sizes (§4.1)."
+    );
 }

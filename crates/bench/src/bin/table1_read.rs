@@ -65,9 +65,13 @@ fn main() {
             table::ms(cold),
         ]);
     }
-    println!("Table 1 — measured cost of a log entry read vs search distance (complete caching, N=16)");
-    println!("time modelled at {} µs IPC + {} µs per cached block (§3.2, §3.3.2)\n",
-        model.ipc_local_us, model.cached_block_us);
+    println!(
+        "Table 1 — measured cost of a log entry read vs search distance (complete caching, N=16)"
+    );
+    println!(
+        "time modelled at {} µs IPC + {} µs per cached block (§3.2, §3.3.2)\n",
+        model.ipc_local_us, model.cached_block_us
+    );
     print!(
         "{}",
         table::render(
@@ -82,7 +86,9 @@ fn main() {
             &rows
         )
     );
-    println!("\nShape check: each extra level of the search tree adds ~2 cached-block reads (~1.2 ms),");
+    println!(
+        "\nShape check: each extra level of the search tree adds ~2 cached-block reads (~1.2 ms),"
+    );
     println!("matching the paper's ~1.1–1.6 ms per row increment. The cold column is §3.3.2's");
     println!("uncached case — ~155 ms per block, 'several hundred milliseconds' per distant read.");
 }

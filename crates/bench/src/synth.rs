@@ -33,7 +33,12 @@ pub struct SyntheticSource {
 impl SyntheticSource {
     /// Creates a source; `placed` lists the blocks containing file entries.
     #[must_use]
-    pub fn new(fanout: usize, block_size: usize, total: u64, placed: BTreeSet<u64>) -> SyntheticSource {
+    pub fn new(
+        fanout: usize,
+        block_size: usize,
+        total: u64,
+        placed: BTreeSet<u64>,
+    ) -> SyntheticSource {
         SyntheticSource {
             geo: Geometry::new(fanout),
             fanout,
@@ -86,7 +91,8 @@ impl SyntheticSource {
         // Reuse the recovery path: it is property-tested to equal the live
         // writer's state, and on this source it reads only O(N·log_N b)
         // synthetic blocks.
-        let (pending, _) = clio_entrymap::rebuild_pending(self).expect("synthetic source is infallible");
+        let (pending, _) =
+            clio_entrymap::rebuild_pending(self).expect("synthetic source is infallible");
         pending
     }
 }
@@ -141,7 +147,10 @@ mod tests {
         assert_eq!(loc.locate_before(&[SYNTH_FILE], 4094).unwrap(), Some(200));
         assert_eq!(loc.locate_before(&[SYNTH_FILE], 2).unwrap(), None);
         let mut loc = Locator::new(&src, Some(&pending));
-        assert_eq!(loc.locate_at_or_after(&[SYNTH_FILE], 78).unwrap(), Some(200));
+        assert_eq!(
+            loc.locate_at_or_after(&[SYNTH_FILE], 78).unwrap(),
+            Some(200)
+        );
         // Agrees with the naive oracle on a sample.
         for from in [10u64, 100, 1000, 4999] {
             let (want, _) = naive::locate_before(&src, &[SYNTH_FILE], from).unwrap();
@@ -158,10 +167,7 @@ mod tests {
         let src = SyntheticSource::new(16, 512, 1_000_000, placed);
         let pending = src.pending();
         let mut loc = Locator::new(&src, Some(&pending));
-        assert_eq!(
-            loc.locate_before(&[SYNTH_FILE], 999_999).unwrap(),
-            Some(5)
-        );
+        assert_eq!(loc.locate_before(&[SYNTH_FILE], 999_999).unwrap(), Some(5));
         assert!(
             loc.stats.blocks_read <= 17,
             "read {} blocks",

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use clio_testkit::sync::Mutex;
 
 use clio_types::{BlockNo, Result};
 
@@ -175,13 +175,7 @@ impl BlockCache {
         let mut g = self.inner.lock();
         let tick = g.next_tick;
         g.next_tick += 1;
-        if let Some(old) = g.map.insert(
-            key,
-            Entry {
-                data,
-                tick,
-            },
-        ) {
+        if let Some(old) = g.map.insert(key, Entry { data, tick }) {
             g.by_tick.remove(&old.tick);
         }
         g.by_tick.insert(tick, key);

@@ -64,6 +64,10 @@ mod tests {
         assert_eq!(c.block_size, 1024);
         assert_eq!(c.fanout, 16);
         assert!(!c.verify_appends);
-        assert!(ServiceConfig::small().with_verified_appends().verify_appends);
+        assert!(
+            ServiceConfig::small()
+                .with_verified_appends()
+                .verify_appends
+        );
     }
 }

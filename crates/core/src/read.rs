@@ -12,9 +12,7 @@ use std::sync::Arc;
 use clio_entrymap::tsearch;
 use clio_entrymap::{BlockSource, Locator, PendingMaps};
 use clio_format::{BlockView, FragKind};
-use clio_types::{
-    BlockNo, ClioError, EntryAddr, LogFileId, Result, SeqNo, Timestamp,
-};
+use clio_types::{BlockNo, ClioError, EntryAddr, LogFileId, Result, SeqNo, Timestamp};
 use clio_volume::Volume;
 
 use crate::service::{LogService, State};

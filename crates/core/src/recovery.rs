@@ -17,11 +17,11 @@
 use std::sync::Arc;
 
 use clio_cache::BlockCache;
+use clio_device::SharedDevice;
 use clio_entrymap::{rebuild_pending_with_findings, BlockSource, Locator, PendingMaps};
 use clio_format::records::CatalogRecord;
 use clio_format::{BlockView, FragKind};
 use clio_types::{Clock, LogFileId, Result};
-use clio_device::SharedDevice;
 use clio_volume::{DevicePool, Volume, VolumeSequence};
 
 use crate::catalog::Catalog;

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Sender};
+use std::sync::mpsc::{channel, Sender};
 
 use clio_types::{ClioError, LogFileId, Result, SeqNo, Timestamp};
 
@@ -138,7 +138,7 @@ impl LogServer {
     /// Spawns the server thread around `svc`.
     #[must_use]
     pub fn spawn(svc: LogService) -> LogServer {
-        let (tx, rx) = unbounded::<Envelope>();
+        let (tx, rx) = channel::<Envelope>();
         let handle = std::thread::spawn(move || {
             while let Ok((req, reply)) = rx.recv() {
                 let shutdown = matches!(req, Request::Shutdown);
@@ -183,7 +183,7 @@ impl LogServer {
 impl Drop for LogServer {
     fn drop(&mut self) {
         if let Some(h) = self.handle.take() {
-            let (reply_tx, _reply_rx) = unbounded();
+            let (reply_tx, _reply_rx) = channel();
             let _ = self.tx.send((Request::Shutdown, reply_tx));
             let _ = h.join();
         }
@@ -201,7 +201,7 @@ pub struct ClioClient {
 impl ClioClient {
     /// Issues one synchronous request.
     pub fn call(&self, req: Request) -> Response {
-        let (reply_tx, reply_rx) = unbounded();
+        let (reply_tx, reply_rx) = channel();
         self.ipc_round_trips.fetch_add(1, Ordering::Relaxed);
         if self.tx.send((req, reply_tx)).is_err() {
             return Response::Fail(ClioError::Internal("server is gone".into()));

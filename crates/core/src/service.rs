@@ -3,15 +3,13 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use clio_testkit::sync::Mutex;
 
 use clio_cache::BlockCache;
 use clio_entrymap::{EntrymapWriter, Geometry, PendingMaps};
 use clio_format::records::{CatalogRecord, PERM_APPEND};
 use clio_format::{BlockBuilder, EntryForm, EntryHeader};
-use clio_types::{
-    Clock, ClioError, EntryAddr, LogFileId, Result, SeqNo, Timestamp, VolumeSeqId,
-};
+use clio_types::{ClioError, Clock, EntryAddr, LogFileId, Result, SeqNo, Timestamp, VolumeSeqId};
 use clio_volume::{DevicePool, VolumeSequence};
 
 use crate::catalog::Catalog;
@@ -180,7 +178,14 @@ impl LogService {
             cfg.fanout,
             clock.now(),
         )?);
-        Ok(Self::assemble(seq, cfg, clock, Catalog::new(), Vec::new(), None))
+        Ok(Self::assemble(
+            seq,
+            cfg,
+            clock,
+            Catalog::new(),
+            Vec::new(),
+            None,
+        ))
     }
 
     /// Stitches a service together from its parts (used by `create` and by
@@ -365,8 +370,8 @@ impl LogService {
             // If the entry sits in the still-open block, persisting may
             // move that block (verification failures re-place it), so the
             // final address is only known afterwards.
-            let in_open = vol_idx == st.active_index
-                && st.open.as_ref().is_some_and(|ob| ob.db == db);
+            let in_open =
+                vol_idx == st.active_index && st.open.as_ref().is_some_and(|ob| ob.db == db);
             if let Some(final_db) = self.persist_open(&mut st)? {
                 if in_open {
                     addr.block = clio_types::BlockNo(final_db);
@@ -413,12 +418,7 @@ impl LogService {
     /// Writes a catalog record durably (forced, timestamped).
     fn append_catalog_record(&self, st: &mut State, rec: &CatalogRecord) -> Result<()> {
         let now = self.clock.now();
-        let header = EntryHeader::new(
-            LogFileId::CATALOG,
-            EntryForm::Timestamped,
-            Some(now),
-            None,
-        );
+        let header = EntryHeader::new(LogFileId::CATALOG, EntryForm::Timestamped, Some(now), None);
         self.push_record(st, header, &rec.encode(), false)?;
         self.persist_open(st)?;
         Ok(())

@@ -70,12 +70,7 @@ impl LogService {
         // Each successor volume starts with a catalog checkpoint so that
         // recovery is self-contained per volume.
         let rec = st.catalog.checkpoint();
-        let header = EntryHeader::new(
-            LogFileId::CATALOG,
-            EntryForm::Timestamped,
-            Some(now),
-            None,
-        );
+        let header = EntryHeader::new(LogFileId::CATALOG, EntryForm::Timestamped, Some(now), None);
         self.push_record(st, header, &rec.encode(), false)?;
         Ok(())
     }
@@ -164,7 +159,13 @@ impl LogService {
             let ob = st.open.as_mut().expect("ensure_open opened a block");
             if let PushOutcome::Written(slot) = ob.builder.push(&header, payload) {
                 ob.ids.insert(header.id);
-                account(&mut st.stats, &header, payload.len(), header.encoded_len() + 2, is_client);
+                account(
+                    &mut st.stats,
+                    &header,
+                    payload.len(),
+                    header.encoded_len() + 2,
+                    is_client,
+                );
                 return Ok((vol_idx, ob.db, slot));
             }
         }
@@ -206,7 +207,11 @@ impl LogService {
             {
                 let ob = st.open.as_mut().expect("ensure_open opened a block");
                 let is_first = first.is_none();
-                let hdr = if is_first { &first_header } else { &cont_header };
+                let hdr = if is_first {
+                    &first_header
+                } else {
+                    &cont_header
+                };
                 let avail = ob.builder.payload_room(hdr.encoded_len());
                 let remaining = payload.len() - off;
                 if avail > 0 || (avail == 0 && remaining == 0) {

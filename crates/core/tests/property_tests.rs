@@ -1,12 +1,14 @@
 //! Model-based property tests: the service against an in-memory oracle.
+//! Runs on `clio_testkit::prop` (`CLIO_PROP_CASES` / `CLIO_PROP_SEED`).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use clio_core::service::{AppendOpts, Durability, LogService};
 use clio_core::ServiceConfig;
+use clio_testkit::prop::{
+    any_u32, any_u64, bools, check, just, option_of, pair, u16s, u8s, vec_of, weighted, Gen,
+};
 use clio_types::{ManualClock, SeqNo, Timestamp, VolumeSeqId};
 use clio_volume::MemDevicePool;
 
@@ -25,26 +27,26 @@ enum Op {
     Seal(u8),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        1 => (0u8..6).prop_map(Op::Create),
-        8 => (
-            0u8..6,
-            0u16..900,
-            any::<bool>(),
-            any::<bool>(),
-            proptest::option::of(any::<u32>())
-        )
-            .prop_map(|(log, len, forced, minimal, seqno)| Op::Append {
-                log,
-                len,
-                forced,
-                minimal,
-                seqno,
-            }),
-        1 => Just(Op::Flush),
-        1 => (0u8..6).prop_map(Op::Seal),
-    ]
+fn arb_op() -> Gen<Op> {
+    let append = {
+        let log = u8s(0..6);
+        let len = u16s(0..900);
+        let flag = bools();
+        let seqno = option_of(&any_u32());
+        Gen::new(move |src| Op::Append {
+            log: log.generate(src),
+            len: len.generate(src),
+            forced: flag.generate(src),
+            minimal: flag.generate(src),
+            seqno: seqno.generate(src),
+        })
+    };
+    weighted(vec![
+        (1, u8s(0..6).map(Op::Create)),
+        (8, append),
+        (1, just(Op::Flush)),
+        (1, u8s(0..6).map(Op::Seal)),
+    ])
 }
 
 /// The oracle: per-log entry payloads in order, plus sealed flags.
@@ -53,14 +55,10 @@ struct Model {
     logs: BTreeMap<u8, (bool, Vec<Vec<u8>>)>, // (sealed, entries)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
-
-    #[test]
-    fn service_matches_in_memory_model(ops in proptest::collection::vec(arb_op(), 1..120)) {
+#[test]
+fn service_matches_in_memory_model() {
+    let g = vec_of(&arb_op(), 1..120);
+    check("service_matches_in_memory_model", 24, &g, |ops| {
         let svc = LogService::create(
             VolumeSeqId(1),
             Arc::new(MemDevicePool::new(256, 1 << 14)),
@@ -70,43 +68,53 @@ proptest! {
         .expect("create service");
         let mut model = Model::default();
         let mut counter = 0u32;
-        for op in &ops {
+        for op in ops {
             match op {
                 Op::Create(l) => {
                     let existed = model.logs.contains_key(l);
                     let r = svc.create_log(&format!("/log{l}"));
-                    prop_assert_eq!(r.is_err(), existed, "create mismatch for {}", l);
+                    assert_eq!(r.is_err(), existed, "create mismatch for {l}");
                     if !existed {
                         model.logs.insert(*l, (false, Vec::new()));
                     }
                 }
-                Op::Append { log, len, forced, minimal, seqno } => {
+                Op::Append {
+                    log,
+                    len,
+                    forced,
+                    minimal,
+                    seqno,
+                } => {
                     counter += 1;
                     let mut payload = format!("{counter}:").into_bytes();
                     payload.resize((*len).max(4) as usize, b'q');
                     let opts = AppendOpts {
-                        durability: if *forced { Durability::Forced } else { Durability::Buffered },
+                        durability: if *forced {
+                            Durability::Forced
+                        } else {
+                            Durability::Buffered
+                        },
                         timestamped: !*minimal,
                         seqno: seqno.map(SeqNo),
                     };
                     let r = svc.append_path(&format!("/log{log}"), &payload, opts);
                     match model.logs.get_mut(log) {
                         Some((false, entries)) => {
-                            prop_assert!(r.is_ok(), "append failed: {:?}", r.err());
+                            assert!(r.is_ok(), "append failed: {:?}", r.err());
                             entries.push(payload);
                         }
-                        Some((true, _)) => prop_assert!(r.is_err(), "append to sealed log succeeded"),
-                        None => prop_assert!(r.is_err(), "append to missing log succeeded"),
+                        Some((true, _)) => assert!(r.is_err(), "append to sealed log succeeded"),
+                        None => assert!(r.is_err(), "append to missing log succeeded"),
                     }
                 }
                 Op::Flush => {
-                    prop_assert!(svc.flush().is_ok());
+                    assert!(svc.flush().is_ok());
                 }
                 Op::Seal(l) => {
                     if let Some((sealed, _)) = model.logs.get_mut(l) {
                         if !*sealed {
                             let id = svc.resolve(&format!("/log{l}")).expect("exists in model");
-                            prop_assert!(svc.seal_log(id).is_ok());
+                            assert!(svc.seal_log(id).is_ok());
                             *sealed = true;
                         }
                     }
@@ -118,9 +126,9 @@ proptest! {
         for (l, (_, entries)) in &model.logs {
             let mut cur = svc.cursor(&format!("/log{l}")).expect("cursor");
             let got = cur.collect_remaining().expect("scan");
-            prop_assert_eq!(got.len(), entries.len(), "log {} count", l);
+            assert_eq!(got.len(), entries.len(), "log {l} count");
             for (want, have) in entries.iter().zip(&got) {
-                prop_assert_eq!(want, &have.data);
+                assert_eq!(want, &have.data);
             }
             let mut cur = svc.cursor_from_end(&format!("/log{l}")).expect("cursor");
             let mut back = Vec::new();
@@ -128,20 +136,25 @@ proptest! {
                 back.push(e.data);
             }
             back.reverse();
-            prop_assert_eq!(&back, entries, "log {} backward scan", l);
+            assert_eq!(&back, entries, "log {l} backward scan");
         }
-    }
+    });
+}
 
-    #[test]
-    fn crash_never_loses_forced_prefix(
-        lens in proptest::collection::vec((1u16..600, any::<bool>()), 1..60),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn crash_never_loses_forced_prefix() {
+    let g = pair(&vec_of(&pair(&u16s(1..600), &bools()), 1..60), &any_u64());
+    check("crash_never_loses_forced_prefix", 24, &g, |(lens, seed)| {
         // Deterministic single-log run with a crash at the end; the
         // survivors must be a prefix covering every forced append.
         use clio_volume::RecordingPool;
-        let pool = Arc::new(RecordingPool::new(Arc::new(MemDevicePool::new(256, 1 << 14))));
-        let ck = Arc::new(ManualClock::starting_at(Timestamp::from_secs(seed % 1000 + 1)));
+        let pool = Arc::new(RecordingPool::new(Arc::new(MemDevicePool::new(
+            256,
+            1 << 14,
+        ))));
+        let ck = Arc::new(ManualClock::starting_at(Timestamp::from_secs(
+            seed % 1000 + 1,
+        )));
         let cfg = ServiceConfig::small();
         let mut forced_prefix = 0usize;
         {
@@ -151,21 +164,31 @@ proptest! {
             for (i, (len, forced)) in lens.iter().enumerate() {
                 let mut payload = format!("e{i}:").into_bytes();
                 payload.resize(*len as usize + 4, b'z');
-                let opts = if *forced { AppendOpts::forced() } else { AppendOpts::standard() };
+                let opts = if *forced {
+                    AppendOpts::forced()
+                } else {
+                    AppendOpts::standard()
+                };
                 svc.append_path("/p", &payload, opts).expect("append");
                 if *forced {
                     forced_prefix = i + 1;
                 }
             }
         }
-        let (svc, _) = LogService::recover(pool.devices(), pool.clone(), cfg, ck)
-            .expect("recover");
+        let (svc, _) = LogService::recover(pool.devices(), pool.clone(), cfg, ck).expect("recover");
         let mut cur = svc.cursor("/p").expect("cursor");
         let got = cur.collect_remaining().expect("scan");
-        prop_assert!(got.len() >= forced_prefix, "{} < {}", got.len(), forced_prefix);
-        prop_assert!(got.len() <= lens.len());
+        assert!(
+            got.len() >= forced_prefix,
+            "{} < {forced_prefix}",
+            got.len()
+        );
+        assert!(got.len() <= lens.len());
         for (i, e) in got.iter().enumerate() {
-            prop_assert!(e.data.starts_with(format!("e{i}:").as_bytes()), "entry {i} wrong");
+            assert!(
+                e.data.starts_with(format!("e{i}:").as_bytes()),
+                "entry {i} wrong"
+            );
         }
-    }
+    });
 }

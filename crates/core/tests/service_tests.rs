@@ -27,8 +27,12 @@ fn create_append_read_round_trip() {
     let svc = small_service();
     svc.create_log("/audit").unwrap();
     for i in 0..100u32 {
-        svc.append_path("/audit", format!("event-{i}").as_bytes(), AppendOpts::standard())
-            .unwrap();
+        svc.append_path(
+            "/audit",
+            format!("event-{i}").as_bytes(),
+            AppendOpts::standard(),
+        )
+        .unwrap();
     }
     let mut cur = svc.cursor("/audit").unwrap();
     let all = cur.collect_remaining().unwrap();
@@ -112,7 +116,9 @@ fn time_based_cursors() {
     let before = cur.prev().unwrap().unwrap();
     assert_eq!(u32::from_le_bytes(before.data[..4].try_into().unwrap()), 24);
     // A time far in the future yields nothing forward, everything backward.
-    let mut cur = svc.cursor_from_time("/t", Timestamp::from_secs(9999)).unwrap();
+    let mut cur = svc
+        .cursor_from_time("/t", Timestamp::from_secs(9999))
+        .unwrap();
     assert!(cur.next().unwrap().is_none());
     assert!(cur.prev().unwrap().is_some());
     // A time before the epoch of the log starts at entry 0.
@@ -134,7 +140,10 @@ fn receipts_locate_entries_directly() {
     }
     for (i, r) in receipts.iter().enumerate() {
         let e = svc.read_entry(r.addr).unwrap();
-        assert_eq!(u32::from_le_bytes(e.data[..4].try_into().unwrap()), i as u32);
+        assert_eq!(
+            u32::from_le_bytes(e.data[..4].try_into().unwrap()),
+            i as u32
+        );
         assert_eq!(e.timestamp, Some(r.timestamp));
     }
 }
@@ -171,9 +180,11 @@ fn mixed_sizes_interleaved_with_other_logs() {
         let data = vec![i as u8; (i * 37) % 600];
         if i % 3 == 0 {
             expect_a.push(data.clone());
-            svc.append_path("/a", &data, AppendOpts::standard()).unwrap();
+            svc.append_path("/a", &data, AppendOpts::standard())
+                .unwrap();
         } else {
-            svc.append_path("/b", &data, AppendOpts::standard()).unwrap();
+            svc.append_path("/b", &data, AppendOpts::standard())
+                .unwrap();
         }
     }
     let mut cur = svc.cursor("/a").unwrap();
@@ -259,7 +270,9 @@ fn rename_and_list() {
 fn capturing_pool(block_size: usize, cap: u64, ram_tail: bool) -> Arc<RecordingPool> {
     let inner = Arc::new(MemDevicePool::new(block_size, cap));
     Arc::new(if ram_tail {
-        RecordingPool::wrapping(inner, |base| Arc::new(RamTailDevice::new(base)) as SharedDevice)
+        RecordingPool::wrapping(inner, |base| {
+            Arc::new(RamTailDevice::new(base)) as SharedDevice
+        })
     } else {
         RecordingPool::new(inner)
     })
@@ -269,8 +282,13 @@ fn capturing_pool(block_size: usize, cap: u64, ram_tail: bool) -> Arc<RecordingP
 fn forced_entries_survive_a_crash_pure_worm() {
     let pool = capturing_pool(256, 4096, false);
     let ck = clock();
-    let svc = LogService::create(VolumeSeqId(9), pool.clone(), ServiceConfig::small(), ck.clone())
-        .unwrap();
+    let svc = LogService::create(
+        VolumeSeqId(9),
+        pool.clone(),
+        ServiceConfig::small(),
+        ck.clone(),
+    )
+    .unwrap();
     svc.create_log("/wal").unwrap();
     for i in 0..25u32 {
         svc.append_path("/wal", &i.to_le_bytes(), AppendOpts::forced())
@@ -281,20 +299,18 @@ fn forced_entries_survive_a_crash_pure_worm() {
         .unwrap();
     drop(svc); // crash: all RAM state gone
 
-    let (svc, report) = LogService::recover(
-        pool.devices(),
-        pool.clone(),
-        ServiceConfig::small(),
-        ck,
-    )
-    .unwrap();
+    let (svc, report) =
+        LogService::recover(pool.devices(), pool.clone(), ServiceConfig::small(), ck).unwrap();
     assert_eq!(report.volumes, 1);
     assert!(report.catalog_records >= 1);
     let mut cur = svc.cursor("/wal").unwrap();
     let got = cur.collect_remaining().unwrap();
     assert_eq!(got.len(), 25, "forced entries survive, buffered one lost");
     for (i, e) in got.iter().enumerate() {
-        assert_eq!(u32::from_le_bytes(e.data[..4].try_into().unwrap()), i as u32);
+        assert_eq!(
+            u32::from_le_bytes(e.data[..4].try_into().unwrap()),
+            i as u32
+        );
     }
     // The recovered service keeps appending where it left off.
     svc.append_path("/wal", b"after-recovery", AppendOpts::forced())
@@ -307,8 +323,13 @@ fn forced_entries_survive_a_crash_pure_worm() {
 fn ram_tail_staging_avoids_fragmentation_and_survives() {
     let pool = capturing_pool(256, 4096, true);
     let ck = clock();
-    let svc = LogService::create(VolumeSeqId(9), pool.clone(), ServiceConfig::small(), ck.clone())
-        .unwrap();
+    let svc = LogService::create(
+        VolumeSeqId(9),
+        pool.clone(),
+        ServiceConfig::small(),
+        ck.clone(),
+    )
+    .unwrap();
     svc.create_log("/wal").unwrap();
     for i in 0..25u32 {
         svc.append_path("/wal", &i.to_le_bytes(), AppendOpts::forced())
@@ -320,13 +341,8 @@ fn ram_tail_staging_avoids_fragmentation_and_survives() {
     assert!(sealed < 25, "sealed {sealed} blocks for 25 forced writes");
     drop(svc);
 
-    let (svc, _) = LogService::recover(
-        pool.devices(),
-        pool.clone(),
-        ServiceConfig::small(),
-        ck,
-    )
-    .unwrap();
+    let (svc, _) =
+        LogService::recover(pool.devices(), pool.clone(), ServiceConfig::small(), ck).unwrap();
     let mut cur = svc.cursor("/wal").unwrap();
     assert_eq!(cur.collect_remaining().unwrap().len(), 25);
 }
@@ -338,8 +354,13 @@ fn recovery_reconstructs_entrymap_equivalently() {
     // entrymap state.
     let pool = capturing_pool(256, 4096, false);
     let ck = clock();
-    let svc = LogService::create(VolumeSeqId(3), pool.clone(), ServiceConfig::small(), ck.clone())
-        .unwrap();
+    let svc = LogService::create(
+        VolumeSeqId(3),
+        pool.clone(),
+        ServiceConfig::small(),
+        ck.clone(),
+    )
+    .unwrap();
     svc.create_log("/sparse").unwrap();
     svc.create_log("/noise").unwrap();
     svc.append_path("/sparse", b"first", AppendOpts::forced())
@@ -353,13 +374,8 @@ fn recovery_reconstructs_entrymap_equivalently() {
     svc.flush().unwrap();
     drop(svc);
 
-    let (svc, report) = LogService::recover(
-        pool.devices(),
-        pool.clone(),
-        ServiceConfig::small(),
-        ck,
-    )
-    .unwrap();
+    let (svc, report) =
+        LogService::recover(pool.devices(), pool.clone(), ServiceConfig::small(), ck).unwrap();
     assert!(report.rebuild_blocks_read > 0);
     let mut cur = svc.cursor("/sparse").unwrap();
     let got = cur.collect_remaining().unwrap();
@@ -373,8 +389,13 @@ fn multi_volume_spanning() {
     // Tiny volumes force several successor loads (§2.1).
     let pool = capturing_pool(256, 24, false);
     let ck = clock();
-    let svc = LogService::create(VolumeSeqId(5), pool.clone(), ServiceConfig::small(), ck.clone())
-        .unwrap();
+    let svc = LogService::create(
+        VolumeSeqId(5),
+        pool.clone(),
+        ServiceConfig::small(),
+        ck.clone(),
+    )
+    .unwrap();
     svc.create_log("/span").unwrap();
     for i in 0..120u32 {
         let mut payload = format!("e{i}:").into_bytes();
@@ -401,13 +422,8 @@ fn multi_volume_spanning() {
 
     // Crash and recover the whole chain.
     drop(svc);
-    let (svc, report) = LogService::recover(
-        pool.devices(),
-        pool.clone(),
-        ServiceConfig::small(),
-        ck,
-    )
-    .unwrap();
+    let (svc, report) =
+        LogService::recover(pool.devices(), pool.clone(), ServiceConfig::small(), ck).unwrap();
     assert!(report.volumes >= 3);
     let mut cur = svc.cursor("/span").unwrap();
     assert_eq!(cur.collect_remaining().unwrap().len(), 120);
@@ -420,8 +436,8 @@ fn corruption_is_invalidated_and_other_data_survives() {
     // A fault injector corrupts one append; with verification on, the
     // service invalidates the block, re-places it, and logs a bad block.
     struct OneShotPool {
-        dev: parking_lot::Mutex<Option<SharedDevice>>,
-        faulty: parking_lot::Mutex<Option<Arc<FaultyDevice>>>,
+        dev: clio_testkit::sync::Mutex<Option<SharedDevice>>,
+        faulty: clio_testkit::sync::Mutex<Option<Arc<FaultyDevice>>>,
     }
     impl DevicePool for OneShotPool {
         fn next_device(&self) -> clio_types::Result<SharedDevice> {
@@ -434,13 +450,14 @@ fn corruption_is_invalidated_and_other_data_survives() {
         }
     }
     let pool = Arc::new(OneShotPool {
-        dev: parking_lot::Mutex::new(None),
-        faulty: parking_lot::Mutex::new(None),
+        dev: clio_testkit::sync::Mutex::new(None),
+        faulty: clio_testkit::sync::Mutex::new(None),
     });
     let cfg = ServiceConfig::small().with_verified_appends();
     let svc = LogService::create(VolumeSeqId(6), pool.clone(), cfg.clone(), clock()).unwrap();
     svc.create_log("/d").unwrap();
-    svc.append_path("/d", b"before", AppendOpts::forced()).unwrap();
+    svc.append_path("/d", b"before", AppendOpts::forced())
+        .unwrap();
 
     // Corrupt exactly the next device append.
     pool.faulty.lock().as_ref().unwrap().corrupt_next_append();
@@ -450,7 +467,8 @@ fn corruption_is_invalidated_and_other_data_survives() {
     // The forced entry is still readable (it was re-placed).
     let e = svc.read_entry(r.addr).unwrap();
     assert_eq!(e.data, b"critical");
-    svc.append_path("/d", b"after", AppendOpts::forced()).unwrap();
+    svc.append_path("/d", b"after", AppendOpts::forced())
+        .unwrap();
 
     let mut cur = svc.cursor("/d").unwrap();
     let all: Vec<Vec<u8>> = cur
@@ -459,7 +477,10 @@ fn corruption_is_invalidated_and_other_data_survives() {
         .into_iter()
         .map(|e| e.data)
         .collect();
-    assert_eq!(all, vec![b"before".to_vec(), b"critical".to_vec(), b"after".to_vec()]);
+    assert_eq!(
+        all,
+        vec![b"before".to_vec(), b"critical".to_vec(), b"after".to_vec()]
+    );
 
     // The bad block was recorded in the bad-block log (§2.3.2).
     svc.flush().unwrap();
@@ -494,7 +515,8 @@ fn space_report_tracks_overheads() {
     let svc = small_service();
     svc.create_log("/s").unwrap();
     for _ in 0..200 {
-        svc.append_path("/s", &[7u8; 36], AppendOpts::minimal()).unwrap();
+        svc.append_path("/s", &[7u8; 36], AppendOpts::minimal())
+            .unwrap();
     }
     svc.flush().unwrap();
     let r = svc.report();
@@ -584,7 +606,9 @@ fn buffered_vs_forced_durability() {
     let r1 = svc
         .append_path("/x", b"buffered", AppendOpts::standard())
         .unwrap();
-    let r2 = svc.append_path("/x", b"forced", AppendOpts::forced()).unwrap();
+    let r2 = svc
+        .append_path("/x", b"forced", AppendOpts::forced())
+        .unwrap();
     // Both readable through the service (read-your-writes).
     assert_eq!(svc.read_entry(r1.addr).unwrap().data, b"buffered");
     assert_eq!(svc.read_entry(r2.addr).unwrap().data, b"forced");
@@ -603,7 +627,9 @@ fn time_cursor_crosses_volumes() {
     for i in 0..120u32 {
         let mut payload = format!("e{i}:").into_bytes();
         payload.resize(90, b't');
-        let r = svc.append_path("/t", &payload, AppendOpts::standard()).unwrap();
+        let r = svc
+            .append_path("/t", &payload, AppendOpts::standard())
+            .unwrap();
         stamps.push(r.timestamp);
     }
     svc.flush().unwrap();
@@ -623,7 +649,8 @@ fn read_permission_is_enforced() {
     use clio_format::records::PERM_APPEND;
     let svc = small_service();
     svc.create_log("/secret").unwrap();
-    svc.append_path("/secret", b"classified", AppendOpts::standard()).unwrap();
+    svc.append_path("/secret", b"classified", AppendOpts::standard())
+        .unwrap();
     let id = svc.resolve("/secret").unwrap();
     // Drop the read bit; cursors are refused, appends still work.
     svc.set_perms(id, PERM_APPEND).unwrap();
@@ -635,7 +662,8 @@ fn read_permission_is_enforced() {
         svc.cursor_from_time("/secret", Timestamp::ZERO),
         Err(ClioError::PermissionDenied(_))
     ));
-    svc.append_path("/secret", b"more", AppendOpts::standard()).unwrap();
+    svc.append_path("/secret", b"more", AppendOpts::standard())
+        .unwrap();
     // Drop the append bit instead.
     use clio_format::records::PERM_READ;
     svc.set_perms(id, PERM_READ).unwrap();
@@ -662,7 +690,8 @@ fn long_volume_chains_recover() {
         for i in 0..total {
             let mut payload = format!("c{i}:").into_bytes();
             payload.resize(100, b'c');
-            svc.append_path("/chain", &payload, AppendOpts::standard()).unwrap();
+            svc.append_path("/chain", &payload, AppendOpts::standard())
+                .unwrap();
         }
         svc.flush().unwrap();
         assert!(
@@ -671,8 +700,7 @@ fn long_volume_chains_recover() {
             svc.volumes().volume_count()
         );
     }
-    let (svc, report) =
-        LogService::recover(pool.devices(), pool.clone(), cfg, ck).unwrap();
+    let (svc, report) = LogService::recover(pool.devices(), pool.clone(), cfg, ck).unwrap();
     assert!(report.volumes >= 20);
     let mut cur = svc.cursor("/chain").unwrap();
     let got = cur.collect_remaining().unwrap();
@@ -695,11 +723,15 @@ fn server_admin_requests() {
     use clio_format::records::PERM_READ;
     let server = LogServer::spawn(small_service());
     let client = server.client();
-    client.call(Request::CreateLog { path: "/adm".into() });
+    client.call(Request::CreateLog {
+        path: "/adm".into(),
+    });
     client.append_sync("/adm", b"one").unwrap();
 
     // Stat reflects catalog attributes.
-    match client.call(Request::Stat { path: "/adm".into() }) {
+    match client.call(Request::Stat {
+        path: "/adm".into(),
+    }) {
         Response::Attrs(a) => {
             assert_eq!(a.name, "adm");
             assert!(!a.sealed);
@@ -707,18 +739,28 @@ fn server_admin_requests() {
         other => panic!("stat failed: {other:?}"),
     }
     // SetPerms to read-only, then appends fail through the boundary.
-    match client.call(Request::SetPerms { path: "/adm".into(), perms: PERM_READ }) {
+    match client.call(Request::SetPerms {
+        path: "/adm".into(),
+        perms: PERM_READ,
+    }) {
         Response::Done => {}
         other => panic!("setperms failed: {other:?}"),
     }
     assert!(client.append_sync("/adm", b"two").is_err());
     // Seal is visible via Stat.
-    client.call(Request::SetPerms { path: "/adm".into(), perms: 3 });
-    match client.call(Request::Seal { path: "/adm".into() }) {
+    client.call(Request::SetPerms {
+        path: "/adm".into(),
+        perms: 3,
+    });
+    match client.call(Request::Seal {
+        path: "/adm".into(),
+    }) {
         Response::Done => {}
         other => panic!("seal failed: {other:?}"),
     }
-    match client.call(Request::Stat { path: "/adm".into() }) {
+    match client.call(Request::Stat {
+        path: "/adm".into(),
+    }) {
         Response::Attrs(a) => assert!(a.sealed),
         other => panic!("stat failed: {other:?}"),
     }

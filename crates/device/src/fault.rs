@@ -7,9 +7,8 @@
 //! injects exactly those failures, deterministically (seeded), so the
 //! recovery paths in `clio-core` can be tested and benchmarked.
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use clio_testkit::rng::StdRng;
+use clio_testkit::sync::Mutex;
 
 use clio_types::{BlockNo, Result};
 
@@ -132,7 +131,7 @@ impl LogDevice for FaultyDevice {
             let mut rotted = data.to_vec();
             for _ in 0..self.plan.bitrot_bursts.max(1) {
                 let at = rng.gen_range(0..rotted.len());
-                rotted[at] ^= 1 << rng.gen_range(0..8);
+                rotted[at] ^= 1 << rng.gen_range(0..8u32);
             }
             drop(rng);
             self.inner.append_block(expected, &rotted)?;
@@ -173,10 +172,7 @@ mod tests {
 
     #[test]
     fn forced_corruption_garbles_exactly_one_block() {
-        let dev = FaultyDevice::new(
-            Arc::new(MemWormDevice::new(64, 16)),
-            FaultPlan::default(),
-        );
+        let dev = FaultyDevice::new(Arc::new(MemWormDevice::new(64, 16)), FaultPlan::default());
         let data = vec![0xAB; 64];
         dev.append_block(BlockNo(0), &data).unwrap();
         dev.corrupt_next_append();

@@ -4,7 +4,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-use parking_lot::Mutex;
+use clio_testkit::sync::Mutex;
 
 use clio_types::{BlockNo, ClioError, Result, INVALIDATED_BYTE};
 
@@ -26,7 +26,11 @@ pub struct FileWormDevice {
 
 impl FileWormDevice {
     /// Creates (or truncates) a device file at `path`.
-    pub fn create<P: AsRef<Path>>(path: P, block_size: usize, capacity: u64) -> Result<FileWormDevice> {
+    pub fn create<P: AsRef<Path>>(
+        path: P,
+        block_size: usize,
+        capacity: u64,
+    ) -> Result<FileWormDevice> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -46,7 +50,11 @@ impl FileWormDevice {
     /// Fails with [`ClioError::Io`] if the file length is not a multiple of
     /// the block size (a torn final write; see `FaultPlan::torn_append` for
     /// how Clio handles those on recovery).
-    pub fn open<P: AsRef<Path>>(path: P, block_size: usize, capacity: u64) -> Result<FileWormDevice> {
+    pub fn open<P: AsRef<Path>>(
+        path: P,
+        block_size: usize,
+        capacity: u64,
+    ) -> Result<FileWormDevice> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();
         if len % block_size as u64 != 0 {

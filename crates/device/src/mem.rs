@@ -1,6 +1,6 @@
 //! In-memory write-once device.
 
-use parking_lot::Mutex;
+use clio_testkit::sync::Mutex;
 
 use clio_types::{BlockNo, ClioError, Result, INVALIDATED_BYTE};
 
@@ -56,7 +56,12 @@ impl MemWormDevice {
     /// Blocks invalidated so far, in invalidation order. Test hook.
     #[must_use]
     pub fn invalidated_blocks(&self) -> Vec<BlockNo> {
-        self.inner.lock().invalidated.iter().map(|&b| BlockNo(b)).collect()
+        self.inner
+            .lock()
+            .invalidated
+            .iter()
+            .map(|&b| BlockNo(b))
+            .collect()
     }
 
     /// Directly scribbles garbage into a block, bypassing the append-only

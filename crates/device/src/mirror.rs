@@ -140,8 +140,8 @@ impl LogDevice for MirroredDevice {
         for r in &self.replicas {
             match r.read_block(block, buf) {
                 Ok(()) => {
-                    let intact = !looks_invalidated(buf)
-                        && self.validator.as_ref().is_none_or(|v| v(buf));
+                    let intact =
+                        !looks_invalidated(buf) && self.validator.as_ref().is_none_or(|v| v(buf));
                     if intact {
                         return Ok(());
                     }
@@ -199,8 +199,9 @@ mod tests {
     use crate::mem::MemWormDevice;
 
     fn mirror(width: usize) -> (Vec<Arc<MemWormDevice>>, MirroredDevice) {
-        let raw: Vec<Arc<MemWormDevice>> =
-            (0..width).map(|_| Arc::new(MemWormDevice::new(64, 32))).collect();
+        let raw: Vec<Arc<MemWormDevice>> = (0..width)
+            .map(|_| Arc::new(MemWormDevice::new(64, 32)))
+            .collect();
         let shared: Vec<SharedDevice> = raw.iter().map(|r| r.clone() as SharedDevice).collect();
         (raw, MirroredDevice::new(shared))
     }
@@ -270,5 +271,4 @@ mod tests {
         raw[1].read_block(BlockNo(0), &mut buf).unwrap();
         assert_eq!(buf, vec![3u8; 64]);
     }
-
 }

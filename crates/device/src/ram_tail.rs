@@ -8,7 +8,7 @@
 //! the block at the append point may be rewritten any number of times, and
 //! is burned to the underlying WORM device only when sealed.
 
-use parking_lot::Mutex;
+use clio_testkit::sync::Mutex;
 
 use clio_types::{BlockNo, ClioError, Result, INVALIDATED_BYTE};
 

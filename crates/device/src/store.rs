@@ -9,7 +9,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-use parking_lot::Mutex;
+use clio_testkit::sync::Mutex;
 
 use clio_types::{BlockNo, ClioError, Result};
 
@@ -118,7 +118,11 @@ pub struct FileBlockStore {
 
 impl FileBlockStore {
     /// Creates (or truncates) a store file of the full capacity.
-    pub fn create<P: AsRef<Path>>(path: P, block_size: usize, capacity: u64) -> Result<FileBlockStore> {
+    pub fn create<P: AsRef<Path>>(
+        path: P,
+        block_size: usize,
+        capacity: u64,
+    ) -> Result<FileBlockStore> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -134,7 +138,11 @@ impl FileBlockStore {
     }
 
     /// Opens an existing store file.
-    pub fn open<P: AsRef<Path>>(path: P, block_size: usize, capacity: u64) -> Result<FileBlockStore> {
+    pub fn open<P: AsRef<Path>>(
+        path: P,
+        block_size: usize,
+        capacity: u64,
+    ) -> Result<FileBlockStore> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         Ok(FileBlockStore {
             block_size,

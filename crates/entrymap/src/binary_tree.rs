@@ -49,7 +49,10 @@ impl BinaryTreeIndex {
     pub fn note_block(&mut self, db: u64, id: LogFileId) {
         let v = self.per_file.entry(id).or_default();
         if v.last() != Some(&db) {
-            debug_assert!(v.last().is_none_or(|&l| l < db), "blocks noted out of order");
+            debug_assert!(
+                v.last().is_none_or(|&l| l < db),
+                "blocks noted out of order"
+            );
             v.push(db);
         }
     }

@@ -46,12 +46,7 @@ pub fn build_log(n: usize, block_size: usize, plan: &[Vec<u16>]) -> (VecSource, 
         }
         for (slot, &raw) in present.iter().enumerate() {
             let ts = Timestamp(db * BLOCK_TIME_STEP + slot as u64);
-            let header = EntryHeader::new(
-                LogFileId(raw),
-                EntryForm::Timestamped,
-                Some(ts),
-                None,
-            );
+            let header = EntryHeader::new(LogFileId(raw), EntryForm::Timestamped, Some(ts), None);
             match b.push(&header, b"harness-entry") {
                 PushOutcome::Written(_) => {}
                 PushOutcome::NoSpace { .. } => panic!("block too small for planned entries"),
@@ -60,13 +55,7 @@ pub fn build_log(n: usize, block_size: usize, plan: &[Vec<u16>]) -> (VecSource, 
         writer.note_block(db, present.iter().map(|&r| LogFileId(r)));
         blocks.push(b.finish());
     }
-    (
-        VecSource {
-            fanout: n,
-            blocks,
-        },
-        writer.pending().clone(),
-    )
+    (VecSource { fanout: n, blocks }, writer.pending().clone())
 }
 
 #[cfg(test)]

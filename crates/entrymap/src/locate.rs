@@ -127,9 +127,7 @@ impl<'a, S: BlockSource> Locator<'a, S> {
                 {
                     found_here = true;
                     continued_here |= rec.continued;
-                    let a = acc.get_or_insert_with(|| {
-                        SmallBitmap::new(self.geo.fanout() as usize)
-                    });
+                    let a = acc.get_or_insert_with(|| SmallBitmap::new(self.geo.fanout() as usize));
                     for id in ids {
                         if let Some(bm) = rec.map_for(*id) {
                             a.union_with(bm);
@@ -384,8 +382,14 @@ mod tests {
         let (src, pending) = build_log(4, 512, &p);
         let mut loc = Locator::new(&src, Some(&pending));
         assert_eq!(loc.locate_at_or_after(&[LogFileId(8)], 0).unwrap(), Some(2));
-        assert_eq!(loc.locate_at_or_after(&[LogFileId(8)], 3).unwrap(), Some(30));
-        assert_eq!(loc.locate_at_or_after(&[LogFileId(8)], 30).unwrap(), Some(30));
+        assert_eq!(
+            loc.locate_at_or_after(&[LogFileId(8)], 3).unwrap(),
+            Some(30)
+        );
+        assert_eq!(
+            loc.locate_at_or_after(&[LogFileId(8)], 30).unwrap(),
+            Some(30)
+        );
         assert_eq!(loc.locate_at_or_after(&[LogFileId(8)], 31).unwrap(), None);
     }
 
@@ -396,7 +400,8 @@ mod tests {
         let mut loc = Locator::new(&src, Some(&pending));
         // Reading the parent means reading both ids.
         assert_eq!(
-            loc.locate_before(&[LogFileId(8), LogFileId(9)], 39).unwrap(),
+            loc.locate_before(&[LogFileId(8), LogFileId(9)], 39)
+                .unwrap(),
             Some(11)
         );
         assert_eq!(loc.locate_before(&[LogFileId(8)], 39).unwrap(), Some(5));
@@ -419,8 +424,7 @@ mod tests {
 
     #[test]
     fn matches_naive_oracle_on_random_logs() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use clio_testkit::rng::StdRng;
         let mut rng = StdRng::seed_from_u64(42);
         for n in [2usize, 4, 16] {
             let total = 200;
@@ -460,7 +464,8 @@ mod tests {
         let (src, pending) = build_log(16, 512, &p);
         let mut loc = Locator::new(&src, Some(&pending));
         assert_eq!(
-            loc.locate_before(&[LogFileId(8)], total as u64 - 1).unwrap(),
+            loc.locate_before(&[LogFileId(8)], total as u64 - 1)
+                .unwrap(),
             Some(1)
         );
         // d ≈ 4096 = 16^3; theory says ~6 map reads. Allow generous slack

@@ -207,8 +207,7 @@ mod tests {
     use crate::harness::build_log;
 
     fn random_plan(seed: u64, total: usize, files: &[u16], density: f64) -> Vec<Vec<u16>> {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use clio_testkit::rng::StdRng;
         let mut rng = StdRng::seed_from_u64(seed);
         (0..total)
             .map(|_| {

@@ -62,7 +62,9 @@ impl BlockSource for VecSource {
         self.blocks
             .get(db as usize)
             .map(|b| Arc::new(b.clone()))
-            .ok_or(clio_types::ClioError::UnwrittenBlock(clio_types::BlockNo(db)))
+            .ok_or(clio_types::ClioError::UnwrittenBlock(clio_types::BlockNo(
+                db,
+            )))
     }
 }
 

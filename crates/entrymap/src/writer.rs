@@ -166,13 +166,19 @@ mod tests {
         let (at, r0) = &recs[0];
         assert_eq!((*at, r0.level, r0.group), (4, 1, 0));
         assert_eq!(
-            r0.map_for(LogFileId(8)).unwrap().iter_ones().collect::<Vec<_>>(),
+            r0.map_for(LogFileId(8))
+                .unwrap()
+                .iter_ones()
+                .collect::<Vec<_>>(),
             vec![1]
         );
         let (at, r1) = &recs[1];
         assert_eq!((*at, r1.level, r1.group), (8, 1, 1));
         assert_eq!(
-            r1.map_for(LogFileId(8)).unwrap().iter_ones().collect::<Vec<_>>(),
+            r1.map_for(LogFileId(8))
+                .unwrap()
+                .iter_ones()
+                .collect::<Vec<_>>(),
             vec![2] // block 6 is bit 2 of group 1 (blocks 4..8)
         );
     }
@@ -263,7 +269,12 @@ mod tests {
             .collect();
         assert_eq!(l2_at4.len(), 1);
         assert_eq!(
-            l2_at4[0].1.map_for(LogFileId(8)).unwrap().iter_ones().collect::<Vec<_>>(),
+            l2_at4[0]
+                .1
+                .map_for(LogFileId(8))
+                .unwrap()
+                .iter_ones()
+                .collect::<Vec<_>>(),
             vec![1]
         );
     }

@@ -424,7 +424,10 @@ mod tests {
         let mut b = BlockBuilder::new(512, Timestamp(5));
         for i in 0..10u16 {
             let payload = vec![i as u8; usize::from(i) * 3];
-            assert!(matches!(b.push(&hdr(8 + i), &payload), PushOutcome::Written(_)));
+            assert!(matches!(
+                b.push(&hdr(8 + i), &payload),
+                PushOutcome::Written(_)
+            ));
         }
         let img = b.finish();
         let v = BlockView::parse(&img).unwrap();
@@ -536,75 +539,98 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod properties {
+    use clio_testkit::prop::{
+        any_u32, any_u64, bytes, check, just, one_of, pair, u16s, u8s, usizes, vec_of, Gen,
+    };
     use clio_types::{LogFileId, SeqNo};
-    use proptest::prelude::*;
 
     use super::*;
     use crate::header::EntryForm;
 
-    fn arb_header() -> impl Strategy<Value = EntryHeader> {
-        (
-            0u16..4096,
-            prop_oneof![
-                Just(EntryForm::Minimal),
-                Just(EntryForm::Timestamped),
-                Just(EntryForm::Full)
-            ],
-            any::<u64>(),
-            any::<u32>(),
-        )
-            .prop_map(|(id, form, ts, sq)| {
-                EntryHeader::new(
-                    LogFileId(id),
-                    form,
-                    matches!(form, EntryForm::Timestamped | EntryForm::Full)
-                        .then_some(Timestamp(ts)),
-                    matches!(form, EntryForm::Full).then_some(SeqNo(sq)),
-                )
-            })
+    fn arb_header() -> Gen<EntryHeader> {
+        let parts = pair(
+            &pair(
+                &u16s(0..4096),
+                &one_of(vec![
+                    just(EntryForm::Minimal),
+                    just(EntryForm::Timestamped),
+                    just(EntryForm::Full),
+                ]),
+            ),
+            &pair(&any_u64(), &any_u32()),
+        );
+        parts.map(|((id, form), (ts, sq))| {
+            EntryHeader::new(
+                LogFileId(id),
+                form,
+                matches!(form, EntryForm::Timestamped | EntryForm::Full).then_some(Timestamp(ts)),
+                matches!(form, EntryForm::Full).then_some(SeqNo(sq)),
+            )
+        })
     }
 
-    proptest! {
-        #[test]
-        fn pack_then_scan_is_identity(
-            entries in proptest::collection::vec((arb_header(), proptest::collection::vec(any::<u8>(), 0..120)), 0..20),
-            first_ts in any::<u64>(),
-        ) {
-            let mut b = BlockBuilder::new(4096, Timestamp(first_ts));
-            let mut written = Vec::new();
-            for (h, p) in &entries {
-                if let PushOutcome::Written(slot) = b.push(h, p) {
-                    written.push((slot, *h, p.clone()));
+    #[test]
+    fn pack_then_scan_is_identity() {
+        let g = pair(
+            &vec_of(&pair(&arb_header(), &bytes(0..120)), 0..20),
+            &any_u64(),
+        );
+        check(
+            "pack_then_scan_is_identity",
+            256,
+            &g,
+            |(entries, first_ts)| {
+                let mut b = BlockBuilder::new(4096, Timestamp(*first_ts));
+                let mut written = Vec::new();
+                for (h, p) in entries {
+                    if let PushOutcome::Written(slot) = b.push(h, p) {
+                        written.push((slot, *h, p.clone()));
+                    }
                 }
-            }
-            let img = b.finish();
-            let v = BlockView::parse(&img).unwrap();
-            prop_assert_eq!(usize::from(v.count()), written.len());
-            for (slot, h, p) in &written {
-                let e = v.entry(*slot).unwrap();
-                prop_assert_eq!(&e.header, h);
-                prop_assert_eq!(e.payload, &p[..]);
-            }
-        }
+                let img = b.finish();
+                let v = BlockView::parse(&img).unwrap();
+                assert_eq!(usize::from(v.count()), written.len());
+                for (slot, h, p) in &written {
+                    let e = v.entry(*slot).unwrap();
+                    assert_eq!(&e.header, h);
+                    assert_eq!(e.payload, &p[..]);
+                }
+            },
+        );
+    }
 
-        #[test]
-        fn parse_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 128..512)) {
-            // Any byte soup either parses or errors; it must not panic.
-            let _ = BlockView::parse(&noise);
-        }
+    #[test]
+    fn parse_never_panics_on_noise() {
+        check(
+            "parse_never_panics_on_noise",
+            256,
+            &bytes(128..512),
+            |noise| {
+                // Any byte soup either parses or errors; it must not panic.
+                let _ = BlockView::parse(noise);
+            },
+        );
+    }
 
-        #[test]
-        fn single_bitflip_never_parses_clean(
-            flip_at in 0usize..1024,
-            bit in 0u8..8,
-        ) {
-            let mut b = BlockBuilder::new(1024, Timestamp(7));
-            b.push(&EntryHeader::new(LogFileId(8), EntryForm::Minimal, None, None), b"payload");
-            let mut img = b.finish();
-            let at = flip_at % img.len();
-            img[at] ^= 1 << bit;
-            prop_assert!(BlockView::parse(&img).is_err());
-        }
+    #[test]
+    fn single_bitflip_never_parses_clean() {
+        let g = pair(&usizes(0..1024), &u8s(0..8));
+        check(
+            "single_bitflip_never_parses_clean",
+            256,
+            &g,
+            |(flip_at, bit)| {
+                let mut b = BlockBuilder::new(1024, Timestamp(7));
+                b.push(
+                    &EntryHeader::new(LogFileId(8), EntryForm::Minimal, None, None),
+                    b"payload",
+                );
+                let mut img = b.finish();
+                let at = flip_at % img.len();
+                img[at] ^= 1 << bit;
+                assert!(BlockView::parse(&img).is_err());
+            },
+        );
     }
 }

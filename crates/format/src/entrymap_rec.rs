@@ -36,7 +36,12 @@ pub struct EntrymapRecord {
 impl EntrymapRecord {
     /// Creates a record; the map list is sorted by id for determinism.
     #[must_use]
-    pub fn new(level: u8, group: u64, bits: u16, mut maps: Vec<(LogFileId, SmallBitmap)>) -> EntrymapRecord {
+    pub fn new(
+        level: u8,
+        group: u64,
+        bits: u16,
+        mut maps: Vec<(LogFileId, SmallBitmap)>,
+    ) -> EntrymapRecord {
         maps.sort_by_key(|(id, _)| *id);
         EntrymapRecord {
             level,

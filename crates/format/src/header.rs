@@ -109,7 +109,12 @@ pub struct EntryHeader {
 impl EntryHeader {
     /// A whole (unfragmented) header of the given form.
     #[must_use]
-    pub fn new(id: LogFileId, form: EntryForm, timestamp: Option<Timestamp>, seqno: Option<SeqNo>) -> EntryHeader {
+    pub fn new(
+        id: LogFileId,
+        form: EntryForm,
+        timestamp: Option<Timestamp>,
+        seqno: Option<SeqNo>,
+    ) -> EntryHeader {
         EntryHeader {
             id,
             form,
@@ -143,7 +148,9 @@ impl EntryHeader {
                 }
                 out.extend_from_slice(&((code << 12) | (self.id.0 & ID_MASK)).to_le_bytes());
                 if matches!(self.form, EntryForm::Timestamped | EntryForm::Full) {
-                    out.extend_from_slice(&self.timestamp.unwrap_or(Timestamp::ZERO).0.to_le_bytes());
+                    out.extend_from_slice(
+                        &self.timestamp.unwrap_or(Timestamp::ZERO).0.to_le_bytes(),
+                    );
                 }
                 if matches!(self.form, EntryForm::Full) {
                     out.extend_from_slice(&self.seqno.unwrap_or_default().0.to_le_bytes());
@@ -213,8 +220,10 @@ impl EntryHeader {
             if data.len() < off + 8 {
                 return Err(ClioError::BadRecord("truncated fragment length"));
             }
-            let total_len = u32::from_le_bytes(data[off..off + 4].try_into().expect("slice is 4 bytes"));
-            let chain = u32::from_le_bytes(data[off + 4..off + 8].try_into().expect("slice is 4 bytes"));
+            let total_len =
+                u32::from_le_bytes(data[off..off + 4].try_into().expect("slice is 4 bytes"));
+            let chain =
+                u32::from_le_bytes(data[off + 4..off + 8].try_into().expect("slice is 4 bytes"));
             off += 8;
             FragKind::First { total_len, chain }
         } else {
@@ -248,7 +257,12 @@ mod tests {
 
     #[test]
     fn minimal_round_trip() {
-        round_trip(EntryHeader::new(LogFileId(42), EntryForm::Minimal, None, None));
+        round_trip(EntryHeader::new(
+            LogFileId(42),
+            EntryForm::Minimal,
+            None,
+            None,
+        ));
     }
 
     #[test]
@@ -279,7 +293,10 @@ mod tests {
             Some(Timestamp(77)),
             None,
         );
-        h.frag = FragKind::First { total_len: 5000, chain: 0xABCD };
+        h.frag = FragKind::First {
+            total_len: 5000,
+            chain: 0xABCD,
+        };
         round_trip(h);
     }
 

@@ -235,9 +235,7 @@ impl BadBlockRecord {
             return Err(ClioError::BadRecord("truncated bad-block record"));
         }
         Ok(BadBlockRecord {
-            block: BlockNo(u64::from_le_bytes(
-                data[..8].try_into().expect("8 bytes"),
-            )),
+            block: BlockNo(u64::from_le_bytes(data[..8].try_into().expect("8 bytes"))),
         })
     }
 }

@@ -38,7 +38,12 @@ impl VolumeLabel {
     /// A label for the first volume of a fresh sequence with default
     /// geometry.
     #[must_use]
-    pub fn first(volume: VolumeId, sequence: VolumeSeqId, block_size: u32, created: Timestamp) -> VolumeLabel {
+    pub fn first(
+        volume: VolumeId,
+        sequence: VolumeSeqId,
+        block_size: u32,
+        created: Timestamp,
+    ) -> VolumeLabel {
         VolumeLabel {
             volume,
             sequence,
@@ -101,8 +106,7 @@ impl VolumeLabel {
         if magic != MAGIC {
             return Err(ClioError::CorruptBlock(BlockNo(0)));
         }
-        let crc_stored =
-            u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+        let crc_stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
         if crc32(&bytes[..bytes.len() - 4]) != crc_stored {
             return Err(ClioError::CorruptBlock(BlockNo(0)));
         }
@@ -114,7 +118,9 @@ impl VolumeLabel {
         let block_size = u32::from_le_bytes(bytes[33..37].try_into().expect("4"));
         let fanout = u16::from_le_bytes(bytes[37..39].try_into().expect("2"));
         if block_size as usize != bytes.len() {
-            return Err(ClioError::BadRecord("label block size disagrees with image"));
+            return Err(ClioError::BadRecord(
+                "label block size disagrees with image",
+            ));
         }
         if fanout < 2 {
             return Err(ClioError::BadRecord("fanout below 2"));

@@ -1,80 +1,127 @@
 //! Fuzz-style robustness: every decoder must reject arbitrary bytes with
 //! an error, never panic, and round-trip what it encodes even when the
-//! image is then perturbed.
-
-use proptest::prelude::*;
+//! image is then perturbed. Runs on `clio_testkit::prop`.
 
 use clio_format::records::{BadBlockRecord, CatalogRecord};
-use clio_format::{BlockView, EntrymapRecord, EntryHeader, VolumeLabel};
+use clio_format::{BlockView, EntryHeader, EntrymapRecord, VolumeLabel};
+use clio_testkit::prop::{any_u8, bytes, check, pair, usizes};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+const CASES: u32 = 256;
 
-    #[test]
-    fn entry_header_decode_never_panics(noise in proptest::collection::vec(any::<u8>(), 0..40)) {
-        let _ = EntryHeader::decode(&noise);
-    }
+#[test]
+fn entry_header_decode_never_panics() {
+    check(
+        "entry_header_decode_never_panics",
+        CASES,
+        &bytes(0..40),
+        |noise| {
+            let _ = EntryHeader::decode(noise);
+        },
+    );
+}
 
-    #[test]
-    fn entrymap_record_decode_never_panics(noise in proptest::collection::vec(any::<u8>(), 0..300)) {
-        let _ = EntrymapRecord::decode(&noise);
-    }
+#[test]
+fn entrymap_record_decode_never_panics() {
+    check(
+        "entrymap_record_decode_never_panics",
+        CASES,
+        &bytes(0..300),
+        |noise| {
+            let _ = EntrymapRecord::decode(noise);
+        },
+    );
+}
 
-    #[test]
-    fn catalog_record_decode_never_panics(noise in proptest::collection::vec(any::<u8>(), 0..300)) {
-        let _ = CatalogRecord::decode(&noise);
-    }
+#[test]
+fn catalog_record_decode_never_panics() {
+    check(
+        "catalog_record_decode_never_panics",
+        CASES,
+        &bytes(0..300),
+        |noise| {
+            let _ = CatalogRecord::decode(noise);
+        },
+    );
+}
 
-    #[test]
-    fn bad_block_record_decode_never_panics(noise in proptest::collection::vec(any::<u8>(), 0..20)) {
-        let _ = BadBlockRecord::decode(&noise);
-    }
+#[test]
+fn bad_block_record_decode_never_panics() {
+    check(
+        "bad_block_record_decode_never_panics",
+        CASES,
+        &bytes(0..20),
+        |noise| {
+            let _ = BadBlockRecord::decode(noise);
+        },
+    );
+}
 
-    #[test]
-    fn volume_label_decode_never_panics(noise in proptest::collection::vec(any::<u8>(), 0..2048)) {
-        let _ = VolumeLabel::decode(&noise);
-    }
+#[test]
+fn volume_label_decode_never_panics() {
+    check(
+        "volume_label_decode_never_panics",
+        CASES,
+        &bytes(0..2048),
+        |noise| {
+            let _ = VolumeLabel::decode(noise);
+        },
+    );
+}
 
-    #[test]
-    fn block_view_never_panics_on_truncated_or_extended_images(
-        cut in 0usize..1024,
-        pad in 0usize..64,
-    ) {
-        // Build a real block, then hand the parser a wrong-length slice.
-        use clio_format::{BlockBuilder, EntryForm};
-        use clio_types::{LogFileId, Timestamp};
-        let mut b = BlockBuilder::new(1024, Timestamp(5));
-        let h = EntryHeader::new(LogFileId(8), EntryForm::Timestamped, Some(Timestamp(6)), None);
-        let _ = b.push(&h, b"payload bytes");
-        let mut img = b.finish();
-        let cut = cut.min(img.len());
-        let _ = BlockView::parse(&img[..cut]);
-        img.extend(std::iter::repeat_n(0xA5u8, pad));
-        let _ = BlockView::parse(&img);
-    }
+#[test]
+fn block_view_never_panics_on_truncated_or_extended_images() {
+    let g = pair(&usizes(0..1024), &usizes(0..64));
+    check(
+        "block_view_never_panics_on_truncated_or_extended_images",
+        CASES,
+        &g,
+        |(cut, pad)| {
+            // Build a real block, then hand the parser a wrong-length slice.
+            use clio_format::{BlockBuilder, EntryForm};
+            use clio_types::{LogFileId, Timestamp};
+            let mut b = BlockBuilder::new(1024, Timestamp(5));
+            let h = EntryHeader::new(
+                LogFileId(8),
+                EntryForm::Timestamped,
+                Some(Timestamp(6)),
+                None,
+            );
+            let _ = b.push(&h, b"payload bytes");
+            let mut img = b.finish();
+            let cut = (*cut).min(img.len());
+            let _ = BlockView::parse(&img[..cut]);
+            img.extend(std::iter::repeat_n(0xA5u8, *pad));
+            let _ = BlockView::parse(&img);
+        },
+    );
+}
 
-    #[test]
-    fn catalog_record_survives_arbitrary_mutation_without_panic(
-        at in 0usize..200,
-        val in any::<u8>(),
-    ) {
-        use clio_format::records::LogFileAttrs;
-        use clio_types::{LogFileId, Timestamp};
-        let rec = CatalogRecord::Checkpoint {
-            next_id: 42,
-            files: vec![LogFileAttrs {
-                id: LogFileId(8),
-                parent: LogFileId(0),
-                perms: 3,
-                created: Timestamp(9),
-                sealed: false,
-                name: "mutated".into(),
-            }],
-        };
-        let mut bytes = rec.encode();
-        let i = at % bytes.len();
-        bytes[i] = val;
-        // Must decode to something or error — never panic, never hang.
-        let _ = CatalogRecord::decode(&bytes);
-    }
+#[test]
+fn catalog_record_survives_arbitrary_mutation_without_panic() {
+    let g = pair(&usizes(0..200), &any_u8());
+    check(
+        "catalog_record_survives_arbitrary_mutation_without_panic",
+        CASES,
+        &g,
+        |(at, val)| {
+            use clio_format::records::LogFileAttrs;
+            use clio_types::{LogFileId, Timestamp};
+            let rec = CatalogRecord::Checkpoint {
+                next_id: 42,
+                files: vec![LogFileAttrs {
+                    id: LogFileId(8),
+                    parent: LogFileId(0),
+                    perms: 3,
+                    created: Timestamp(9),
+                    sealed: false,
+                    name: "mutated".into(),
+                }],
+            };
+            let mut bytes = rec.encode();
+            let i = at % bytes.len();
+            bytes[i] = *val;
+            // Must decode to something or error — never panic, never hang.
+            let _ = CatalogRecord::decode(&bytes);
+        },
+    );
 }

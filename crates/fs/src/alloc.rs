@@ -168,7 +168,10 @@ mod tests {
         for _ in 0..4 {
             a.alloc(&store).unwrap();
         }
-        assert!(matches!(a.alloc(&store).unwrap_err(), ClioError::VolumeFull));
+        assert!(matches!(
+            a.alloc(&store).unwrap_err(),
+            ClioError::VolumeFull
+        ));
     }
 
     #[test]

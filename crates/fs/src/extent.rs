@@ -80,11 +80,7 @@ impl ExtentFs {
                 }
             }
             // First-fit a new extent.
-            let (&start, &flen) = self
-                .free
-                .iter()
-                .next()
-                .ok_or(ClioError::VolumeFull)?;
+            let (&start, &flen) = self.free.iter().next().ok_or(ClioError::VolumeFull)?;
             let take = flen.min(remaining);
             self.free.remove(&start);
             if flen > take {
@@ -195,6 +191,9 @@ mod tests {
         let mut fs = ExtentFs::new(10);
         let f = fs.create();
         fs.append(f, 10).unwrap();
-        assert!(matches!(fs.append(f, 1).unwrap_err(), ClioError::VolumeFull));
+        assert!(matches!(
+            fs.append(f, 1).unwrap_err(),
+            ClioError::VolumeFull
+        ));
     }
 }

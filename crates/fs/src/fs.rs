@@ -13,7 +13,7 @@
 //! motivation benchmark can report exactly how many device accesses an
 //! append or a tail read costs as a file grows.
 
-use parking_lot::Mutex;
+use clio_testkit::sync::Mutex;
 
 use clio_device::BlockStore;
 use clio_types::{BlockNo, ClioError, Result};
@@ -187,7 +187,13 @@ impl<S: BlockStore> FileSystem<S> {
         for b in 0..inode_blocks {
             store.write_block(BlockNo(sb.inode_start + b), &zero)?;
         }
-        let alloc = BitmapAlloc::format(&store, sb.bitmap_start, bitmap_blocks, data_start, data_blocks)?;
+        let alloc = BitmapAlloc::format(
+            &store,
+            sb.bitmap_start,
+            bitmap_blocks,
+            data_start,
+            data_blocks,
+        )?;
         let fs = FileSystem {
             store,
             sb,
@@ -578,7 +584,9 @@ impl<S: BlockStore> FileSystem<S> {
     fn read_dir_inode(&self, ino: u64) -> Result<Vec<DirEntry>> {
         let inode = self.get_inode(ino)?;
         if inode.kind != InodeKind::Dir {
-            return Err(ClioError::BadPath(format!("inode {ino} is not a directory")));
+            return Err(ClioError::BadPath(format!(
+                "inode {ino} is not a directory"
+            )));
         }
         let mut data = vec![0u8; inode.size as usize];
         let n = self.read_at(ino, 0, &mut data)?;
@@ -682,7 +690,9 @@ impl<S: BlockStore> FileSystem<S> {
         let victim = entries[at].ino;
         let vi = self.get_inode(victim)?;
         if vi.kind == InodeKind::Dir && !self.read_dir_inode(victim)?.is_empty() {
-            return Err(ClioError::BadPath(format!("{path} is a non-empty directory")));
+            return Err(ClioError::BadPath(format!(
+                "{path} is a non-empty directory"
+            )));
         }
         self.truncate(victim, 0)?;
         self.put_inode(victim, &Inode::empty(InodeKind::Free))?;
@@ -802,7 +812,12 @@ mod tests {
         fs.truncate(ino, 0).unwrap();
         assert_eq!(fs.stat(ino).unwrap().size, 0);
         // Most blocks come back (directory data stays).
-        assert!(fs.free_blocks() >= free0 - 3, "{} vs {}", fs.free_blocks(), free0);
+        assert!(
+            fs.free_blocks() >= free0 - 3,
+            "{} vs {}",
+            fs.free_blocks(),
+            free0
+        );
         // The file is usable after truncation.
         fs.write_at(ino, 0, b"again").unwrap();
         let mut buf = [0u8; 5];

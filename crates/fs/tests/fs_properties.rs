@@ -1,10 +1,11 @@
 //! Property tests: the indirect-block file system against a byte-vector
-//! oracle.
-
-use proptest::prelude::*;
+//! oracle. Runs on `clio_testkit::prop`; the retired
+//! regression seed file entry is pinned as the explicit
+//! `regression_*` test at the bottom.
 
 use clio_device::MemBlockStore;
 use clio_fs::FileSystem;
+use clio_testkit::prop::{check, check_case, u16s, vec_of, weighted, Gen};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -13,69 +14,108 @@ enum Op {
     Read { offset: u16, len: u16 },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0u16..8000, 1u16..1200).prop_map(|(offset, len)| Op::Write { offset, len }),
-        1 => (0u16..9000).prop_map(|size| Op::Truncate { size }),
-        3 => (0u16..9000, 1u16..1500).prop_map(|(offset, len)| Op::Read { offset, len }),
-    ]
+fn arb_op() -> Gen<Op> {
+    let write = {
+        let (off, len) = (u16s(0..8000), u16s(1..1200));
+        Gen::new(move |src| Op::Write {
+            offset: off.generate(src),
+            len: len.generate(src),
+        })
+    };
+    let truncate = u16s(0..9000).map(|size| Op::Truncate { size });
+    let read = {
+        let (off, len) = (u16s(0..9000), u16s(1..1500));
+        Gen::new(move |src| Op::Read {
+            offset: off.generate(src),
+            len: len.generate(src),
+        })
+    };
+    weighted(vec![(4, write), (1, truncate), (3, read)])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    #[test]
-    fn file_contents_match_byte_oracle(ops in proptest::collection::vec(arb_op(), 1..60)) {
-        let fs = FileSystem::mkfs(MemBlockStore::new(512, 4096), 16).expect("mkfs");
-        let ino = fs.create("/f").expect("create");
-        let mut oracle: Vec<u8> = Vec::new();
-        let mut stamp = 0u8;
-        for op in &ops {
-            match op {
-                Op::Write { offset, len } => {
-                    stamp = stamp.wrapping_add(1);
-                    let data = vec![stamp; *len as usize];
-                    fs.write_at(ino, u64::from(*offset), &data).expect("write");
-                    let end = *offset as usize + data.len();
-                    if oracle.len() < end {
-                        oracle.resize(end, 0);
-                    }
-                    oracle[*offset as usize..end].copy_from_slice(&data);
+fn prop_file_contents_match_byte_oracle(ops: &[Op]) {
+    let fs = FileSystem::mkfs(MemBlockStore::new(512, 4096), 16).expect("mkfs");
+    let ino = fs.create("/f").expect("create");
+    let mut oracle: Vec<u8> = Vec::new();
+    let mut stamp = 0u8;
+    for op in ops {
+        match op {
+            Op::Write { offset, len } => {
+                stamp = stamp.wrapping_add(1);
+                let data = vec![stamp; *len as usize];
+                fs.write_at(ino, u64::from(*offset), &data).expect("write");
+                let end = *offset as usize + data.len();
+                if oracle.len() < end {
+                    oracle.resize(end, 0);
                 }
-                Op::Truncate { size } => {
-                    fs.truncate(ino, u64::from(*size)).expect("truncate");
-                    oracle.resize(*size as usize, 0);
-                }
-                Op::Read { offset, len } => {
-                    let mut buf = vec![0xEEu8; *len as usize];
-                    let n = fs.read_at(ino, u64::from(*offset), &mut buf).expect("read");
-                    let want: &[u8] = if (*offset as usize) < oracle.len() {
-                        &oracle[*offset as usize..oracle.len().min(*offset as usize + *len as usize)]
-                    } else {
-                        &[]
-                    };
-                    prop_assert_eq!(&buf[..n], want);
-                }
+                oracle[*offset as usize..end].copy_from_slice(&data);
             }
-            prop_assert_eq!(fs.stat(ino).expect("stat").size, oracle.len() as u64);
+            Op::Truncate { size } => {
+                fs.truncate(ino, u64::from(*size)).expect("truncate");
+                oracle.resize(*size as usize, 0);
+            }
+            Op::Read { offset, len } => {
+                let mut buf = vec![0xEEu8; *len as usize];
+                let n = fs.read_at(ino, u64::from(*offset), &mut buf).expect("read");
+                let want: &[u8] = if (*offset as usize) < oracle.len() {
+                    &oracle[*offset as usize..oracle.len().min(*offset as usize + *len as usize)]
+                } else {
+                    &[]
+                };
+                assert_eq!(&buf[..n], want);
+            }
         }
-        // Final whole-file read.
-        let mut buf = vec![0u8; oracle.len()];
-        let n = fs.read_at(ino, 0, &mut buf).expect("final read");
-        prop_assert_eq!(n, oracle.len());
-        prop_assert_eq!(buf, oracle);
+        assert_eq!(fs.stat(ino).expect("stat").size, oracle.len() as u64);
     }
+    // Final whole-file read.
+    let mut buf = vec![0u8; oracle.len()];
+    let n = fs.read_at(ino, 0, &mut buf).expect("final read");
+    assert_eq!(n, oracle.len());
+    assert_eq!(buf, oracle);
+}
 
-    #[test]
-    fn truncate_never_leaks_blocks(sizes in proptest::collection::vec(1u16..6000, 1..20)) {
+#[test]
+fn file_contents_match_byte_oracle() {
+    let g = vec_of(&arb_op(), 1..60);
+    check("file_contents_match_byte_oracle", 32, &g, |ops| {
+        prop_file_contents_match_byte_oracle(ops);
+    });
+}
+
+#[test]
+fn truncate_never_leaks_blocks() {
+    let g = vec_of(&u16s(1..6000), 1..20);
+    check("truncate_never_leaks_blocks", 32, &g, |sizes| {
         let fs = FileSystem::mkfs(MemBlockStore::new(512, 8192), 16).expect("mkfs");
         let ino = fs.create("/f").expect("create");
         let baseline = fs.free_blocks();
-        for s in &sizes {
+        for s in sizes {
             fs.write_at(ino, 0, &vec![1u8; *s as usize]).expect("write");
             fs.truncate(ino, 0).expect("truncate");
         }
         // After truncating to zero, all data blocks are back.
-        prop_assert!(fs.free_blocks() >= baseline.saturating_sub(2));
-    }
+        assert!(fs.free_blocks() >= baseline.saturating_sub(2));
+    });
+}
+
+/// The shrunken witness from the retired
+/// regression seed file (case `b245cb8662326572…`):
+/// a write whose tail crosses a truncated boundary, then a one-byte write
+/// just past it.
+#[test]
+fn regression_write_across_truncated_tail() {
+    let ops = vec![
+        Op::Write {
+            offset: 3272,
+            len: 1135,
+        },
+        Op::Truncate { size: 3073 },
+        Op::Write {
+            offset: 3273,
+            len: 1,
+        },
+    ];
+    check_case("write_across_truncated_tail", &ops, |ops| {
+        prop_file_contents_match_byte_oracle(ops);
+    });
 }

@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use clio_testkit::sync::Mutex;
 
 use clio_core::service::{AppendOpts, Durability, LogService};
 use clio_device::BlockStore;
@@ -131,7 +131,11 @@ impl<S: BlockStore> AtomicFiles<S> {
     /// Attaches to (or creates) the intentions log at `log_path` and runs
     /// recovery: every committed-but-unapplied transaction in the log is
     /// redone against `fs` before the pair is handed back.
-    pub fn attach(svc: Arc<LogService>, fs: FileSystem<S>, log_path: &str) -> Result<AtomicFiles<S>> {
+    pub fn attach(
+        svc: Arc<LogService>,
+        fs: FileSystem<S>,
+        log_path: &str,
+    ) -> Result<AtomicFiles<S>> {
         if svc.resolve(log_path).is_err() {
             svc.create_log(log_path)?;
         }

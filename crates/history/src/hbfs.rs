@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use clio_testkit::sync::Mutex;
 
 use clio_core::service::{AppendOpts, Durability, LogService};
 use clio_types::{ClioError, Result, Timestamp};
@@ -240,7 +240,9 @@ impl HistoryFs {
             timestamped: true,
             seqno: None,
         };
-        let r = self.svc.append_path(&self.file_path(name), &up.encode(), opts)?;
+        let r = self
+            .svc
+            .append_path(&self.file_path(name), &up.encode(), opts)?;
         Ok(r.timestamp)
     }
 
@@ -400,7 +402,9 @@ mod tests {
         let fs = HistoryFs::attach(service(), "/fs").unwrap();
         fs.create("doc").unwrap();
         fs.write_at("doc", 0, b"v1").unwrap();
-        let t1 = fs.log("doc", &FileUpdate::SetLen(2), Durability::Buffered).unwrap();
+        let t1 = fs
+            .log("doc", &FileUpdate::SetLen(2), Durability::Buffered)
+            .unwrap();
         fs.write_at("doc", 0, b"v2").unwrap();
         assert_eq!(fs.read("doc").unwrap(), b"v2");
         // As of t1, the content was still "v1".
@@ -523,7 +527,8 @@ mod checkpoint_tests {
         let fs = HistoryFs::attach(svc.clone(), "/fs").unwrap();
         fs.create("doc").unwrap();
         for i in 0..200u32 {
-            fs.write_at("doc", 0, format!("rev {i}").as_bytes()).unwrap();
+            fs.write_at("doc", 0, format!("rev {i}").as_bytes())
+                .unwrap();
         }
         // Without a checkpoint, a rebuild replays the whole history.
         let full = fs.rebuild_cache().unwrap();
@@ -532,7 +537,8 @@ mod checkpoint_tests {
         // checkpoint + the edits after it.
         fs.checkpoint().unwrap();
         for i in 0..5u32 {
-            fs.write_at("doc", 0, format!("post {i}").as_bytes()).unwrap();
+            fs.write_at("doc", 0, format!("post {i}").as_bytes())
+                .unwrap();
         }
         let bounded = fs.rebuild_cache().unwrap();
         assert!(

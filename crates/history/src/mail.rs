@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use clio_testkit::sync::Mutex;
 
 use clio_core::service::{AppendOpts, Durability, LogService};
 use clio_types::{ClioError, EntryAddr, Result, Timestamp};
@@ -104,7 +104,9 @@ impl MailSystem {
     /// Creates a mailbox.
     pub fn create_mailbox(&self, user: &str) -> Result<()> {
         self.svc.create_log(&self.box_path(user))?;
-        self.index.lock().insert(user.to_owned(), BoxIndex::default());
+        self.index
+            .lock()
+            .insert(user.to_owned(), BoxIndex::default());
         Ok(())
     }
 

@@ -89,8 +89,7 @@ impl CostModel {
     /// given a cache hit ratio, for a RAM cache backed by the log device.
     #[must_use]
     pub fn hbfs_ram_read_us(&self, hit_ratio: f64) -> f64 {
-        hit_ratio * self.hbfs_ram_cache_us as f64
-            + (1.0 - hit_ratio) * self.hbfs_log_miss_us as f64
+        hit_ratio * self.hbfs_ram_cache_us as f64 + (1.0 - hit_ratio) * self.hbfs_log_miss_us as f64
     }
 
     /// §4's model for a magnetic-disk cache backed by the log device.
@@ -107,8 +106,8 @@ impl CostModel {
     pub fn hbfs_crossover_fraction(&self, h_disk: f64) -> f64 {
         // Solve h_ram·ram + (1−h_ram)·miss = h_disk·disk + (1−h_disk)·miss.
         let miss = self.hbfs_log_miss_us as f64;
-        let h_ram =
-            h_disk * (miss - self.hbfs_disk_cache_us as f64) / (miss - self.hbfs_ram_cache_us as f64);
+        let h_ram = h_disk * (miss - self.hbfs_disk_cache_us as f64)
+            / (miss - self.hbfs_ram_cache_us as f64);
         h_ram / h_disk
     }
 }

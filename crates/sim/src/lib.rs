@@ -20,6 +20,4 @@ pub mod workload;
 
 pub use cost::{CostClock, CostModel};
 pub use timed::TimedDevice;
-pub use workload::{
-    LoginWorkload, MailWorkload, TraceEvent, TraceWorkload, TxnWorkload,
-};
+pub use workload::{LoginWorkload, MailWorkload, TraceEvent, TraceWorkload, TxnWorkload};

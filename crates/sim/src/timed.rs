@@ -105,11 +105,7 @@ mod tests {
     fn sequential_appends_seek_once() {
         let clock = Arc::new(CostClock::starting_at(Timestamp::ZERO));
         let model = CostModel::default();
-        let dev = TimedDevice::new(
-            Arc::new(MemWormDevice::new(64, 32)),
-            clock.clone(),
-            model,
-        );
+        let dev = TimedDevice::new(Arc::new(MemWormDevice::new(64, 32)), clock.clone(), model);
         let blk = vec![0u8; 64];
         for i in 0..10 {
             dev.append_block(BlockNo(i), &blk).unwrap();
@@ -124,11 +120,7 @@ mod tests {
     fn random_reads_seek_every_time() {
         let clock = Arc::new(CostClock::starting_at(Timestamp::ZERO));
         let model = CostModel::default();
-        let dev = TimedDevice::new(
-            Arc::new(MemWormDevice::new(64, 64)),
-            clock.clone(),
-            model,
-        );
+        let dev = TimedDevice::new(Arc::new(MemWormDevice::new(64, 64)), clock.clone(), model);
         let blk = vec![0u8; 64];
         for i in 0..32 {
             dev.append_block(BlockNo(i), &blk).unwrap();

@@ -1,7 +1,6 @@
 //! Seeded workload generators for the evaluation harness.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use clio_testkit::rng::StdRng;
 
 /// The §3.5 login/logout audit workload: "a file system that we have been
 /// using to record user access (i.e. login/logout) to the V-System.
@@ -81,7 +80,9 @@ impl TxnWorkload {
             .map(|t| {
                 let updates = (0..self.records_per_txn)
                     .map(|u| {
-                        let len = self.rng.gen_range(self.mean_record / 2..=self.mean_record * 2);
+                        let len = self
+                            .rng
+                            .gen_range(self.mean_record / 2..=self.mean_record * 2);
                         let mut p = format!("txn{t} update{u} ").into_bytes();
                         p.resize(len.max(12), b'u');
                         p
@@ -122,10 +123,11 @@ impl MailWorkload {
                 let subject = format!("message {i}");
                 // Sizes cluster small with a heavy tail, like real mail.
                 let scale: usize = *[80, 80, 200, 200, 600, 2000, 8000]
-                    .get(self.rng.gen_range(0..7))
+                    .get(self.rng.gen_range(0..7usize))
                     .expect("non-empty");
                 let len = self.rng.gen_range(scale / 2..=scale);
-                let mut body = format!("From: gen\nTo: user{to}\nSubject: {subject}\n\n").into_bytes();
+                let mut body =
+                    format!("From: gen\nTo: user{to}\nSubject: {subject}\n\n").into_bytes();
                 body.resize(body.len() + len, b'm');
                 (to, subject, body)
             })

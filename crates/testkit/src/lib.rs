@@ -1,0 +1,27 @@
+//! In-tree, std-only test and measurement infrastructure for the Clio
+//! workspace.
+//!
+//! The workspace is **std-only by policy**: tier-1 verification
+//! (`cargo build --release --offline && cargo test -q --offline`) must
+//! succeed on a machine with no network and no registry cache, because the
+//! paper reproduction's numbers (Fig. 2–4, Table 1) are only trustworthy
+//! if anyone can re-run them hermetically. This crate supplies the four
+//! things the workspace previously pulled from crates.io:
+//!
+//! * [`sync`] — API-compatible, poison-transparent wrappers over
+//!   [`std::sync`]'s `Mutex`/`RwLock`/`Condvar` (the guard-returning subset
+//!   the workspace used: `lock()`/`read()`/`write()` return guards
+//!   directly, never a `Result`).
+//! * [`rng`] — a seeded SplitMix64/xoshiro256++ PRNG replacing `rand`.
+//!   Everything is reproducible from a printed `u64` seed.
+//! * [`prop`] — a small property-testing harness:
+//!   tape-based generators, greedy input shrinking, case count via
+//!   `CLIO_PROP_CASES`, exact-failure replay via `CLIO_PROP_SEED`, and
+//!   explicit named regression cases.
+//! * [`bench`] — a wall-clock micro-benchmark timer:
+//!   warmup, fixed-duration samples, median-of-samples reporting.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+pub mod sync;

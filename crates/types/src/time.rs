@@ -121,7 +121,8 @@ impl ManualClock {
 
     /// Jumps the clock forward by `us` microseconds.
     pub fn advance(&self, us: u64) {
-        self.next.fetch_add(us, std::sync::atomic::Ordering::Relaxed);
+        self.next
+            .fetch_add(us, std::sync::atomic::Ordering::Relaxed);
     }
 }
 

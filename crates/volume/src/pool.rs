@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use clio_testkit::sync::Mutex;
 
 use clio_types::Result;
 

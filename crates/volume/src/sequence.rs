@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use clio_testkit::sync::RwLock;
 
 use clio_cache::BlockCache;
 use clio_device::SharedDevice;
@@ -74,7 +74,9 @@ impl VolumeSequence {
         base_device_id: u32,
     ) -> Result<VolumeSequence> {
         if devices.is_empty() {
-            return Err(ClioError::Internal("cannot open an empty volume set".into()));
+            return Err(ClioError::Internal(
+                "cannot open an empty volume set".into(),
+            ));
         }
         let mut vols = Vec::with_capacity(devices.len());
         for (i, dev) in devices.into_iter().enumerate() {
@@ -162,7 +164,11 @@ impl VolumeSequence {
     /// The newest (writable) volume.
     #[must_use]
     pub fn active(&self) -> Arc<Volume> {
-        self.volumes.read().last().expect("sequence is never empty").clone()
+        self.volumes
+            .read()
+            .last()
+            .expect("sequence is never empty")
+            .clone()
     }
 
     /// Dismounts the volume at `index` (§2.1: older volumes may be taken
@@ -203,7 +209,12 @@ impl VolumeSequence {
             .successor(Self::volume_id(self.seq, index), now);
         let device_id = self.next_device_id.fetch_add(1, Ordering::Relaxed);
         debug_assert!(device_id >= self.base_device_id);
-        let v = Arc::new(Volume::format(device, device_id, self.cache.clone(), label)?);
+        let v = Arc::new(Volume::format(
+            device,
+            device_id,
+            self.cache.clone(),
+            label,
+        )?);
         g.push(v.clone());
         Ok(v)
     }
@@ -264,7 +275,7 @@ mod tests {
             let pool2 = pool.clone();
             struct Capture {
                 inner: Arc<MemDevicePool>,
-                out: Arc<parking_lot::Mutex<Vec<SharedDevice>>>,
+                out: Arc<clio_testkit::sync::Mutex<Vec<SharedDevice>>>,
             }
             impl DevicePool for Capture {
                 fn next_device(&self) -> Result<SharedDevice> {
@@ -273,7 +284,7 @@ mod tests {
                     Ok(d)
                 }
             }
-            let out = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let out = Arc::new(clio_testkit::sync::Mutex::new(Vec::new()));
             let cap = Arc::new(Capture {
                 inner: pool2,
                 out: out.clone(),

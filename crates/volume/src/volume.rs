@@ -64,13 +64,19 @@ impl Volume {
     /// Mounts an already-formatted device, reading its label and locating
     /// the end of the written portion (§2.3.1 initialization step 1 — by
     /// query or binary search).
-    pub fn open(device: SharedDevice, device_id: DeviceId, cache: Arc<BlockCache>) -> Result<Volume> {
+    pub fn open(
+        device: SharedDevice,
+        device_id: DeviceId,
+        cache: Arc<BlockCache>,
+    ) -> Result<Volume> {
         let mut label_img = vec![0u8; device.block_size()];
         device.read_block(BlockNo(0), &mut label_img)?;
         let label = VolumeLabel::decode(&label_img)?;
         let (end, probes) = locate_end(&*device)?;
         if end.0 == 0 {
-            return Err(ClioError::Internal("formatted volume lost its label".into()));
+            return Err(ClioError::Internal(
+                "formatted volume lost its label".into(),
+            ));
         }
         cache.put(CacheKey::new(device_id, BlockNo(0)), Arc::new(label_img));
         Ok(Volume {

@@ -48,14 +48,22 @@ fn main() -> clio::types::Result<()> {
     t.write("/bank/alice", 0, b"balance=100");
     t.write("/bank/bob", 0, b"balance=000");
     af.commit(t)?;
-    println!("opened:   alice={:?} bob={:?}", read(&af, "/bank/alice"), read(&af, "/bank/bob"));
+    println!(
+        "opened:   alice={:?} bob={:?}",
+        read(&af, "/bank/alice"),
+        read(&af, "/bank/bob")
+    );
 
     // Transfer 50, atomically.
     let mut t = af.begin();
     t.write("/bank/alice", 0, b"balance=050");
     t.write("/bank/bob", 0, b"balance=050");
     af.commit(t)?;
-    println!("transfer: alice={:?} bob={:?}", read(&af, "/bank/alice"), read(&af, "/bank/bob"));
+    println!(
+        "transfer: alice={:?} bob={:?}",
+        read(&af, "/bank/alice"),
+        read(&af, "/bank/bob")
+    );
 
     // Crash: the mounted file system and the atomic layer evaporate. Only
     // the rewriteable medium and the write-once log survive.

@@ -33,7 +33,11 @@ fn main() -> clio::types::Result<()> {
     let mut mid_ts = Timestamp::ZERO;
     let events = wl.events(3000);
     for (i, (user, payload)) in events.iter().enumerate() {
-        let r = svc.append_path(&format!("/audit/user{user}"), payload, AppendOpts::standard())?;
+        let r = svc.append_path(
+            &format!("/audit/user{user}"),
+            payload,
+            AppendOpts::standard(),
+        )?;
         if i == events.len() / 2 {
             mid_ts = r.timestamp;
         }
@@ -43,14 +47,19 @@ fn main() -> clio::types::Result<()> {
     // Aggregate query: everything in the trail.
     let mut cur = svc.cursor("/audit")?;
     let total = cur.collect_remaining()?.len();
-    println!("audit trail holds {total} events across {} users", wl.n_users);
+    println!(
+        "audit trail holds {total} events across {} users",
+        wl.n_users
+    );
 
     // Per-user query: only user3's events, located via the entrymap tree.
     let mut cur = svc.cursor("/audit/user3")?;
     let user3 = cur.collect_remaining()?;
-    println!("user3 generated {} events; first: {:?}",
+    println!(
+        "user3 generated {} events; first: {:?}",
         user3.len(),
-        String::from_utf8_lossy(&user3[0].data[..40.min(user3[0].data.len())]));
+        String::from_utf8_lossy(&user3[0].data[..40.min(user3[0].data.len())])
+    );
 
     // Time-bounded query: suspicious-activity review of the second half.
     let mut cur = svc.cursor_from_time("/audit", mid_ts)?;
@@ -63,7 +72,10 @@ fn main() -> clio::types::Result<()> {
     print!("last 3 events: ");
     for _ in 0..3 {
         if let Some(e) = cur.prev()? {
-            print!("[{}] ", String::from_utf8_lossy(&e.data[..20.min(e.data.len())]));
+            print!(
+                "[{}] ",
+                String::from_utf8_lossy(&e.data[..20.min(e.data.len())])
+            );
         }
     }
     println!();

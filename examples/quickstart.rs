@@ -45,7 +45,11 @@ fn main() -> clio::types::Result<()> {
     let all = cur.collect_remaining()?;
     println!("log contains {} entries:", all.len());
     for e in &all {
-        println!("  [{}] {}", e.effective_ts(), String::from_utf8_lossy(&e.data));
+        println!(
+            "  [{}] {}",
+            e.effective_ts(),
+            String::from_utf8_lossy(&e.data)
+        );
     }
 
     // …backward from the end…

@@ -52,20 +52,35 @@ fn replay(svc: &LogService) -> clio::types::Result<HashMap<String, String>> {
 
 fn main() -> clio::types::Result<()> {
     // A recording pool remembers its devices so we can "crash" and remount.
-    let pool = Arc::new(RecordingPool::new(Arc::new(MemDevicePool::new(1024, 1 << 16))));
+    let pool = Arc::new(RecordingPool::new(Arc::new(MemDevicePool::new(
+        1024,
+        1 << 16,
+    ))));
     let clock = Arc::new(ManualClock::starting_at(Timestamp::from_secs(10)));
     let cfg = ServiceConfig::default();
     let svc = LogService::create(VolumeSeqId(3), pool.clone(), cfg.clone(), clock.clone())?;
     svc.create_log("/wal")?;
 
     // Transaction 1: committed (updates buffered, commit forced).
-    svc.append_path("/wal", &set_record(1, "alice", "100"), AppendOpts::standard())?;
+    svc.append_path(
+        "/wal",
+        &set_record(1, "alice", "100"),
+        AppendOpts::standard(),
+    )?;
     svc.append_path("/wal", &set_record(1, "bob", "50"), AppendOpts::standard())?;
     svc.append_path("/wal", &commit_record(1), AppendOpts::forced())?;
 
     // Transaction 2: committed.
-    svc.append_path("/wal", &set_record(2, "alice", "75"), AppendOpts::standard())?;
-    svc.append_path("/wal", &set_record(2, "carol", "25"), AppendOpts::standard())?;
+    svc.append_path(
+        "/wal",
+        &set_record(2, "alice", "75"),
+        AppendOpts::standard(),
+    )?;
+    svc.append_path(
+        "/wal",
+        &set_record(2, "carol", "25"),
+        AppendOpts::standard(),
+    )?;
     svc.append_path("/wal", &commit_record(2), AppendOpts::forced())?;
 
     // Transaction 3: in flight when the server dies — never committed.

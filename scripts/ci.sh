@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 gate. The workspace is std-only by policy (see DESIGN.md):
+# everything must succeed offline, with no registry access at all.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Fail fast on any attempt to reach a registry: point cargo at an
+# empty, read-only home so nothing can be fetched or cached.
+export CARGO_NET_OFFLINE=true
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+
+# No external dependencies: the tree must contain only workspace-path
+# crates (all named clio*).
+if cargo tree --offline --workspace --prefix none --no-dedupe \
+        | awk 'NF {print $1}' | sort -u | grep -qv '^clio'; then
+    echo "error: non-workspace dependency in cargo tree:" >&2
+    cargo tree --offline --workspace --prefix none --no-dedupe \
+        | awk 'NF {print $1}' | sort -u | grep -v '^clio' >&2
+    exit 1
+fi
+
+# Leftover references to the retired registry crates are a regression.
+if grep -rn "parking_lot\|crossbeam\|proptest\|criterion\|rand::" \
+        crates src tests --include='*.rs' --include='*.toml' 2>/dev/null; then
+    echo "error: reference to a retired external dependency (see above)" >&2
+    exit 1
+fi
+
+run cargo build --release --offline --workspace
+run cargo test -q --offline --workspace
+run cargo test -q --offline --workspace -- --include-ignored
+
+echo "ci: all green"

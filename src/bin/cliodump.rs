@@ -85,11 +85,15 @@ fn probe_block_size(file: &str) -> Result<usize> {
     let mut head = [0u8; 64];
     let n = f.read(&mut head)?;
     if n < 47 {
-        return Err(clio::types::ClioError::BadRecord("file too short for a label"));
+        return Err(clio::types::ClioError::BadRecord(
+            "file too short for a label",
+        ));
     }
     let bs = u32::from_le_bytes(head[33..37].try_into().expect("4 bytes"));
     if !(128..=65536).contains(&(bs as usize)) {
-        return Err(clio::types::ClioError::BadRecord("implausible block size in label"));
+        return Err(clio::types::ClioError::BadRecord(
+            "implausible block size in label",
+        ));
     }
     Ok(bs as usize)
 }
@@ -136,9 +140,17 @@ fn mkdemo(file: &str) -> Result<()> {
     svc.create_log("/mail/smith")?;
     svc.create_log("/audit")?;
     for i in 0..40 {
-        svc.append_path("/audit", format!("login user{} tty{}", i % 5, i).as_bytes(), AppendOpts::standard())?;
+        svc.append_path(
+            "/audit",
+            format!("login user{} tty{}", i % 5, i).as_bytes(),
+            AppendOpts::standard(),
+        )?;
         if i % 4 == 0 {
-            svc.append_path("/mail/smith", format!("message {i}").as_bytes(), AppendOpts::forced())?;
+            svc.append_path(
+                "/mail/smith",
+                format!("message {i}").as_bytes(),
+                AppendOpts::forced(),
+            )?;
         }
     }
     svc.flush()?;
@@ -194,7 +206,12 @@ fn verify(file: &str) -> Result<()> {
 }
 
 fn blocks(file: &str) -> Result<()> {
-    outln!("{:>8}  {:>7}  {:>16}  flags", "block", "entries", "first-ts");
+    outln!(
+        "{:>8}  {:>7}  {:>16}  flags",
+        "block",
+        "entries",
+        "first-ts"
+    );
     with_blocks(file, |db, img| match BlockView::parse(img) {
         Ok(v) => {
             let f = v.flags();
@@ -208,7 +225,11 @@ fn blocks(file: &str) -> Result<()> {
             if f.sealed_early {
                 flags.push('F');
             }
-            outln!("{db:>8}  {:>7}  {:>16}  {flags}", v.count(), v.first_ts().to_string());
+            outln!(
+                "{db:>8}  {:>7}  {:>16}  {flags}",
+                v.count(),
+                v.first_ts().to_string()
+            );
         }
         Err(e) => outln!("{db:>8}  {e}"),
     })
@@ -229,7 +250,9 @@ fn tree(file: &str) -> Result<()> {
                     .map(|(id, bm)| {
                         format!(
                             "{id}:{}",
-                            (0..bm.len()).map(|i| if bm.get(i) { '1' } else { '0' }).collect::<String>()
+                            (0..bm.len())
+                                .map(|i| if bm.get(i) { '1' } else { '0' })
+                                .collect::<String>()
                         )
                     })
                     .collect();
@@ -261,7 +284,12 @@ fn mount(files: &[String]) -> Result<LogService> {
     }
     // The pool is only consulted if the service writes; dumping never does.
     let pool = Arc::new(MemDevicePool::new(bs, 16));
-    let (svc, _) = LogService::recover(devices, pool, ServiceConfig::default(), Arc::new(SystemClock))?;
+    let (svc, _) = LogService::recover(
+        devices,
+        pool,
+        ServiceConfig::default(),
+        Arc::new(SystemClock),
+    )?;
     Ok(svc)
 }
 

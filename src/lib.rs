@@ -10,5 +10,6 @@ pub use clio_format as format;
 pub use clio_fs as fs;
 pub use clio_history as history;
 pub use clio_sim as sim;
+pub use clio_testkit as testkit;
 pub use clio_types as types;
 pub use clio_volume as volume;

@@ -9,8 +9,7 @@ fn cliodump(args: &[&str]) -> (bool, String) {
         .expect("spawn cliodump");
     (
         out.status.success(),
-        String::from_utf8_lossy(&out.stdout).into_owned()
-            + &String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout).into_owned() + &String::from_utf8_lossy(&out.stderr),
     )
 }
 
@@ -24,7 +23,10 @@ fn dump_workflow_on_a_demo_volume() {
     assert!(ok, "mkdemo failed: {out}");
 
     let (ok, out) = cliodump(&["label", vol]);
-    assert!(ok && out.contains("block size:   512 bytes"), "label: {out}");
+    assert!(
+        ok && out.contains("block size:   512 bytes"),
+        "label: {out}"
+    );
     assert!(out.contains("entrymap N:   4"));
 
     let (ok, out) = cliodump(&["verify", vol]);
@@ -34,7 +36,10 @@ fn dump_workflow_on_a_demo_volume() {
     assert!(ok && out.contains("/mail/smith"), "logs: {out}");
 
     let (ok, out) = cliodump(&["cat", "/mail/smith", vol]);
-    assert!(ok && out.contains("message 0") && out.contains("entries"), "cat: {out}");
+    assert!(
+        ok && out.contains("message 0") && out.contains("entries"),
+        "cat: {out}"
+    );
 
     let (ok, out) = cliodump(&["tree", vol]);
     assert!(ok && out.contains("level-1 group"), "tree: {out}");

@@ -9,8 +9,7 @@ use clio::core::ServiceConfig;
 use clio::device::{RamTailDevice, SharedDevice};
 use clio::types::{ManualClock, Timestamp, VolumeSeqId};
 use clio::volume::{MemDevicePool, RecordingPool};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use clio_testkit::rng::StdRng;
 
 fn storm(seed: u64, ram_tail: bool) {
     let inner = Arc::new(MemDevicePool::new(512, 96));
@@ -58,13 +57,9 @@ fn storm(seed: u64, ram_tail: bool) {
         }
         // CRASH.
         drop(svc);
-        let (recovered, _) = LogService::recover(
-            pool.devices(),
-            pool.clone(),
-            cfg.clone(),
-            ck.clone(),
-        )
-        .expect("recover");
+        let (recovered, _) =
+            LogService::recover(pool.devices(), pool.clone(), cfg.clone(), ck.clone())
+                .expect("recover");
         svc = recovered;
         // Check the survivors: a prefix of what was written, at least the
         // forced prefix, each entry intact and in order.

@@ -17,7 +17,9 @@ use clio::volume::{MemDevicePool, RecordingPool};
 fn capturing_pool(block_size: usize, cap: u64, ram_tail: bool) -> Arc<RecordingPool> {
     let inner = Arc::new(MemDevicePool::new(block_size, cap));
     Arc::new(if ram_tail {
-        RecordingPool::wrapping(inner, |base| Arc::new(RamTailDevice::new(base)) as SharedDevice)
+        RecordingPool::wrapping(inner, |base| {
+            Arc::new(RamTailDevice::new(base)) as SharedDevice
+        })
     } else {
         RecordingPool::new(inner)
     })
@@ -50,8 +52,12 @@ fn applications_share_one_service() {
     for i in 0..50 {
         mail.deliver("smith", &format!("m{i}"), b"body").unwrap();
         fs.write_at("doc", (i * 4) as u64, &[i as u8; 4]).unwrap();
-        svc.append_path("/audit", format!("tick {i}").as_bytes(), AppendOpts::standard())
-            .unwrap();
+        svc.append_path(
+            "/audit",
+            format!("tick {i}").as_bytes(),
+            AppendOpts::standard(),
+        )
+        .unwrap();
     }
     assert_eq!(mail.list("smith").unwrap().len(), 50);
     assert_eq!(fs.read("doc").unwrap().len(), 200);

@@ -6,12 +6,14 @@ use std::sync::Arc;
 
 use clio::core::service::{AppendOpts, LogService};
 use clio::core::ServiceConfig;
-use clio::device::{FaultPlan, FaultyDevice, LogDevice, MemBlockStore, MemWormDevice, MirroredDevice, SharedDevice};
+use clio::device::{
+    FaultPlan, FaultyDevice, LogDevice, MemBlockStore, MemWormDevice, MirroredDevice, SharedDevice,
+};
 use clio::fs::FileSystem;
 use clio::history::AtomicFiles;
 use clio::types::{ManualClock, Timestamp, VolumeSeqId};
 use clio::volume::DevicePool;
-use parking_lot::Mutex;
+use clio_testkit::sync::Mutex;
 
 fn clock() -> Arc<ManualClock> {
     Arc::new(ManualClock::starting_at(Timestamp::from_secs(1)))
@@ -26,10 +28,10 @@ fn service_runs_on_mirrored_devices_and_survives_replica_rot() {
     }
     impl DevicePool for MirrorPool {
         fn next_device(&self) -> clio::types::Result<SharedDevice> {
-            let raw: Vec<Arc<MemWormDevice>> =
-                (0..2).map(|_| Arc::new(MemWormDevice::new(512, 4096))).collect();
-            let shared: Vec<SharedDevice> =
-                raw.iter().map(|r| r.clone() as SharedDevice).collect();
+            let raw: Vec<Arc<MemWormDevice>> = (0..2)
+                .map(|_| Arc::new(MemWormDevice::new(512, 4096)))
+                .collect();
+            let shared: Vec<SharedDevice> = raw.iter().map(|r| r.clone() as SharedDevice).collect();
             self.raws.lock().push(raw);
             Ok(Arc::new(MirroredDevice::new(shared)))
         }
@@ -51,8 +53,12 @@ fn service_runs_on_mirrored_devices_and_survives_replica_rot() {
     .unwrap();
     svc.create_log("/m").unwrap();
     for i in 0..200u32 {
-        svc.append_path("/m", format!("entry {i}").as_bytes(), AppendOpts::standard())
-            .unwrap();
+        svc.append_path(
+            "/m",
+            format!("entry {i}").as_bytes(),
+            AppendOpts::standard(),
+        )
+        .unwrap();
     }
     svc.flush().unwrap();
 
@@ -154,7 +160,8 @@ fn displaced_entrymap_entries_remain_findable() {
         }
         let mut payload = format!("hay {i} ").into_bytes();
         payload.resize(100, b'h');
-        svc.append_path("/hay", &payload, AppendOpts::forced()).unwrap();
+        svc.append_path("/hay", &payload, AppendOpts::forced())
+            .unwrap();
     }
     // Distant search for the needle from the tail, cold cache.
     svc.cache().clear();
@@ -189,7 +196,8 @@ fn offline_volumes_fail_cleanly_and_come_back() {
     for i in 0..400u32 {
         let mut payload = format!("rec {i} ").into_bytes();
         payload.resize(120, b'a');
-        svc.append_path("/arch", &payload, AppendOpts::standard()).unwrap();
+        svc.append_path("/arch", &payload, AppendOpts::standard())
+            .unwrap();
     }
     svc.flush().unwrap();
     assert!(svc.volumes().volume_count() >= 3);
