@@ -17,12 +17,17 @@
 
 use std::collections::BTreeSet;
 
+use clio_bench::report::Report;
 use clio_bench::synth::{SyntheticSource, SYNTH_FILE};
 use clio_bench::table;
 use clio_entrymap::binary_tree::BinaryTreeIndex;
 use clio_entrymap::{theory, Locator};
 
 fn main() {
+    let mut report = Report::new(
+        "abl_locators",
+        "§5.1 ablation — entrymap vs binary tree vs naive scan",
+    );
     let total: u64 = 1 << 21;
     let stride = 16u64;
     let mut rows = Vec::new();
@@ -63,19 +68,19 @@ fn main() {
     }
     println!("§5.1 ablation — block reads to find a log file's most recent entry, d blocks back");
     println!("(2M-block volume; the file has one entry per 16 blocks until it goes quiet)\n");
-    print!(
-        "{}",
-        table::render(
-            &[
-                "distance d",
-                "file blocks m",
-                "entrymap reads",
-                "binary-tree reads (~log2 m)",
-                "naive reads (=d)"
-            ],
-            &rows
-        )
-    );
+    let header = [
+        "distance d",
+        "file blocks m",
+        "entrymap reads",
+        "binary-tree reads (~log2 m)",
+        "naive reads (=d)",
+    ];
+    print!("{}", table::render(&header, &rows));
     println!("\nPaper's claim (§5.1) holds if the entrymap column stays below the binary-tree");
     println!("column throughout — with N=16, 2·log_16 d = 0.5·log2 d.");
+    report.scalar("volume_blocks", total);
+    report.scalar("entry_stride_blocks", stride);
+    report.table("locator_reads", &header, &rows);
+    report.note("Claim holds if the entrymap column stays below the binary-tree column.");
+    report.emit();
 }

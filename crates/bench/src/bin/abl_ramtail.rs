@@ -13,6 +13,7 @@
 
 use std::sync::Arc;
 
+use clio_bench::report::Report;
 use clio_bench::table;
 use clio_core::service::{AppendOpts, LogService};
 use clio_core::ServiceConfig;
@@ -61,6 +62,10 @@ fn run(ram_tail: bool, txns: usize) -> (u64, u64, u64) {
 }
 
 fn main() {
+    let mut report = Report::new(
+        "abl_ramtail",
+        "§2.3.1 ablation — forced writes: pure write-once vs battery-backed RAM tail",
+    );
     let txns = 500;
     let (worm_blocks, worm_pad, worm_bytes) = run(false, txns);
     let (ram_blocks, ram_pad, ram_bytes) = run(true, txns);
@@ -79,13 +84,8 @@ fn main() {
         ],
     ];
     println!("§2.3.1 ablation — {txns} transactions (4 buffered updates + 1 forced commit each), 1 KiB blocks\n");
-    print!(
-        "{}",
-        table::render(
-            &["device", "blocks sealed", "padding bytes", "device bytes"],
-            &rows
-        )
-    );
+    let header = ["device", "blocks sealed", "padding bytes", "device bytes"];
+    print!("{}", table::render(&header, &rows));
     let saving = 100.0 * (1.0 - ram_bytes as f64 / worm_bytes as f64);
     println!(
         "\nRAM-tail staging eliminates the early-seal fragmentation: {:.1}% fewer device bytes,",
@@ -95,4 +95,13 @@ fn main() {
         "{:.1}x fewer sealed blocks for identical durability.",
         worm_blocks as f64 / ram_blocks.max(1) as f64
     );
+    report.scalar("transactions", txns as u64);
+    report.scalar("device_bytes_saving_pct", saving);
+    report.scalar(
+        "sealed_block_ratio",
+        worm_blocks as f64 / ram_blocks.max(1) as f64,
+    );
+    report.table("fragmentation", &header, &rows);
+    report.note("RAM-tail staging eliminates the early-seal fragmentation of forced writes.");
+    report.emit();
 }

@@ -6,6 +6,8 @@ use std::process::Command;
 fn main() {
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin directory").to_path_buf();
+    // Forward our arguments (notably `--json`) to every harness.
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let bins = [
         "fig2_tree",
         "fig3_locate",
@@ -26,7 +28,7 @@ fn main() {
         println!("== {bin}");
         println!("{}\n", "=".repeat(90));
         let path = dir.join(bin);
-        match Command::new(&path).status() {
+        match Command::new(&path).args(&args).status() {
             Ok(s) if s.success() => {}
             Ok(s) => {
                 eprintln!("** {bin} exited with {s}");

@@ -5,10 +5,12 @@
 //! them. We drive the real [`clio_entrymap::EntrymapWriter`] over the same
 //! placement and print the records it emits.
 
+use clio_bench::report::Report;
 use clio_entrymap::{EntrymapWriter, Geometry};
 use clio_types::LogFileId;
 
 fn main() {
+    let mut report = Report::new("fig2_tree", "Figure 2 — entrymap search tree for N = 4");
     let n = 4usize;
     let file = LogFileId(8);
     // Five marked blocks within the first 16, as in the figure.
@@ -35,6 +37,7 @@ fn main() {
             .map(|b| if marked.contains(&b) { '#' } else { '.' })
             .collect::<String>()
     );
+    let mut rows = Vec::new();
     for (at, rec) in &emitted {
         let bits = rec
             .map_for(file)
@@ -44,15 +47,29 @@ fn main() {
                     .collect::<String>()
             })
             .unwrap_or_else(|| "0".repeat(n));
+        let cover_lo = rec.group * (n as u64).pow(u32::from(rec.level));
+        let cover_hi = (rec.group + 1) * (n as u64).pow(u32::from(rec.level));
         println!(
             "level-{} entrymap entry written at block {:>2}, covering blocks {:>2}..{:>2}: bitmap {}",
-            rec.level,
-            at,
-            rec.group * (n as u64).pow(u32::from(rec.level)),
-            (rec.group + 1) * (n as u64).pow(u32::from(rec.level)),
-            bits
+            rec.level, at, cover_lo, cover_hi, bits
         );
+        rows.push(vec![
+            format!("{}", rec.level),
+            format!("{at}"),
+            format!("{cover_lo}"),
+            format!("{cover_hi}"),
+            bits,
+        ]);
     }
     println!("\nThe level-2 bitmap (written at block 16) marks level-1 groups 0, 1 and 3 — the");
     println!("shape of the tree in the paper's Figure 2.");
+    report.scalar("fanout", n);
+    report.scalar("marked_blocks", marked.len());
+    report.table(
+        "entrymap_entries",
+        &["level", "written_at", "covers_from", "covers_to", "bitmap"],
+        &rows,
+    );
+    report.note("The level-2 bitmap marks level-1 groups 0, 1 and 3 — the paper's Figure 2 shape.");
+    report.emit();
 }

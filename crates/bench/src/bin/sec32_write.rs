@@ -13,6 +13,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use clio_bench::report::Report;
 use clio_bench::table;
 use clio_core::server::LogServer;
 use clio_core::service::LogService;
@@ -22,6 +23,7 @@ use clio_types::{Timestamp, VolumeSeqId};
 use clio_volume::MemDevicePool;
 
 fn main() {
+    let mut report = Report::new("sec32_write", "§3.2 — synchronous log write cost");
     let model = CostModel::default();
     let clock = Arc::new(clio_sim::CostClock::starting_at(Timestamp::from_secs(1)));
     let svc = LogService::create(
@@ -55,13 +57,13 @@ fn main() {
         ]);
     }
     println!("§3.2 — synchronous log write cost (client and server on one machine)\n");
-    print!(
-        "{}",
-        table::render(
-            &["write", "payload B", "modelled 1987 ms", "measured 2026 µs"],
-            &rows
-        )
-    );
+    let header = ["write", "payload B", "modelled 1987 ms", "measured 2026 µs"];
+    print!("{}", table::render(&header, &rows));
+    report.scalar("rounds", rounds);
+    report.scalar("ipc_local_us", model.ipc_local_us);
+    report.scalar("timestamp_gen_us", model.timestamp_gen_us);
+    report.scalar("entrymap_note_us", model.entrymap_note_us);
+    report.table("write_cost", &header, &rows);
     println!("\nModelled decomposition (paper's measured components):");
     println!(
         "  IPC (local)          {:>6} µs   (paper 0.5–1 ms)",
@@ -81,5 +83,7 @@ fn main() {
         "\nActual IPC round trips observed: {}",
         server.ipc_round_trips()
     );
+    report.scalar("ipc_round_trips", server.ipc_round_trips());
+    report.emit();
     server.shutdown();
 }

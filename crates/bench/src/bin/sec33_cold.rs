@@ -12,6 +12,7 @@
 
 use std::sync::Arc;
 
+use clio_bench::report::Report;
 use clio_bench::table;
 use clio_core::service::{AppendOpts, LogService};
 use clio_core::ServiceConfig;
@@ -38,6 +39,10 @@ impl DevicePool for TimedPool {
 }
 
 fn main() {
+    let mut report = Report::new(
+        "sec33_cold",
+        "§3.3.2 — cost of an uncached distant read, measured end-to-end",
+    );
     let model = CostModel::default();
     let clock = Arc::new(CostClock::starting_at(Timestamp::from_secs(1)));
     let pool = Arc::new(TimedPool {
@@ -90,19 +95,20 @@ fn main() {
         model.optical_seek_us / 1000,
         model.optical_transfer_us / 1000
     );
-    print!(
-        "{}",
-        table::render(
-            &[
-                "read",
-                "device reads (misses)",
-                "cache hits",
-                "modelled time (ms)"
-            ],
-            &rows
-        )
-    );
+    let header = [
+        "read",
+        "device reads (misses)",
+        "cache hits",
+        "modelled time (ms)",
+    ];
+    print!("{}", table::render(&header, &rows));
     println!("\nPaper's claim holds if the cold read costs several hundred milliseconds and");
     println!("the repeat costs (near) nothing — \"the cost of a log read operation is");
     println!("determined primarily by the number of cache misses\".");
+    report.scalar("distance_blocks", distance);
+    report.scalar("optical_seek_us", model.optical_seek_us);
+    report.scalar("optical_transfer_us", model.optical_transfer_us);
+    report.table("cold_vs_warm", &header, &rows);
+    report.note("Read cost is determined primarily by the number of cache misses (§3.3.2).");
+    report.emit();
 }

@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+use clio_bench::report::Report;
 use clio_bench::table;
 use clio_core::service::{AppendOpts, LogService};
 use clio_core::ServiceConfig;
@@ -21,6 +22,10 @@ use clio_types::{LogFileId, ManualClock, Timestamp, VolumeSeqId};
 use clio_volume::MemDevicePool;
 
 fn main() {
+    let mut report = Report::new(
+        "sec35_space",
+        "§3.5 — space overhead on the login/logout audit workload",
+    );
     let cfg = ServiceConfig::default(); // 1 KiB, N = 16
     let n = cfg.fanout as f64;
     let block_size = cfg.block_size as f64;
@@ -124,14 +129,22 @@ fn main() {
         "{}",
         table::render(&["quantity", "measured", "paper"], &rows)
     );
-    println!(
-        "\nentrymap entries written: {}; blocks sealed: {}; device bytes: {}",
-        r.entrymap_entries, r.blocks_sealed, r.device_bytes
-    );
+    // The service's own one-line space report (same data, Display form).
+    println!("\n{r}");
     println!(
         "Paper's conclusion holds if o_e ≪ h: measured o_e/h = {:.3}",
         o_e / h
     );
+    report.scalar("entries", r.entries);
+    report.scalar("avg_entry_size", d);
+    report.scalar("files_per_entrymap_entry", a);
+    report.scalar("avg_header_overhead", h);
+    report.scalar("entrymap_overhead_per_entry", o_e);
+    report.scalar("paper_bound", bound);
+    report.scalar("device_bytes", r.device_bytes);
+    report.table("quantities", &["quantity", "measured", "paper"], &rows);
+    report.note("Paper's conclusion holds if o_e is far below h.");
+    report.emit();
 }
 
 /// Raw volume scanner.

@@ -12,6 +12,7 @@
 //!    ("cache miss ratios of less than 10% are possible with a cache size
 //!    of only 16 Mbytes").
 
+use clio_bench::report::Report;
 use clio_bench::table;
 use clio_cache::{BlockCache, CacheKey};
 use clio_sim::workload::{TraceEvent, TraceWorkload};
@@ -19,11 +20,16 @@ use clio_sim::CostModel;
 use clio_types::BlockNo;
 
 fn main() {
-    crossover();
-    trace_hit_ratios();
+    let mut report = Report::new(
+        "sec4_hbfs",
+        "§4/§4.1 — history-based storage model cache economics",
+    );
+    crossover(&mut report);
+    trace_hit_ratios(&mut report);
+    report.emit();
 }
 
-fn crossover() {
+fn crossover(report: &mut Report) {
     let m = CostModel::default();
     let h_disk = 0.9;
     let frac = m.hbfs_crossover_fraction(h_disk);
@@ -47,25 +53,22 @@ fn crossover() {
     println!(
         "(log-device miss 100 ms, disk cache 30 ms, RAM cache 1 ms per KiB; disk hit ratio 90%)\n"
     );
-    print!(
-        "{}",
-        table::render(
-            &[
-                "RAM hit ratio / disk's",
-                "RAM read ms",
-                "disk read ms",
-                "winner"
-            ],
-            &rows
-        )
-    );
+    let header = [
+        "RAM hit ratio / disk's",
+        "RAM read ms",
+        "disk read ms",
+        "winner",
+    ];
+    print!("{}", table::render(&header, &rows));
     println!(
         "\nAnalytic crossover: RAM wins above {:.1}% of the disk cache's hit ratio (paper: 70%).\n",
         100.0 * frac
     );
+    report.scalar("crossover_fraction", frac);
+    report.table("ram_vs_disk", &header, &rows);
 }
 
-fn trace_hit_ratios() {
+fn trace_hit_ratios(report: &mut Report) {
     // Model each file as a handful of 1 KiB blocks; run the trace's reads
     // through an LRU of varying capacity and measure hit ratios.
     let trace = TraceWorkload::new(17).trace(4_000);
@@ -98,7 +101,7 @@ fn trace_hit_ratios() {
             }
         }
         let s = cache.stats();
-        let hit = s.hits as f64 / (s.hits + s.misses).max(1) as f64;
+        let hit = s.hit_ratio();
         let m = CostModel::default();
         rows.push(vec![
             format!("{} KiB", cache_kib),
@@ -109,19 +112,16 @@ fn trace_hit_ratios() {
         let _ = accesses;
     }
     println!("§4.1 — RAM-cache hit ratio over an Ousterhout-style trace (4,000 file lifetimes)\n");
-    print!(
-        "{}",
-        table::render(
-            &[
-                "RAM cache size",
-                "hit ratio",
-                "miss ratio",
-                "modelled read ms/KiB"
-            ],
-            &rows
-        )
-    );
+    let header = [
+        "RAM cache size",
+        "hit ratio",
+        "miss ratio",
+        "modelled read ms/KiB",
+    ];
+    print!("{}", table::render(&header, &rows));
     println!(
         "\nFeasibility holds if the miss ratio falls under ~10% at moderate cache sizes (§4.1)."
     );
+    report.table("trace_hit_ratios", &header, &rows);
+    report.note("Feasibility holds if the miss ratio falls under ~10% at moderate cache sizes.");
 }

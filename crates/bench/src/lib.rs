@@ -7,7 +7,10 @@
 //!   *generates* block images on demand for a given entry placement, so
 //!   Figure 3's 10⁷-block distances can be measured without materializing
 //!   gigabytes;
-//! - [`table`]: plain-text table printing for the harness output.
+//! - [`table`]: plain-text table printing for the harness output;
+//! - [`report`]: the `--json` machine-readable output every binary emits
+//!   alongside its text tables.
 
+pub mod report;
 pub mod synth;
 pub mod table;

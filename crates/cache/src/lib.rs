@@ -71,6 +71,20 @@ impl CacheSnapshot {
     }
 }
 
+impl std::fmt::Display for CacheSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} hit_ratio={:.1}% inserts={} evictions={}",
+            self.hits,
+            self.misses,
+            100.0 * self.hit_ratio(),
+            self.inserts,
+            self.evictions
+        )
+    }
+}
+
 struct Entry {
     data: Arc<Vec<u8>>,
     tick: u64,
@@ -229,6 +243,25 @@ impl BlockCache {
         }
     }
 
+    /// Registers the cache counters and occupancy into `reg` under the
+    /// `clio_cache_*` namespace.
+    pub fn register_into(self: &Arc<BlockCache>, reg: &clio_obs::MetricsRegistry) {
+        let counters: [(&str, fn(&CacheSnapshot) -> u64); 4] = [
+            ("clio_cache_hits_total", |s| s.hits),
+            ("clio_cache_misses_total", |s| s.misses),
+            ("clio_cache_inserts_total", |s| s.inserts),
+            ("clio_cache_evictions_total", |s| s.evictions),
+        ];
+        for (name, read) in counters {
+            let cache = self.clone();
+            reg.register_counter_fn(name, move || read(&cache.stats()));
+        }
+        let cache = self.clone();
+        reg.register_gauge_fn("clio_cache_resident_blocks", move || cache.len() as i64);
+        let cap = self.capacity() as i64;
+        reg.register_gauge_fn("clio_cache_capacity_blocks", move || cap);
+    }
+
     /// Zeroes the statistics counters (contents are untouched).
     pub fn reset_stats(&self) {
         self.counters.hits.store(0, Ordering::Relaxed);
@@ -344,6 +377,24 @@ mod tests {
         let s = c.stats();
         assert!((s.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(CacheSnapshot::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn registers_into_a_registry_and_displays() {
+        let c = Arc::new(BlockCache::new(4));
+        let reg = clio_obs::MetricsRegistry::new();
+        c.register_into(&reg);
+        c.put(key(1), data(1));
+        let _ = c.get(key(1));
+        let _ = c.get(key(2));
+        let text = clio_obs::expo::render_prometheus(&reg);
+        assert!(text.contains("clio_cache_hits_total 1"));
+        assert!(text.contains("clio_cache_misses_total 1"));
+        assert!(text.contains("clio_cache_resident_blocks 1"));
+        assert!(text.contains("clio_cache_capacity_blocks 4"));
+        let line = format!("{}", c.stats());
+        assert!(line.contains("hits=1"));
+        assert!(line.contains("hit_ratio=50.0%"));
     }
 
     #[test]

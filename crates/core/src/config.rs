@@ -20,6 +20,8 @@ pub struct ServiceConfig {
     /// sequence number not wrapping around within the maximum possible
     /// time skew between the client and the server").
     pub unique_id_skew_us: u64,
+    /// Capacity of the per-service op trace ring (0 disables tracing).
+    pub trace_events: usize,
 }
 
 impl Default for ServiceConfig {
@@ -30,6 +32,7 @@ impl Default for ServiceConfig {
             cache_blocks: 1024,
             verify_appends: false,
             unique_id_skew_us: 5_000_000,
+            trace_events: 512,
         }
     }
 }

@@ -26,6 +26,7 @@
 
 pub mod catalog;
 pub mod config;
+pub mod obs;
 pub mod read;
 pub mod recovery;
 pub mod server;
@@ -36,6 +37,7 @@ pub mod write;
 
 pub use catalog::Catalog;
 pub use config::ServiceConfig;
+pub use obs::ServiceObs;
 pub use read::{Entry, LogCursor};
 pub use service::{AppendOpts, Durability, LogService};
 pub use stats::SpaceReport;

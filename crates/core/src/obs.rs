@@ -1,0 +1,273 @@
+//! Service-level observability: the unified registry, op tracing, and the
+//! instrumented device plumbing.
+//!
+//! Every [`crate::LogService`] owns a [`ServiceObs`]: one
+//! [`MetricsRegistry`] into which the device layer, the block cache, the
+//! space accountant and the service's own op histograms all register, plus
+//! a [`TraceRing`] recording one event per logical operation. The service
+//! exposes the whole thing via [`crate::LogService::metrics_text`] /
+//! [`crate::LogService::metrics_json`] / [`crate::LogService::trace_dump`],
+//! and over the client/server channel via the `Stats` request.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use clio_device::{DeviceStats, InstrumentedDevice, SharedDevice};
+use clio_entrymap::LocateStats;
+use clio_obs::{Counter, Histogram, MetricsRegistry, TraceRing};
+use clio_types::{LogFileId, Result};
+use clio_volume::DevicePool;
+
+use crate::recovery::RecoveryReport;
+use crate::stats::SpaceReport;
+
+/// The observability state of one service instance.
+pub struct ServiceObs {
+    registry: Arc<MetricsRegistry>,
+    trace: TraceRing,
+    /// Counters shared by every device the service touches (the volume
+    /// sequence wraps each pool device in an [`InstrumentedDevice`]).
+    pub device_stats: Arc<DeviceStats>,
+    /// Wall-clock latency of `append` calls, ns.
+    pub append_latency: Arc<Histogram>,
+    /// Wall-clock latency of `read_entry` calls, ns.
+    pub read_latency: Arc<Histogram>,
+    /// Wall-clock latency of entrymap locate searches, ns.
+    pub locate_latency: Arc<Histogram>,
+    /// Blocks read per locate search.
+    pub locate_blocks: Arc<Histogram>,
+    /// Tree-descent depth (highest level climbed) per locate search.
+    pub locate_depth: Arc<Histogram>,
+    appends: Arc<Counter>,
+    append_errors: Arc<Counter>,
+    reads: Arc<Counter>,
+    read_errors: Arc<Counter>,
+    locates: Arc<Counter>,
+    creates: Arc<Counter>,
+}
+
+impl ServiceObs {
+    /// Builds the registry, registers the shared device counters, and sizes
+    /// the trace ring to `trace_events`.
+    #[must_use]
+    pub fn new(trace_events: usize) -> Arc<ServiceObs> {
+        let registry = Arc::new(MetricsRegistry::new());
+        let device_stats = DeviceStats::new();
+        device_stats.register_into(&registry);
+        Arc::new(ServiceObs {
+            trace: TraceRing::new(trace_events),
+            device_stats,
+            append_latency: registry.histogram("clio_core_append_latency_ns"),
+            read_latency: registry.histogram("clio_core_read_latency_ns"),
+            locate_latency: registry.histogram("clio_core_locate_latency_ns"),
+            locate_blocks: registry.histogram("clio_core_locate_blocks"),
+            locate_depth: registry.histogram("clio_core_locate_depth"),
+            appends: registry.counter("clio_core_appends_total"),
+            append_errors: registry.counter("clio_core_append_errors_total"),
+            reads: registry.counter("clio_core_reads_total"),
+            read_errors: registry.counter("clio_core_read_errors_total"),
+            locates: registry.counter("clio_core_locates_total"),
+            creates: registry.counter("clio_core_creates_total"),
+            registry,
+        })
+    }
+
+    /// The unified registry.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The op trace ring.
+    #[must_use]
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Records an `append` span: latency, counters, and a trace event with
+    /// the physical blocks the op touched.
+    pub fn note_append(&self, id: LogFileId, blocks: u64, dur: Duration, ok: bool) {
+        if ok {
+            self.appends.inc();
+            self.append_latency.record_duration(dur);
+        } else {
+            self.append_errors.inc();
+        }
+        self.trace.record(
+            "append",
+            Some(u64::from(id.0)),
+            blocks,
+            dur,
+            if ok { "ok" } else { "error" },
+        );
+    }
+
+    /// Records a `read_entry` span.
+    pub fn note_read(&self, target: Option<LogFileId>, blocks: u64, dur: Duration, ok: bool) {
+        if ok {
+            self.reads.inc();
+            self.read_latency.record_duration(dur);
+        } else {
+            self.read_errors.inc();
+        }
+        self.trace.record(
+            "read",
+            target.map(|id| u64::from(id.0)),
+            blocks,
+            dur,
+            if ok { "ok" } else { "error" },
+        );
+    }
+
+    /// Records one entrymap locate search from its [`LocateStats`].
+    pub fn note_locate(&self, target: Option<LogFileId>, stats: &LocateStats, dur: Duration) {
+        self.locates.inc();
+        self.locate_latency.record_duration(dur);
+        self.locate_blocks.record(stats.blocks_read);
+        self.locate_depth.record(stats.max_level);
+        self.trace.record(
+            "locate",
+            target.map(|id| u64::from(id.0)),
+            stats.blocks_read,
+            dur,
+            "ok",
+        );
+    }
+
+    /// Records a `create_log` span.
+    pub fn note_create(&self, id: Option<LogFileId>, dur: Duration, ok: bool) {
+        if ok {
+            self.creates.inc();
+        }
+        self.trace.record(
+            "create_log",
+            id.map(|i| u64::from(i.0)),
+            0,
+            dur,
+            if ok { "ok" } else { "error" },
+        );
+    }
+
+    /// Registers the shared block cache's counters.
+    pub fn attach_cache(&self, cache: &Arc<clio_cache::BlockCache>) {
+        cache.register_into(&self.registry);
+    }
+
+    /// Publishes the space-overhead report as gauges (called at exposition
+    /// time — `SpaceStats` lives inside the service's state lock, so it is
+    /// sampled rather than registered).
+    pub fn publish_space(&self, r: &SpaceReport) {
+        let set = |name: &str, v: u64| {
+            self.registry
+                .gauge(name)
+                .set(i64::try_from(v).unwrap_or(i64::MAX));
+        };
+        set("clio_space_entries", r.entries);
+        set("clio_space_client_bytes", r.client_bytes);
+        set("clio_space_device_bytes", r.device_bytes);
+        set("clio_space_blocks_sealed", r.blocks_sealed);
+        set("clio_space_padding_bytes", r.padding_bytes);
+        set("clio_space_entrymap_entries", r.entrymap_entries);
+    }
+
+    /// Publishes the per-phase recovery timings and totals as gauges, and
+    /// traces one `recover` event.
+    pub fn publish_recovery(&self, r: &RecoveryReport) {
+        let set = |name: &str, v: u64| {
+            self.registry
+                .gauge(name)
+                .set(i64::try_from(v).unwrap_or(i64::MAX));
+        };
+        set("clio_recovery_volumes", u64::from(r.volumes));
+        set("clio_recovery_end_probes_total", r.end_probes);
+        set("clio_recovery_rebuild_blocks_read", r.rebuild_blocks_read);
+        set("clio_recovery_catalog_records", r.catalog_records);
+        set("clio_recovery_end_locate_us", r.end_locate_us);
+        set("clio_recovery_rebuild_us", r.rebuild_us);
+        set("clio_recovery_catalog_us", r.catalog_us);
+        set("clio_recovery_total_us", r.total_us);
+        self.trace.record(
+            "recover",
+            None,
+            r.rebuild_blocks_read,
+            Duration::from_micros(r.total_us),
+            "ok",
+        );
+    }
+
+    /// Wraps a device so its ops land in this service's shared counters.
+    #[must_use]
+    pub fn instrument_device(&self, dev: SharedDevice) -> SharedDevice {
+        Arc::new(InstrumentedDevice::new(dev, self.device_stats.clone()))
+    }
+
+    /// A timer for one traced span.
+    #[must_use]
+    pub fn start_span(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// A [`DevicePool`] decorator wrapping every handed-out device in an
+/// [`InstrumentedDevice`] that shares the service's [`DeviceStats`]. It
+/// sits *outside* any recording pool the caller supplied, so crash/recover
+/// tests still get the raw (non-volatile) devices back from their pool.
+pub struct InstrumentingPool {
+    inner: Arc<dyn DevicePool>,
+    obs: Arc<ServiceObs>,
+}
+
+impl InstrumentingPool {
+    /// Wraps `inner` so new devices report into `obs`.
+    #[must_use]
+    pub fn new(inner: Arc<dyn DevicePool>, obs: Arc<ServiceObs>) -> InstrumentingPool {
+        InstrumentingPool { inner, obs }
+    }
+}
+
+impl DevicePool for InstrumentingPool {
+    fn next_device(&self) -> Result<SharedDevice> {
+        Ok(self.obs.instrument_device(self.inner.next_device()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_feed_counters_histograms_and_trace() {
+        let obs = ServiceObs::new(16);
+        obs.note_append(LogFileId(8), 1, Duration::from_micros(10), true);
+        obs.note_append(LogFileId(8), 0, Duration::from_micros(5), false);
+        obs.note_read(Some(LogFileId(8)), 2, Duration::from_micros(3), true);
+        let stats = LocateStats {
+            blocks_read: 4,
+            map_entries_examined: 3,
+            fallbacks: 0,
+            max_level: 2,
+        };
+        obs.note_locate(Some(LogFileId(8)), &stats, Duration::from_micros(7));
+        let text = clio_obs::expo::render_prometheus(obs.registry());
+        assert!(text.contains("clio_core_appends_total 1"));
+        assert!(text.contains("clio_core_append_errors_total 1"));
+        assert!(text.contains("clio_core_reads_total 1"));
+        assert!(text.contains("clio_core_locates_total 1"));
+        assert!(text.contains("clio_core_locate_blocks_count 1"));
+        let dump = obs.trace().dump();
+        assert!(dump.contains("append"));
+        assert!(dump.contains("locate"));
+        assert!(dump.contains("error"));
+    }
+
+    #[test]
+    fn instrumenting_pool_counts_device_ops() {
+        use clio_types::BlockNo;
+        use clio_volume::MemDevicePool;
+        let obs = ServiceObs::new(0);
+        let pool = InstrumentingPool::new(Arc::new(MemDevicePool::new(64, 8)), obs.clone());
+        let dev = pool.next_device().unwrap();
+        dev.append_block(BlockNo(0), &[0u8; 64]).unwrap();
+        assert_eq!(obs.device_stats.snapshot().appends, 1);
+    }
+}

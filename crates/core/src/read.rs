@@ -115,8 +115,25 @@ impl LogService {
 
     /// Reads and reassembles the entry at `addr` (public, self-locking).
     pub fn read_entry(&self, addr: EntryAddr) -> Result<Entry> {
-        let st = self.state.lock();
-        self.read_entry_locked(&st, addr)
+        let start = std::time::Instant::now();
+        let before = self.obs.device_stats.snapshot().reads;
+        let r = {
+            let st = self.state.lock();
+            self.read_entry_locked(&st, addr)
+        };
+        let blocks = self
+            .obs
+            .device_stats
+            .snapshot()
+            .reads
+            .saturating_sub(before);
+        self.obs.note_read(
+            r.as_ref().ok().map(|e| e.id),
+            blocks,
+            start.elapsed(),
+            r.is_ok(),
+        );
+        r
     }
 
     pub(crate) fn read_entry_locked(&self, st: &State, addr: EntryAddr) -> Result<Entry> {
@@ -249,7 +266,11 @@ impl LogService {
                 // visit it explicitly when the tree finds nothing.
                 let pending = self.pending_for(st, vol_idx);
                 let mut loc = Locator::new(&src, pending.as_ref());
-                match loc.locate_at_or_after(ids, db + 1)? {
+                let t = std::time::Instant::now();
+                let hop = loc.locate_at_or_after(ids, db + 1)?;
+                self.obs
+                    .note_locate(ids.first().copied(), &loc.stats, t.elapsed());
+                match hop {
                     Some(nb) => {
                         db = nb;
                         slot = 0;
@@ -332,7 +353,11 @@ impl LogService {
                     }
                     let pending = self.pending_for(st, vol_idx);
                     let mut loc = Locator::new(&src, pending.as_ref());
-                    match loc.locate_before(ids, db - 1)? {
+                    let t = std::time::Instant::now();
+                    let hop = loc.locate_before(ids, db - 1)?;
+                    self.obs
+                        .note_locate(ids.first().copied(), &loc.stats, t.elapsed());
+                    match hop {
                         Some(pb) => {
                             db = pb;
                             slot_excl = u16::MAX;
@@ -475,6 +500,38 @@ pub struct LogCursor<'a> {
 impl LogCursor<'_> {
     /// The next entry at or after the cursor, advancing it.
     pub fn next(&mut self) -> Result<Option<Entry>> {
+        self.spanned(Self::next_inner)
+    }
+
+    /// The entry before the cursor, moving it backward.
+    pub fn prev(&mut self) -> Result<Option<Entry>> {
+        self.spanned(Self::prev_inner)
+    }
+
+    /// Times `op` as one read span: device blocks touched, latency and
+    /// outcome all land in the service registry and trace ring.
+    fn spanned(
+        &mut self,
+        op: impl FnOnce(&mut Self) -> Result<Option<Entry>>,
+    ) -> Result<Option<Entry>> {
+        let start = std::time::Instant::now();
+        let before = self.svc.obs.device_stats.snapshot().reads;
+        let r = op(self);
+        let blocks = self
+            .svc
+            .obs
+            .device_stats
+            .snapshot()
+            .reads
+            .saturating_sub(before);
+        let target = r.as_ref().ok().and_then(|e| e.as_ref().map(|e| e.id));
+        self.svc
+            .obs
+            .note_read(target, blocks, start.elapsed(), r.is_ok());
+        r
+    }
+
+    fn next_inner(&mut self) -> Result<Option<Entry>> {
         let st = self.svc.state.lock();
         let start = match self.anchor {
             Anchor::End => return Ok(None),
@@ -492,8 +549,7 @@ impl LogCursor<'_> {
         }
     }
 
-    /// The entry before the cursor, moving it backward.
-    pub fn prev(&mut self) -> Result<Option<Entry>> {
+    fn prev_inner(&mut self) -> Result<Option<Entry>> {
         let st = self.svc.state.lock();
         let before = match self.anchor {
             Anchor::Start => return Ok(None),

@@ -41,6 +41,15 @@ pub struct RecoveryReport {
     pub invalidated: Vec<(u32, u64)>,
     /// Catalog records replayed (§3.4 step 3).
     pub catalog_records: u64,
+    /// Wall-clock µs spent mounting volumes and locating written ends
+    /// (§3.4 step 1).
+    pub end_locate_us: u64,
+    /// Wall-clock µs spent rebuilding entrymap pending state (step 2).
+    pub rebuild_us: u64,
+    /// Wall-clock µs spent collecting and replaying the catalog (step 3).
+    pub catalog_us: u64,
+    /// Wall-clock µs for the whole recovery, phases included.
+    pub total_us: u64,
 }
 
 /// A bare per-volume source (no open block — the crash destroyed it).
@@ -71,8 +80,16 @@ impl LogService {
         cfg: ServiceConfig,
         clock: Arc<dyn Clock>,
     ) -> Result<(LogService, RecoveryReport)> {
+        let recover_start = std::time::Instant::now();
+        let obs = crate::obs::ServiceObs::new(cfg.trace_events);
+        let devices: Vec<SharedDevice> = devices
+            .into_iter()
+            .map(|d| obs.instrument_device(d))
+            .collect();
+        let pool = Arc::new(crate::obs::InstrumentingPool::new(pool, obs.clone()));
         let cache = Arc::new(BlockCache::new(cfg.cache_blocks));
         let seq = Arc::new(VolumeSequence::open(devices, cache, pool, 0)?);
+        let end_locate_us = elapsed_us(recover_start);
         // Geometry is defined by the volume labels, not the passed config.
         let mut cfg = cfg;
         cfg.block_size = seq.block_size();
@@ -81,11 +98,13 @@ impl LogService {
 
         let mut report = RecoveryReport {
             volumes: seq.volume_count(),
+            end_locate_us,
             ..RecoveryReport::default()
         };
 
         // Step 2: rebuild entrymap pending state per volume, invalidating
         // corrupt blocks as they are discovered.
+        let rebuild_start = std::time::Instant::now();
         let mut pendings: Vec<PendingMaps> = Vec::new();
         for v in 0..seq.volume_count() {
             let vol = seq.volume(v)?;
@@ -102,9 +121,11 @@ impl LogService {
             }
             pendings.push(pending);
         }
+        report.rebuild_us = elapsed_us(rebuild_start);
 
         // Step 3: rebuild the catalog. Find the newest volume whose catalog
         // entries include a checkpoint and replay from there.
+        let catalog_start = std::time::Instant::now();
         let mut per_volume: Vec<Vec<CatalogRecord>> = Vec::new();
         for v in 0..seq.volume_count() {
             let vol = seq.volume(v)?;
@@ -128,9 +149,10 @@ impl LogService {
                 catalog.apply(rec)?;
             }
         }
+        report.catalog_us = elapsed_us(catalog_start);
 
         let active_pending = pendings.pop();
-        let svc = LogService::assemble(seq, cfg, clock, catalog, pendings, active_pending);
+        let svc = LogService::assemble(seq, cfg, clock, obs, catalog, pendings, active_pending);
         // Queue bad-block records for invalidated blocks on the active
         // volume; older volumes are closed and their losses only reported.
         {
@@ -142,8 +164,21 @@ impl LogService {
                 }
             }
         }
+        // Phases are floored to 1µs each; keep `sum of phases <= total`
+        // invariant even when the clock granularity swallows a phase.
+        report.total_us = elapsed_us(recover_start)
+            .max(report.end_locate_us + report.rebuild_us + report.catalog_us);
+        svc.obs.publish_recovery(&report);
         Ok((svc, report))
     }
+}
+
+/// Microseconds since `start`, at least 1 so phase timings are visibly
+/// populated even when a phase completes within the clock granularity.
+fn elapsed_us(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros())
+        .unwrap_or(u64::MAX)
+        .max(1)
 }
 
 /// Collects the decoded catalog records of one volume, in log order,

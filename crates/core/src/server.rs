@@ -78,6 +78,11 @@ pub enum Request {
     },
     /// Force buffered entries to stable storage.
     Flush,
+    /// Fetch the unified metrics exposition.
+    Stats {
+        /// `true` for JSON, `false` for the Prometheus-style text format.
+        json: bool,
+    },
     /// Stop the server thread.
     Shutdown,
 }
@@ -95,6 +100,8 @@ pub enum Response {
     Names(Vec<String>),
     /// Catalog attributes.
     Attrs(clio_format::LogFileAttrs),
+    /// The rendered metrics exposition.
+    Stats(String),
     /// Generic success.
     Done,
     /// Failure.
@@ -117,6 +124,17 @@ impl Response {
     pub fn entries(self) -> Result<Vec<Entry>> {
         match self {
             Response::Entries(v) => Ok(v),
+            Response::Fail(e) => Err(e),
+            other => Err(ClioError::Internal(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Unwraps a stats response.
+    pub fn stats(self) -> Result<String> {
+        match self {
+            Response::Stats(s) => Ok(s),
             Response::Fail(e) => Err(e),
             other => Err(ClioError::Internal(format!(
                 "unexpected response {other:?}"
@@ -221,6 +239,17 @@ impl ClioClient {
         })
         .receipt()
     }
+
+    /// Convenience: the server's metrics in the Prometheus-style text
+    /// format.
+    pub fn stats_text(&self) -> Result<String> {
+        self.call(Request::Stats { json: false }).stats()
+    }
+
+    /// Convenience: the server's metrics as JSON.
+    pub fn stats_json(&self) -> Result<String> {
+        self.call(Request::Stats { json: true }).stats()
+    }
 }
 
 fn handle_request(svc: &LogService, req: Request) -> Response {
@@ -305,6 +334,11 @@ fn handle_request(svc: &LogService, req: Request) -> Response {
             Ok(()) => Response::Done,
             Err(e) => Response::Fail(e),
         },
+        Request::Stats { json } => Response::Stats(if json {
+            svc.metrics_json()
+        } else {
+            svc.metrics_text()
+        }),
         Request::Shutdown => Response::Done,
     }
 }

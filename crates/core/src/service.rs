@@ -14,6 +14,7 @@ use clio_volume::{DevicePool, VolumeSequence};
 
 use crate::catalog::Catalog;
 use crate::config::ServiceConfig;
+use crate::obs::{InstrumentingPool, ServiceObs};
 use crate::stats::{SpaceReport, SpaceStats};
 
 /// When an append must be durable (§2.3.1: "log entries are written
@@ -157,6 +158,7 @@ pub struct LogService {
     pub(crate) seq: Arc<VolumeSequence>,
     pub(crate) clock: Arc<dyn Clock>,
     pub(crate) cfg: ServiceConfig,
+    pub(crate) obs: Arc<ServiceObs>,
     pub(crate) state: Mutex<State>,
 }
 
@@ -168,6 +170,8 @@ impl LogService {
         cfg: ServiceConfig,
         clock: Arc<dyn Clock>,
     ) -> Result<LogService> {
+        let obs = ServiceObs::new(cfg.trace_events);
+        let pool = Arc::new(InstrumentingPool::new(pool, obs.clone()));
         let cache = Arc::new(BlockCache::new(cfg.cache_blocks));
         let seq = Arc::new(VolumeSequence::create(
             seq_id,
@@ -182,6 +186,7 @@ impl LogService {
             seq,
             cfg,
             clock,
+            obs,
             Catalog::new(),
             Vec::new(),
             None,
@@ -194,6 +199,7 @@ impl LogService {
         seq: Arc<VolumeSequence>,
         cfg: ServiceConfig,
         clock: Arc<dyn Clock>,
+        obs: Arc<ServiceObs>,
         catalog: Catalog,
         sealed_pendings: Vec<PendingMaps>,
         active_pending: Option<PendingMaps>,
@@ -205,10 +211,12 @@ impl LogService {
             Some(p) => EntrymapWriter::from_pending(p, active.data_end()),
             None => EntrymapWriter::new(geo),
         };
+        obs.attach_cache(seq.cache());
         LogService {
             seq,
             clock,
             cfg,
+            obs,
             state: Mutex::new(State {
                 catalog,
                 emap,
@@ -248,6 +256,14 @@ impl LogService {
     /// exist (`create_log("/mail/smith")` needs `/mail`). The new log file
     /// is a sublog of its parent (§2.1).
     pub fn create_log(&self, path: &str) -> Result<LogFileId> {
+        let start = std::time::Instant::now();
+        let r = self.create_log_inner(path);
+        self.obs
+            .note_create(r.as_ref().ok().copied(), start.elapsed(), r.is_ok());
+        r
+    }
+
+    fn create_log_inner(&self, path: &str) -> Result<LogFileId> {
         // Validate the whole path up front so aliases like "//x" are
         // rejected rather than silently creating "/x".
         let trimmed = path
@@ -339,6 +355,20 @@ impl LogService {
 
     /// Appends `data` as one log entry of log file `id`.
     pub fn append(&self, id: LogFileId, data: &[u8], opts: AppendOpts) -> Result<Receipt> {
+        let start = std::time::Instant::now();
+        let before = self.obs.device_stats.snapshot().accesses();
+        let r = self.append_inner(id, data, opts);
+        let blocks = self
+            .obs
+            .device_stats
+            .snapshot()
+            .accesses()
+            .saturating_sub(before);
+        self.obs.note_append(id, blocks, start.elapsed(), r.is_ok());
+        r
+    }
+
+    fn append_inner(&self, id: LogFileId, data: &[u8], opts: AppendOpts) -> Result<Receipt> {
         let mut st = self.state.lock();
         let attrs = st.catalog.attrs(id)?;
         if id.is_reserved() {
@@ -413,6 +443,45 @@ impl LogService {
     #[must_use]
     pub fn report(&self) -> SpaceReport {
         self.state.lock().stats.report()
+    }
+
+    // ------------------------------------------------------------------
+    // Observability.
+    // ------------------------------------------------------------------
+
+    /// The service's observability state (registry, trace ring, shared
+    /// device counters).
+    #[must_use]
+    pub fn obs(&self) -> &Arc<ServiceObs> {
+        &self.obs
+    }
+
+    /// The unified metrics registry (device, cache, core, space and
+    /// recovery metrics all register here).
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<clio_obs::MetricsRegistry> {
+        self.obs.registry()
+    }
+
+    /// The full registry rendered in the Prometheus-style text format.
+    /// Space gauges are refreshed from the live accounting first.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        self.obs.publish_space(&self.report());
+        clio_obs::expo::render_prometheus(self.obs.registry())
+    }
+
+    /// The full registry rendered as pretty-printed JSON.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.obs.publish_space(&self.report());
+        clio_obs::expo::render_json(self.obs.registry())
+    }
+
+    /// A text dump of the op trace ring (most recent operations last).
+    #[must_use]
+    pub fn trace_dump(&self) -> String {
+        self.obs.trace().dump()
     }
 
     /// Writes a catalog record durably (forced, timestamped).

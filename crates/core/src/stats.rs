@@ -142,9 +142,38 @@ impl SpaceReport {
     }
 }
 
+impl std::fmt::Display for SpaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "entries={} client_bytes={} device_bytes={} blocks_sealed={} \
+             padding_bytes={} avg_entry={:.1}B header_overhead={:.1}% \
+             entrymap_overhead={:.1}B/entry",
+            self.entries,
+            self.client_bytes,
+            self.device_bytes,
+            self.blocks_sealed,
+            self.padding_bytes,
+            self.avg_entry_size,
+            self.header_overhead_pct(),
+            self.avg_entrymap_overhead
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn display_is_one_line() {
+        let mut s = SpaceStats::default();
+        s.note_client_entry(LogFileId(8), 50, 4);
+        let line = format!("{}", s.report());
+        assert!(line.contains("entries=1"));
+        assert!(line.contains("client_bytes=50"));
+        assert!(!line.contains('\n'));
+    }
 
     #[test]
     fn accounting_sums() {

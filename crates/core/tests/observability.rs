@@ -1,0 +1,210 @@
+//! End-to-end test of the unified observability layer: one service driven
+//! through appends, reads, a cold-start locate and a crash recovery must
+//! leave a registry whose exposition shows every layer's activity.
+
+use std::sync::Arc;
+
+use clio_core::service::{AppendOpts, LogService};
+use clio_core::ServiceConfig;
+use clio_obs::{MetricValue, MetricsRegistry};
+use clio_types::{ManualClock, Timestamp, VolumeSeqId};
+use clio_volume::{MemDevicePool, RecordingPool};
+
+fn clock() -> Arc<ManualClock> {
+    Arc::new(ManualClock::starting_at(Timestamp::from_secs(1)))
+}
+
+fn counter(reg: &MetricsRegistry, name: &str) -> u64 {
+    for s in reg.gather() {
+        if s.name == name {
+            if let MetricValue::Counter(v) = s.value {
+                return v;
+            }
+            panic!("{name} is not a counter");
+        }
+    }
+    panic!("no metric named {name}");
+}
+
+fn gauge(reg: &MetricsRegistry, name: &str) -> i64 {
+    for s in reg.gather() {
+        if s.name == name {
+            if let MetricValue::Gauge(v) = s.value {
+                return v;
+            }
+            panic!("{name} is not a gauge");
+        }
+    }
+    panic!("no metric named {name}");
+}
+
+fn histogram(reg: &MetricsRegistry, name: &str) -> clio_obs::HistSnapshot {
+    for s in reg.gather() {
+        if s.name == name {
+            if let MetricValue::Histogram(h) = s.value {
+                return h;
+            }
+            panic!("{name} is not a histogram");
+        }
+    }
+    panic!("no metric named {name}");
+}
+
+#[test]
+fn one_service_lifetime_populates_every_layer() {
+    let pool = Arc::new(RecordingPool::new(Arc::new(MemDevicePool::new(256, 4096))));
+    let clock = clock();
+    let cfg = ServiceConfig::small();
+    let svc = LogService::create(VolumeSeqId(1), pool.clone(), cfg.clone(), clock.clone()).unwrap();
+
+    // Appends (mixed buffered/forced) and forward reads.
+    svc.create_log("/obs").unwrap();
+    for i in 0..60u32 {
+        let opts = if i % 10 == 0 {
+            AppendOpts::forced()
+        } else {
+            AppendOpts::standard()
+        };
+        svc.append_path("/obs", format!("event-{i}").as_bytes(), opts)
+            .unwrap();
+    }
+    svc.flush().unwrap();
+    let mut cur = svc.cursor("/obs").unwrap();
+    assert_eq!(cur.collect_remaining().unwrap().len(), 60);
+
+    // Cold-start locate: drop the cache, then search backwards from the
+    // end — the locator must descend the entrymap tree from the device.
+    svc.cache().clear();
+    let mut cur = svc.cursor_from_end("/obs").unwrap();
+    assert!(cur.prev().unwrap().is_some());
+
+    let reg = svc.metrics().clone();
+    // Device layer: op counts flowed through the instrumented pool.
+    assert!(counter(&reg, "clio_device_appends_total") > 0);
+    assert!(counter(&reg, "clio_device_reads_total") > 0);
+    // Cache layer: warm reads hit, the post-clear read missed.
+    assert!(counter(&reg, "clio_cache_hits_total") > 0);
+    assert!(counter(&reg, "clio_cache_misses_total") > 0);
+    // Core spans: appends and reads counted, none failed.
+    assert_eq!(counter(&reg, "clio_core_appends_total"), 60);
+    assert_eq!(counter(&reg, "clio_core_append_errors_total"), 0);
+    assert!(counter(&reg, "clio_core_reads_total") > 0);
+    assert!(counter(&reg, "clio_core_locates_total") > 0);
+
+    // Latency histograms have plausible shapes.
+    for name in [
+        "clio_core_append_latency_ns",
+        "clio_core_read_latency_ns",
+        "clio_device_append_latency_ns",
+    ] {
+        let h = histogram(&reg, name);
+        assert!(h.count > 0, "{name} recorded nothing");
+        assert!(h.min <= h.p50() && h.p50() <= h.p90(), "{name} p50/p90");
+        assert!(h.p90() <= h.p99() && h.p99() <= h.max, "{name} p99/max");
+        assert!(
+            h.sum >= h.count * h.min && h.sum <= h.count * h.max,
+            "{name} sum"
+        );
+    }
+    // The locate-depth histogram saw real tree descents.
+    assert!(histogram(&reg, "clio_core_locate_depth").count > 0);
+
+    // Text exposition carries all of it; space gauges are refreshed.
+    let text = svc.metrics_text();
+    assert!(text.contains("# TYPE clio_device_appends_total counter"));
+    assert!(text.contains("clio_core_append_latency_ns_bucket"));
+    assert!(text.contains("clio_space_entries"));
+    assert!(gauge(&reg, "clio_space_entries") == 60);
+
+    // The op trace saw appends, reads and locates.
+    let dump = svc.trace_dump();
+    assert!(dump.contains("append"), "trace dump:\n{dump}");
+    assert!(dump.contains("read"), "trace dump:\n{dump}");
+    assert!(dump.contains("locate"), "trace dump:\n{dump}");
+
+    // Crash: recover from the raw devices and check the recovery metrics.
+    drop(svc);
+    let (svc, report) = LogService::recover(pool.devices(), pool.clone(), cfg, clock).unwrap();
+    assert!(report.end_locate_us >= 1 && report.rebuild_us >= 1 && report.catalog_us >= 1);
+    assert!(report.end_locate_us + report.rebuild_us + report.catalog_us <= report.total_us);
+
+    let reg = svc.metrics().clone();
+    assert_eq!(gauge(&reg, "clio_recovery_volumes"), 1);
+    assert!(gauge(&reg, "clio_recovery_rebuild_blocks_read") >= 0);
+    assert!(gauge(&reg, "clio_recovery_total_us") >= 1);
+    assert_eq!(
+        gauge(&reg, "clio_recovery_catalog_records"),
+        i64::try_from(report.catalog_records).unwrap()
+    );
+    // The recovered service read blocks through its own instrumented pool.
+    assert!(counter(&reg, "clio_device_reads_total") > 0);
+
+    // Data survived; reads on the recovered service feed its registry.
+    let mut cur = svc.cursor("/obs").unwrap();
+    assert_eq!(cur.collect_remaining().unwrap().len(), 60);
+    assert!(counter(&reg, "clio_core_reads_total") > 0);
+
+    // JSON exposition parses with the in-tree decoder and exposes the
+    // recovery gauges and a histogram object.
+    let json = svc.metrics_json();
+    let v = clio_obs::json::parse(&json).expect("metrics JSON parses");
+    let total = v
+        .get("clio_recovery_total_us")
+        .and_then(clio_obs::json::Value::as_i64)
+        .expect("recovery total gauge in JSON");
+    assert!(total >= 1);
+    let h = v
+        .get("clio_device_read_latency_ns")
+        .expect("device read histogram in JSON");
+    assert!(h.get("count").and_then(clio_obs::json::Value::as_i64) > Some(0));
+    assert!(h.get("p50").is_some() && h.get("p99").is_some());
+}
+
+#[test]
+fn server_answers_stats_requests() {
+    let svc = LogService::create(
+        VolumeSeqId(1),
+        Arc::new(MemDevicePool::new(256, 4096)),
+        ServiceConfig::small(),
+        clock(),
+    )
+    .unwrap();
+    svc.create_log("/s").unwrap();
+    let server = clio_core::server::LogServer::spawn(svc);
+    let client = server.client();
+    client.append_sync("/s", b"one entry").unwrap();
+
+    let text = client.stats_text().unwrap();
+    assert!(text.contains("clio_device_appends_total"));
+    assert!(text.contains("# TYPE"));
+
+    let json = client.stats_json().unwrap();
+    let v = clio_obs::json::parse(&json).expect("stats JSON parses");
+    assert!(
+        v.get("clio_core_appends_total")
+            .and_then(clio_obs::json::Value::as_i64)
+            >= Some(1)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn tracing_can_be_disabled_by_config() {
+    let cfg = ServiceConfig {
+        trace_events: 0,
+        ..ServiceConfig::small()
+    };
+    let svc = LogService::create(
+        VolumeSeqId(1),
+        Arc::new(MemDevicePool::new(256, 4096)),
+        cfg,
+        clock(),
+    )
+    .unwrap();
+    svc.create_log("/quiet").unwrap();
+    svc.append_path("/quiet", b"x", AppendOpts::standard())
+        .unwrap();
+    // Metrics still flow; only the trace ring is off.
+    assert!(counter(svc.metrics(), "clio_core_appends_total") == 1);
+    assert!(svc.obs().trace().is_empty());
+}

@@ -63,6 +63,18 @@ fn torn_tail_block_is_invalidated_and_prefix_survives() {
     let (svc, report) = LogService::recover(pool.devices(), pool.clone(), cfg, clock()).unwrap();
     assert_eq!(report.volumes, 1);
     assert!(report.rebuild_blocks_read > 0);
+    // Per-phase wall-clock timings (§3.4 steps): each populated, and
+    // their sum never exceeds the whole-recovery total.
+    assert!(
+        report.end_locate_us >= 1,
+        "step 1 timing missing: {report:?}"
+    );
+    assert!(report.rebuild_us >= 1, "step 2 timing missing: {report:?}");
+    assert!(report.catalog_us >= 1, "step 3 timing missing: {report:?}");
+    assert!(
+        report.end_locate_us + report.rebuild_us + report.catalog_us <= report.total_us,
+        "phase sum exceeds total: {report:?}"
+    );
     assert!(
         !report.invalidated.is_empty(),
         "torn block was not invalidated: {report:?}"
@@ -138,6 +150,14 @@ fn recovery_rebuilds_exactly_the_precrash_prefix() {
             assert!(
                 !report.invalidated.is_empty(),
                 "no blocks invalidated: {report:?}"
+            );
+            assert!(
+                report.end_locate_us >= 1
+                    && report.rebuild_us >= 1
+                    && report.catalog_us >= 1
+                    && report.end_locate_us + report.rebuild_us + report.catalog_us
+                        <= report.total_us,
+                "inconsistent phase timings: {report:?}"
             );
 
             // Catalog: the log resolves; entrymap + data: the durable

@@ -4,11 +4,15 @@
 //! operations (block reads, appends, seeks) times per-operation costs.
 //! [`InstrumentedDevice`] wraps any [`LogDevice`] and counts those operations
 //! so that the benchmark harness can report both raw counts and modelled
-//! latencies (see `clio-sim`).
+//! latencies (see `clio-sim`). Successful and failed operations are counted
+//! separately — fault-injection runs assert on the error counters — and
+//! each op kind feeds a wall-clock latency [`Histogram`].
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
+use clio_obs::{Histogram, MetricsRegistry};
 use clio_types::{BlockNo, Result};
 
 use crate::traits::{LogDevice, SharedDevice};
@@ -21,6 +25,11 @@ pub struct DeviceStats {
     invalidations: AtomicU64,
     tail_rewrites: AtomicU64,
     end_probes: AtomicU64,
+    read_errors: AtomicU64,
+    append_errors: AtomicU64,
+    invalidate_errors: AtomicU64,
+    tail_rewrite_errors: AtomicU64,
+    probe_errors: AtomicU64,
     /// Number of operations whose block was not at or adjacent to the
     /// previous operation's block (a head seek on a physical drive).
     seeks: AtomicU64,
@@ -28,6 +37,12 @@ pub struct DeviceStats {
     seek_distance: AtomicU64,
     /// Position of the last access; -1 means "no access yet".
     last_pos: AtomicI64,
+    /// Wall-clock latency of successful block reads, in nanoseconds.
+    pub read_latency_ns: Arc<Histogram>,
+    /// Wall-clock latency of successful block appends, in nanoseconds.
+    pub append_latency_ns: Arc<Histogram>,
+    /// Wall-clock latency of `is_written` probes, in nanoseconds.
+    pub probe_latency_ns: Arc<Histogram>,
 }
 
 /// A point-in-time copy of [`DeviceStats`].
@@ -43,6 +58,16 @@ pub struct StatsSnapshot {
     pub tail_rewrites: u64,
     /// `is_written` probes (binary-search end location).
     pub end_probes: u64,
+    /// Failed block reads.
+    pub read_errors: u64,
+    /// Failed block appends.
+    pub append_errors: u64,
+    /// Failed invalidations.
+    pub invalidate_errors: u64,
+    /// Failed tail rewrites.
+    pub tail_rewrite_errors: u64,
+    /// Failed `is_written` probes.
+    pub probe_errors: u64,
     /// Non-sequential accesses (head seeks).
     pub seeks: u64,
     /// Total seek distance in blocks.
@@ -54,6 +79,34 @@ impl StatsSnapshot {
     #[must_use]
     pub fn accesses(&self) -> u64 {
         self.reads + self.appends + self.end_probes
+    }
+
+    /// Total failed operations of any kind.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.read_errors
+            + self.append_errors
+            + self.invalidate_errors
+            + self.tail_rewrite_errors
+            + self.probe_errors
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reads={} appends={} probes={} invalidations={} tail_rewrites={} \
+             seeks={} seek_dist={} errors={}",
+            self.reads,
+            self.appends,
+            self.end_probes,
+            self.invalidations,
+            self.tail_rewrites,
+            self.seeks,
+            self.seek_distance,
+            self.errors()
+        )
     }
 }
 
@@ -89,26 +142,79 @@ impl DeviceStats {
             invalidations: self.invalidations.load(Ordering::Relaxed),
             tail_rewrites: self.tail_rewrites.load(Ordering::Relaxed),
             end_probes: self.end_probes.load(Ordering::Relaxed),
+            read_errors: self.read_errors.load(Ordering::Relaxed),
+            append_errors: self.append_errors.load(Ordering::Relaxed),
+            invalidate_errors: self.invalidate_errors.load(Ordering::Relaxed),
+            tail_rewrite_errors: self.tail_rewrite_errors.load(Ordering::Relaxed),
+            probe_errors: self.probe_errors.load(Ordering::Relaxed),
             seeks: self.seeks.load(Ordering::Relaxed),
             seek_distance: self.seek_distance.load(Ordering::Relaxed),
         }
     }
 
-    /// Zeroes all counters (and forgets the head position).
+    /// Zeroes all counters (and forgets the head position). Latency
+    /// histograms are reset too.
     pub fn reset(&self) {
         self.reads.store(0, Ordering::Relaxed);
         self.appends.store(0, Ordering::Relaxed);
         self.invalidations.store(0, Ordering::Relaxed);
         self.tail_rewrites.store(0, Ordering::Relaxed);
         self.end_probes.store(0, Ordering::Relaxed);
+        self.read_errors.store(0, Ordering::Relaxed);
+        self.append_errors.store(0, Ordering::Relaxed);
+        self.invalidate_errors.store(0, Ordering::Relaxed);
+        self.tail_rewrite_errors.store(0, Ordering::Relaxed);
+        self.probe_errors.store(0, Ordering::Relaxed);
         self.seeks.store(0, Ordering::Relaxed);
         self.seek_distance.store(0, Ordering::Relaxed);
         self.last_pos.store(-1, Ordering::Relaxed);
+        self.read_latency_ns.reset();
+        self.append_latency_ns.reset();
+        self.probe_latency_ns.reset();
+    }
+
+    /// Registers every counter and latency histogram into `reg` under the
+    /// `clio_device_*` namespace.
+    pub fn register_into(self: &Arc<DeviceStats>, reg: &MetricsRegistry) {
+        let counters: [(&str, fn(&StatsSnapshot) -> u64); 11] = [
+            ("clio_device_reads_total", |s| s.reads),
+            ("clio_device_appends_total", |s| s.appends),
+            ("clio_device_invalidations_total", |s| s.invalidations),
+            ("clio_device_tail_rewrites_total", |s| s.tail_rewrites),
+            ("clio_device_end_probes_total", |s| s.end_probes),
+            ("clio_device_read_errors_total", |s| s.read_errors),
+            ("clio_device_append_errors_total", |s| s.append_errors),
+            ("clio_device_invalidate_errors_total", |s| {
+                s.invalidate_errors
+            }),
+            ("clio_device_tail_rewrite_errors_total", |s| {
+                s.tail_rewrite_errors
+            }),
+            ("clio_device_probe_errors_total", |s| s.probe_errors),
+            ("clio_device_seeks_total", |s| s.seeks),
+        ];
+        for (name, read) in counters {
+            let stats = self.clone();
+            reg.register_counter_fn(name, move || read(&stats.snapshot()));
+        }
+        let stats = self.clone();
+        reg.register_counter_fn("clio_device_seek_distance_blocks", move || {
+            stats.snapshot().seek_distance
+        });
+        reg.register_histogram("clio_device_read_latency_ns", self.read_latency_ns.clone());
+        reg.register_histogram(
+            "clio_device_append_latency_ns",
+            self.append_latency_ns.clone(),
+        );
+        reg.register_histogram(
+            "clio_device_probe_latency_ns",
+            self.probe_latency_ns.clone(),
+        );
     }
 }
 
-/// A [`LogDevice`] wrapper that records operation counts in a shared
-/// [`DeviceStats`].
+/// A [`LogDevice`] wrapper that records operation counts, error counts and
+/// per-op latency in a shared [`DeviceStats`].
 pub struct InstrumentedDevice {
     inner: SharedDevice,
     stats: Arc<DeviceStats>,
@@ -142,37 +248,80 @@ impl LogDevice for InstrumentedDevice {
     }
 
     fn is_written(&self, block: BlockNo) -> Result<bool> {
-        self.stats.end_probes.fetch_add(1, Ordering::Relaxed);
-        self.stats.touch(block);
-        self.inner.is_written(block)
+        let start = Instant::now();
+        let r = self.inner.is_written(block);
+        if r.is_ok() {
+            self.stats.probe_latency_ns.record_duration(start.elapsed());
+            self.stats.end_probes.fetch_add(1, Ordering::Relaxed);
+            self.stats.touch(block);
+        } else {
+            self.stats.probe_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        r
     }
 
     fn append_block(&self, expected: BlockNo, data: &[u8]) -> Result<()> {
-        self.inner.append_block(expected, data)?;
-        self.stats.appends.fetch_add(1, Ordering::Relaxed);
-        self.stats.touch(expected);
-        Ok(())
+        let start = Instant::now();
+        match self.inner.append_block(expected, data) {
+            Ok(()) => {
+                self.stats
+                    .append_latency_ns
+                    .record_duration(start.elapsed());
+                self.stats.appends.fetch_add(1, Ordering::Relaxed);
+                self.stats.touch(expected);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.append_errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
     }
 
     fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {
-        self.inner.read_block(block, buf)?;
-        self.stats.reads.fetch_add(1, Ordering::Relaxed);
-        self.stats.touch(block);
-        Ok(())
+        let start = Instant::now();
+        match self.inner.read_block(block, buf) {
+            Ok(()) => {
+                self.stats.read_latency_ns.record_duration(start.elapsed());
+                self.stats.reads.fetch_add(1, Ordering::Relaxed);
+                self.stats.touch(block);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.read_errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
     }
 
     fn invalidate_block(&self, block: BlockNo) -> Result<()> {
-        self.inner.invalidate_block(block)?;
-        self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
-        self.stats.touch(block);
-        Ok(())
+        match self.inner.invalidate_block(block) {
+            Ok(()) => {
+                self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.stats.touch(block);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.invalidate_errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
     }
 
     fn rewrite_tail(&self, block: BlockNo, data: &[u8]) -> Result<()> {
-        self.inner.rewrite_tail(block, data)?;
-        self.stats.tail_rewrites.fetch_add(1, Ordering::Relaxed);
-        // Tail rewrites hit NV-RAM, not the disk head: no seek accounting.
-        Ok(())
+        match self.inner.rewrite_tail(block, data) {
+            Ok(()) => {
+                self.stats.tail_rewrites.fetch_add(1, Ordering::Relaxed);
+                // Tail rewrites hit NV-RAM, not the disk head: no seek accounting.
+                Ok(())
+            }
+            Err(e) => {
+                self.stats
+                    .tail_rewrite_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
     }
 
     fn supports_tail_rewrite(&self) -> bool {
@@ -209,10 +358,14 @@ mod tests {
         assert_eq!(s.appends, 4);
         assert_eq!(s.reads, 2);
         assert_eq!(s.accesses(), 6);
+        assert_eq!(s.errors(), 0);
+        // Every successful op also recorded a latency sample.
+        assert_eq!(stats.append_latency_ns.snapshot().count, 4);
+        assert_eq!(stats.read_latency_ns.snapshot().count, 2);
     }
 
     #[test]
-    fn failed_ops_are_not_counted() {
+    fn failed_ops_count_as_errors_not_successes() {
         let (dev, stats) = instrumented();
         let mut buf = vec![0u8; 32];
         assert!(dev.read_block(BlockNo(0), &mut buf).is_err());
@@ -220,6 +373,12 @@ mod tests {
         let s = stats.snapshot();
         assert_eq!(s.reads, 0);
         assert_eq!(s.appends, 0);
+        assert_eq!(s.read_errors, 1);
+        assert_eq!(s.append_errors, 1);
+        assert_eq!(s.errors(), 2);
+        // Failures do not pollute the latency distributions.
+        assert!(stats.read_latency_ns.snapshot().is_empty());
+        assert!(stats.append_latency_ns.snapshot().is_empty());
     }
 
     #[test]
@@ -246,5 +405,30 @@ mod tests {
         dev.append_block(BlockNo(0), &[0u8; 32]).unwrap();
         stats.reset();
         assert_eq!(stats.snapshot(), StatsSnapshot::default());
+        assert!(stats.append_latency_ns.snapshot().is_empty());
+    }
+
+    #[test]
+    fn registers_into_a_registry() {
+        let (dev, stats) = instrumented();
+        let reg = MetricsRegistry::new();
+        stats.register_into(&reg);
+        dev.append_block(BlockNo(0), &[0u8; 32]).unwrap();
+        let mut buf = vec![0u8; 32];
+        dev.read_block(BlockNo(0), &mut buf).unwrap();
+        let text = clio_obs::expo::render_prometheus(&reg);
+        assert!(text.contains("clio_device_reads_total 1"));
+        assert!(text.contains("clio_device_appends_total 1"));
+        assert!(text.contains("clio_device_read_latency_ns_count 1"));
+    }
+
+    #[test]
+    fn snapshot_display_is_one_line() {
+        let (dev, stats) = instrumented();
+        dev.append_block(BlockNo(0), &[0u8; 32]).unwrap();
+        let line = format!("{}", stats.snapshot());
+        assert!(line.contains("appends=1"));
+        assert!(line.contains("errors=0"));
+        assert!(!line.contains('\n'));
     }
 }

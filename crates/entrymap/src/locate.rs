@@ -38,6 +38,11 @@ pub struct LocateStats {
     /// Times the search had to proceed without a map (missing or
     /// destroyed) and scan the level below instead.
     pub fallbacks: u64,
+    /// Highest tree level the search climbed to (0 for searches that never
+    /// ran; a direct hit in the starting group reports 1). The
+    /// distribution of this value over a workload is the tree-descent
+    /// depth the §3.3.1 cost model predicts as `log_N d`.
+    pub max_level: u64,
 }
 
 /// A search over one volume's entrymap tree.
@@ -188,6 +193,7 @@ impl<'a, S: BlockSource> Locator<'a, S> {
         let mut level = 1u8;
         let mut group = self.geo.group_of(1, upper);
         loop {
+            self.stats.max_level = self.stats.max_level.max(u64::from(level));
             if let Some(db) = self.descend_back(level, group, upper, ids)? {
                 return Ok(Some(db));
             }
@@ -272,6 +278,7 @@ impl<'a, S: BlockSource> Locator<'a, S> {
         let mut level = 1u8;
         let mut group = self.geo.group_of(1, lower);
         loop {
+            self.stats.max_level = self.stats.max_level.max(u64::from(level));
             if let Some(db) = self.descend_fwd(level, group, lower, ids)? {
                 return Ok(Some(db));
             }
@@ -475,6 +482,21 @@ mod tests {
             "read {} blocks (maps + the verified target)",
             loc.stats.blocks_read
         );
+        // The climb reached the upper levels of a 16^3-block tree.
+        assert!(
+            (3..=4).contains(&loc.stats.max_level),
+            "max_level = {}",
+            loc.stats.max_level
+        );
+    }
+
+    #[test]
+    fn max_level_stays_low_for_nearby_targets() {
+        let p = plan(64, &[(30, 8)]);
+        let (src, pending) = build_log(4, 512, &p);
+        let mut loc = Locator::new(&src, Some(&pending));
+        assert_eq!(loc.locate_before(&[LogFileId(8)], 31).unwrap(), Some(30));
+        assert_eq!(loc.stats.max_level, 1);
     }
 
     #[test]

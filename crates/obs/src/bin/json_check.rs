@@ -1,0 +1,43 @@
+//! Validates that each file argument parses as JSON (used by
+//! `scripts/ci.sh` to check emitted `BENCH_*.json` files).
+//!
+//! Exits 0 when every file parses; prints the parse error and exits 1
+//! otherwise.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: clio_json_check <file.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match clio_obs::json::parse(&text) {
+                Ok(v) => {
+                    let keys = match &v {
+                        clio_obs::json::Value::Obj(pairs) => pairs.len(),
+                        clio_obs::json::Value::Arr(items) => items.len(),
+                        _ => 1,
+                    };
+                    println!("{path}: ok ({keys} top-level entries)");
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    ok = false;
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

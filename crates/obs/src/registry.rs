@@ -1,0 +1,275 @@
+//! The metrics registry: named counters, gauges, histograms, and
+//! closure-based collectors.
+//!
+//! Components either ask the registry for a handle (`counter`, `gauge`,
+//! `histogram` — get-or-create, shared via `Arc`) and update it on their
+//! hot path, or keep their own atomics and register a collector closure
+//! that is polled at exposition time (`register_counter_fn`,
+//! `register_gauge_fn`). Both styles end up in the same sorted sample set,
+//! so the rendered output is one coherent view of the whole service.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use clio_testkit::sync::Mutex;
+
+use crate::hist::{HistSnapshot, Histogram};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(std::sync::atomic::AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// An atomic gauge (a value that can go up and down).
+#[derive(Debug, Default)]
+pub struct Gauge(std::sync::atomic::AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    GaugeFn(Box<dyn Fn() -> i64 + Send + Sync>),
+}
+
+/// One gathered metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(i64),
+    /// A histogram snapshot.
+    Histogram(HistSnapshot),
+}
+
+/// One named sample from [`MetricsRegistry::gather`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The metric name (see the crate docs for the naming scheme).
+    pub name: String,
+    /// The value at gather time.
+    pub value: MetricValue,
+}
+
+/// A registry of named metrics.
+///
+/// # Examples
+///
+/// ```
+/// use clio_obs::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// reg.counter("clio_demo_ops_total").add(3);
+/// reg.histogram("clio_demo_latency_ns").record(1500);
+/// let text = clio_obs::expo::render_prometheus(&reg);
+/// assert!(text.contains("clio_demo_ops_total 3"));
+/// ```
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, creating it if absent.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind —
+    /// that is a wiring bug, not a runtime condition.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} is not a counter"),
+        }
+    }
+
+    /// The gauge named `name`, creating it if absent.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} is not a gauge"),
+        }
+    }
+
+    /// The histogram named `name`, creating it if absent.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} is not a histogram"),
+        }
+    }
+
+    /// Registers an existing shared histogram under `name` (for components
+    /// that embed their histograms, like `DeviceStats`). Replaces any
+    /// previous registration of the name.
+    pub fn register_histogram(&self, name: &str, hist: Arc<Histogram>) {
+        self.metrics
+            .lock()
+            .insert(name.to_owned(), Metric::Histogram(hist));
+    }
+
+    /// Registers a counter collector polled at gather time. Replaces any
+    /// previous registration of the name.
+    pub fn register_counter_fn(&self, name: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.metrics
+            .lock()
+            .insert(name.to_owned(), Metric::CounterFn(Box::new(f)));
+    }
+
+    /// Registers a gauge collector polled at gather time. Replaces any
+    /// previous registration of the name.
+    pub fn register_gauge_fn(&self, name: &str, f: impl Fn() -> i64 + Send + Sync + 'static) {
+        self.metrics
+            .lock()
+            .insert(name.to_owned(), Metric::GaugeFn(Box::new(f)));
+    }
+
+    /// Reads every metric, sorted by name.
+    #[must_use]
+    pub fn gather(&self) -> Vec<Sample> {
+        let m = self.metrics.lock();
+        m.iter()
+            .map(|(name, metric)| Sample {
+                name: name.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    Metric::CounterFn(f) => MetricValue::Counter(f()),
+                    Metric::GaugeFn(f) => MetricValue::Gauge(f()),
+                },
+            })
+            .collect()
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metrics.lock().len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("clio_test_ops_total");
+        c.inc();
+        c.add(4);
+        reg.gauge("clio_test_depth").set(-3);
+        // Re-asking by name returns the same underlying atomic.
+        assert_eq!(reg.counter("clio_test_ops_total").get(), 5);
+        let samples = reg.gather();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].name, "clio_test_depth");
+        assert_eq!(samples[0].value, MetricValue::Gauge(-3));
+        assert_eq!(samples[1].value, MetricValue::Counter(5));
+    }
+
+    #[test]
+    fn collector_fns_are_polled_at_gather() {
+        let reg = MetricsRegistry::new();
+        let shared = Arc::new(Counter::default());
+        let s2 = shared.clone();
+        reg.register_counter_fn("clio_test_shadow_total", move || s2.get());
+        shared.add(7);
+        let samples = reg.gather();
+        assert_eq!(samples[0].value, MetricValue::Counter(7));
+        shared.add(1);
+        assert_eq!(reg.gather()[0].value, MetricValue::Counter(8));
+    }
+
+    #[test]
+    fn histograms_register_and_gather() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("clio_test_latency_ns").record(100);
+        let external = Arc::new(Histogram::new());
+        external.record(9);
+        reg.register_histogram("clio_test_ext_ns", external);
+        let samples = reg.gather();
+        assert_eq!(samples.len(), 2);
+        let MetricValue::Histogram(h) = &samples[0].value else {
+            panic!("expected histogram");
+        };
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.gauge("clio_test_x");
+        let _ = reg.counter("clio_test_x");
+    }
+}

@@ -1,0 +1,192 @@
+//! A fixed-capacity ring buffer of per-operation trace events.
+//!
+//! The service records one [`TraceEvent`] per logical operation (append,
+//! read, locate, create, recover-phase, …). The ring keeps the most recent
+//! `capacity` events; older ones are overwritten. [`TraceRing::dump`]
+//! renders the surviving events as aligned text — the intended use is
+//! printing it from a failing test or bench to see what the service was
+//! doing right before things went wrong.
+
+use clio_testkit::sync::Mutex;
+
+/// One traced operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (global across the ring's lifetime).
+    pub seq: u64,
+    /// Microseconds since the ring was created.
+    pub at_us: u64,
+    /// Operation kind, e.g. `"append"`, `"read"`, `"locate"`.
+    pub op: &'static str,
+    /// The log file (or other target) the op acted on, if any.
+    pub target: Option<u64>,
+    /// Physical blocks touched by the op, when known.
+    pub blocks: u64,
+    /// Wall-clock duration of the op in microseconds.
+    pub dur_us: u64,
+    /// `"ok"` or a short error tag.
+    pub outcome: &'static str,
+}
+
+struct Ring {
+    events: Vec<TraceEvent>,
+    next_seq: u64,
+    head: usize,
+}
+
+/// A bounded, overwrite-oldest trace buffer.
+pub struct TraceRing {
+    capacity: usize,
+    inner: Mutex<Ring>,
+    epoch: std::time::Instant,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events. A capacity of 0 disables
+    /// recording entirely (every `record` is a cheap no-op).
+    #[must_use]
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            capacity,
+            inner: Mutex::new(Ring {
+                events: Vec::with_capacity(capacity.min(1024)),
+                next_seq: 0,
+                head: 0,
+            }),
+            epoch: std::time::Instant::now(),
+        }
+    }
+
+    /// Records one event; assigns `seq` and `at_us`.
+    pub fn record(
+        &self,
+        op: &'static str,
+        target: Option<u64>,
+        blocks: u64,
+        dur: std::time::Duration,
+        outcome: &'static str,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let at_us = u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let dur_us = u64::try_from(dur.as_micros()).unwrap_or(u64::MAX);
+        let mut ring = self.inner.lock();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        let ev = TraceEvent {
+            seq,
+            at_us,
+            op,
+            target,
+            blocks,
+            dur_us,
+            outcome,
+        };
+        if ring.events.len() < self.capacity {
+            ring.events.push(ev);
+        } else {
+            let head = ring.head;
+            ring.events[head] = ev;
+            ring.head = (head + 1) % self.capacity;
+        }
+    }
+
+    /// The surviving events, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let ring = self.inner.lock();
+        let mut out = Vec::with_capacity(ring.events.len());
+        out.extend_from_slice(&ring.events[ring.head..]);
+        out.extend_from_slice(&ring.events[..ring.head]);
+        out
+    }
+
+    /// Number of events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Whether no events have been recorded (or capacity is 0).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded, including overwritten ones.
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.inner.lock().next_seq
+    }
+
+    /// Maximum events held.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Renders the ring as aligned text, oldest event first.
+    #[must_use]
+    pub fn dump(&self) -> String {
+        let events = self.snapshot();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace ring: {} event(s) held, {} recorded, capacity {}\n",
+            events.len(),
+            self.total_recorded(),
+            self.capacity
+        ));
+        for ev in &events {
+            let target = ev
+                .target
+                .map_or_else(|| "-".to_owned(), |t| format!("log:{t}"));
+            out.push_str(&format!(
+                "#{:<6} +{:>10}us {:<12} {:<10} blocks={:<5} {:>8}us {}\n",
+                ev.seq, ev.at_us, ev.op, target, ev.blocks, ev.dur_us, ev.outcome
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn records_in_order_and_wraps() {
+        let ring = TraceRing::new(3);
+        for i in 0..5u64 {
+            ring.record("append", Some(i), i, Duration::from_micros(10), "ok");
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total_recorded(), 5);
+        let events = ring.snapshot();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(events[0].target, Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_is_a_noop() {
+        let ring = TraceRing::new(0);
+        ring.record("read", None, 1, Duration::ZERO, "ok");
+        assert!(ring.is_empty());
+        assert_eq!(ring.total_recorded(), 0);
+        assert!(ring.dump().contains("0 event(s)"));
+    }
+
+    #[test]
+    fn dump_mentions_every_surviving_event() {
+        let ring = TraceRing::new(8);
+        ring.record("locate", Some(7), 3, Duration::from_micros(42), "ok");
+        ring.record("append", None, 1, Duration::from_micros(5), "io_error");
+        let dump = ring.dump();
+        assert!(dump.contains("locate"));
+        assert!(dump.contains("log:7"));
+        assert!(dump.contains("io_error"));
+        assert!(dump.contains("capacity 8"));
+    }
+}

@@ -36,4 +36,17 @@ run cargo build --release --offline --workspace
 run cargo test -q --offline --workspace
 run cargo test -q --offline --workspace -- --include-ignored
 
+# Smoke the machine-readable bench output: one harness with --json must
+# emit a file the in-tree decoder accepts.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+run cargo build --release --offline -p clio-bench --bin fig2_tree
+run cargo build --release --offline -p clio-obs --bin clio_json_check
+(cd "$smoke_dir" && run "$OLDPWD"/target/release/fig2_tree --json > /dev/null)
+[ -f "$smoke_dir/BENCH_fig2_tree.json" ] || {
+    echo "error: fig2_tree --json did not write BENCH_fig2_tree.json" >&2
+    exit 1
+}
+run ./target/release/clio_json_check "$smoke_dir/BENCH_fig2_tree.json"
+
 echo "ci: all green"

@@ -9,6 +9,7 @@ pub use clio_entrymap as entrymap;
 pub use clio_format as format;
 pub use clio_fs as fs;
 pub use clio_history as history;
+pub use clio_obs as obs;
 pub use clio_sim as sim;
 pub use clio_testkit as testkit;
 pub use clio_types as types;
