@@ -21,6 +21,7 @@ fn main() {
         "abl_fanout",
         "mot_fs",
         "sec4_hbfs",
+        "conc_read",
     ];
     let mut failures = 0;
     for bin in bins {

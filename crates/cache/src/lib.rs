@@ -7,12 +7,20 @@
 //! sealed (the medium is write-once), the cache is a pure read cache with
 //! write-through on append: there are no dirty pages and no write-back
 //! machinery. Hit/miss statistics feed the Table 1 and §4 cache analyses.
+//!
+//! Immutability also makes the cache embarrassingly shardable: a block
+//! image never changes after insertion, so the only mutable state is
+//! recency, which is private to each shard. [`BlockCache::with_shards`]
+//! splits the key space over N power-of-two LRU shards with per-shard
+//! locks so concurrent readers touching different blocks never contend.
+//! [`BlockCache::new`] keeps the single-shard (exact global LRU)
+//! behaviour for cache-behaviour experiments that must stay reproducible.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use clio_testkit::sync::Mutex;
+use clio_testkit::sync::{Condvar, Mutex};
 
 use clio_types::{BlockNo, Result};
 
@@ -34,9 +42,19 @@ impl CacheKey {
     pub fn new(device: DeviceId, block: BlockNo) -> CacheKey {
         CacheKey { device, block }
     }
+
+    /// A well-mixed 64-bit hash used to pick a shard (SplitMix64 finisher
+    /// over the device/block pair, so consecutive blocks spread evenly).
+    fn shard_hash(self) -> u64 {
+        let mut x =
+            (u64::from(self.device) << 48) ^ self.block.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
 }
 
-/// Cache statistics counters.
+/// Per-shard statistics counters (shared-cache totals are their sum).
 #[derive(Debug, Default)]
 struct Counters {
     hits: AtomicU64,
@@ -56,6 +74,9 @@ pub struct CacheSnapshot {
     pub inserts: u64,
     /// Blocks evicted to make room.
     pub evictions: u64,
+    /// Concurrent `get_or_load` misses coalesced onto another thread's
+    /// in-flight load instead of loading again (single-flight).
+    pub duplicate_loads: u64,
 }
 
 impl CacheSnapshot {
@@ -97,6 +118,14 @@ struct Lru {
 }
 
 impl Lru {
+    fn empty() -> Lru {
+        Lru {
+            map: HashMap::new(),
+            by_tick: std::collections::BTreeMap::new(),
+            next_tick: 0,
+        }
+    }
+
     fn touch(&mut self, key: CacheKey) {
         let tick = self.next_tick;
         self.next_tick += 1;
@@ -108,7 +137,30 @@ impl Lru {
     }
 }
 
-/// A fixed-capacity LRU cache of immutable block images.
+/// One LRU shard: a slice of the capacity with its own lock and counters.
+struct Shard {
+    inner: Mutex<Lru>,
+    capacity: usize,
+    counters: Counters,
+}
+
+/// The state of one in-flight `get_or_load` for a key.
+enum FlightState {
+    /// The leader is still loading.
+    Pending,
+    /// The leader finished: `Some` with the block, `None` if the load
+    /// failed (waiters retry, becoming leaders themselves).
+    Done(Option<Arc<Vec<u8>>>),
+}
+
+/// A single-flight rendezvous: losers of the leader race park here.
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+/// A fixed-capacity LRU cache of immutable block images, sharded for
+/// concurrent readers.
 ///
 /// # Examples
 ///
@@ -124,13 +176,20 @@ impl Lru {
 /// assert_eq!(cache.stats().hits, 1);
 /// ```
 pub struct BlockCache {
-    inner: Mutex<Lru>,
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; shard count is always a power of two.
+    mask: u64,
     capacity: usize,
-    counters: Counters,
+    /// Total resident blocks, maintained alongside the per-shard maps so
+    /// [`BlockCache::len`] never takes a lock.
+    resident: AtomicUsize,
+    duplicate_loads: AtomicU64,
+    inflight: Mutex<HashMap<CacheKey, Arc<Flight>>>,
 }
 
 impl BlockCache {
-    /// Creates a cache holding at most `capacity_blocks` blocks.
+    /// Creates a single-shard cache holding at most `capacity_blocks`
+    /// blocks — exact global LRU, the reproducible-experiment mode.
     ///
     /// # Panics
     ///
@@ -138,22 +197,51 @@ impl BlockCache {
     /// should bypass the cache, not construct a degenerate one.
     #[must_use]
     pub fn new(capacity_blocks: usize) -> BlockCache {
+        BlockCache::with_shards(capacity_blocks, 1)
+    }
+
+    /// Creates a cache of `capacity_blocks` split over `shards` LRU
+    /// shards. The shard count is rounded up to a power of two and
+    /// clamped so every shard holds at least one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_blocks` or `shards` is zero.
+    #[must_use]
+    pub fn with_shards(capacity_blocks: usize, shards: usize) -> BlockCache {
         assert!(capacity_blocks > 0, "cache capacity must be positive");
+        assert!(shards > 0, "shard count must be positive");
+        let mut n = shards.next_power_of_two();
+        while n > 1 && capacity_blocks / n == 0 {
+            n /= 2;
+        }
+        let base = capacity_blocks / n;
+        let rem = capacity_blocks % n;
+        let shards: Vec<Shard> = (0..n)
+            .map(|i| Shard {
+                inner: Mutex::new(Lru::empty()),
+                capacity: base + usize::from(i < rem),
+                counters: Counters::default(),
+            })
+            .collect();
         BlockCache {
-            inner: Mutex::new(Lru {
-                map: HashMap::new(),
-                by_tick: std::collections::BTreeMap::new(),
-                next_tick: 0,
-            }),
+            shards: shards.into_boxed_slice(),
+            mask: (n - 1) as u64,
             capacity: capacity_blocks,
-            counters: Counters::default(),
+            resident: AtomicUsize::new(0),
+            duplicate_loads: AtomicU64::new(0),
+            inflight: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Number of blocks currently cached.
+    fn shard(&self, key: CacheKey) -> &Shard {
+        &self.shards[(key.shard_hash() & self.mask) as usize]
+    }
+
+    /// Number of blocks currently cached (lock-free).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.resident.load(Ordering::Relaxed)
     }
 
     /// Whether the cache is empty.
@@ -168,89 +256,178 @@ impl BlockCache {
         self.capacity
     }
 
+    /// The number of LRU shards (1 = exact global LRU).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Looks up a block, updating recency and hit/miss counters.
     #[must_use]
     pub fn get(&self, key: CacheKey) -> Option<Arc<Vec<u8>>> {
-        let mut g = self.inner.lock();
+        let shard = self.shard(key);
+        let mut g = shard.inner.lock();
         if let Some(e) = g.map.get(&key) {
             let data = e.data.clone();
             g.touch(key);
-            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            shard.counters.hits.fetch_add(1, Ordering::Relaxed);
             Some(data)
         } else {
-            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            shard.counters.misses.fetch_add(1, Ordering::Relaxed);
             None
         }
     }
 
-    /// Inserts (or replaces) a block, evicting the least recently used
-    /// block if the cache is full.
+    /// Inserts (or replaces) a block, evicting the shard's least recently
+    /// used block if the shard is full.
     pub fn put(&self, key: CacheKey, data: Arc<Vec<u8>>) {
-        let mut g = self.inner.lock();
+        let shard = self.shard(key);
+        let mut g = shard.inner.lock();
         let tick = g.next_tick;
         g.next_tick += 1;
         if let Some(old) = g.map.insert(key, Entry { data, tick }) {
             g.by_tick.remove(&old.tick);
+        } else {
+            self.resident.fetch_add(1, Ordering::Relaxed);
         }
         g.by_tick.insert(tick, key);
-        self.counters.inserts.fetch_add(1, Ordering::Relaxed);
-        while g.map.len() > self.capacity {
+        shard.counters.inserts.fetch_add(1, Ordering::Relaxed);
+        while g.map.len() > shard.capacity {
             let Some((&t, &victim)) = g.by_tick.iter().next() else {
                 break;
             };
             g.by_tick.remove(&t);
             g.map.remove(&victim);
-            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            self.resident.fetch_sub(1, Ordering::Relaxed);
+            shard.counters.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Looks up a block, loading and inserting it on a miss.
+    ///
+    /// Concurrent misses on the same key are coalesced (single-flight):
+    /// one caller runs `load`, the rest wait and share its block. The
+    /// avoided loads are counted in [`CacheSnapshot::duplicate_loads`].
+    /// If the leader's load fails, each waiter retries — one of them
+    /// becomes the new leader.
     pub fn get_or_load<F>(&self, key: CacheKey, load: F) -> Result<Arc<Vec<u8>>>
     where
-        F: FnOnce() -> Result<Vec<u8>>,
+        F: FnMut() -> Result<Vec<u8>>,
     {
-        if let Some(hit) = self.get(key) {
-            return Ok(hit);
+        let mut load = load;
+        loop {
+            if let Some(hit) = self.get(key) {
+                return Ok(hit);
+            }
+            let (flight, leader) = {
+                let mut g = self.inflight.lock();
+                match g.get(&key) {
+                    Some(f) => (f.clone(), false),
+                    None => {
+                        let f = Arc::new(Flight {
+                            state: Mutex::new(FlightState::Pending),
+                            cv: Condvar::new(),
+                        });
+                        g.insert(key, f.clone());
+                        (f, true)
+                    }
+                }
+            };
+            if leader {
+                let loaded = load();
+                let outcome = loaded.as_ref().ok().cloned().map(Arc::new);
+                if let Some(data) = &outcome {
+                    self.put(key, data.clone());
+                }
+                self.inflight.lock().remove(&key);
+                *flight.state.lock() = FlightState::Done(outcome.clone());
+                flight.cv.notify_all();
+                return match (outcome, loaded) {
+                    (Some(data), _) => Ok(data),
+                    (None, Err(e)) => Err(e),
+                    (None, Ok(_)) => unreachable!("outcome mirrors loaded"),
+                };
+            }
+            // Loser: without single-flight this would have been a second
+            // load of the same block.
+            self.duplicate_loads.fetch_add(1, Ordering::Relaxed);
+            let g = flight
+                .cv
+                .wait_while(flight.state.lock(), |s| matches!(s, FlightState::Pending));
+            match &*g {
+                FlightState::Done(Some(data)) => return Ok(data.clone()),
+                // Leader failed; retry (and possibly lead) ourselves.
+                FlightState::Done(None) => continue,
+                FlightState::Pending => unreachable!("wait_while guarantees Done"),
+            }
         }
-        let data = Arc::new(load()?);
-        self.put(key, data.clone());
-        Ok(data)
     }
 
     /// Drops one block (e.g. after invalidating it on the device).
     pub fn invalidate(&self, key: CacheKey) {
-        let mut g = self.inner.lock();
+        let shard = self.shard(key);
+        let mut g = shard.inner.lock();
         if let Some(e) = g.map.remove(&key) {
             g.by_tick.remove(&e.tick);
+            self.resident.fetch_sub(1, Ordering::Relaxed);
         }
     }
 
     /// Drops everything (a simulated server crash loses the cache).
     pub fn clear(&self) {
-        let mut g = self.inner.lock();
-        g.map.clear();
-        g.by_tick.clear();
-    }
-
-    /// Copies the statistics counters.
-    #[must_use]
-    pub fn stats(&self) -> CacheSnapshot {
-        CacheSnapshot {
-            hits: self.counters.hits.load(Ordering::Relaxed),
-            misses: self.counters.misses.load(Ordering::Relaxed),
-            inserts: self.counters.inserts.load(Ordering::Relaxed),
-            evictions: self.counters.evictions.load(Ordering::Relaxed),
+        for shard in &self.shards {
+            let mut g = shard.inner.lock();
+            self.resident.fetch_sub(g.map.len(), Ordering::Relaxed);
+            g.map.clear();
+            g.by_tick.clear();
         }
     }
 
+    /// Copies the statistics counters (summed over shards).
+    #[must_use]
+    pub fn stats(&self) -> CacheSnapshot {
+        let mut s = CacheSnapshot {
+            duplicate_loads: self.duplicate_loads.load(Ordering::Relaxed),
+            ..CacheSnapshot::default()
+        };
+        for shard in &self.shards {
+            s.hits += shard.counters.hits.load(Ordering::Relaxed);
+            s.misses += shard.counters.misses.load(Ordering::Relaxed);
+            s.inserts += shard.counters.inserts.load(Ordering::Relaxed);
+            s.evictions += shard.counters.evictions.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// The statistics of one shard (for contention analysis).
+    #[must_use]
+    pub fn shard_stats(&self, index: usize) -> CacheSnapshot {
+        let shard = &self.shards[index];
+        CacheSnapshot {
+            hits: shard.counters.hits.load(Ordering::Relaxed),
+            misses: shard.counters.misses.load(Ordering::Relaxed),
+            inserts: shard.counters.inserts.load(Ordering::Relaxed),
+            evictions: shard.counters.evictions.load(Ordering::Relaxed),
+            duplicate_loads: 0,
+        }
+    }
+
+    /// Resident blocks in one shard (takes that shard's lock only).
+    #[must_use]
+    pub fn shard_len(&self, index: usize) -> usize {
+        self.shards[index].inner.lock().map.len()
+    }
+
     /// Registers the cache counters and occupancy into `reg` under the
-    /// `clio_cache_*` namespace.
+    /// `clio_cache_*` namespace, including a per-shard collector set
+    /// (`clio_cache_shard<i>_*`) when the cache has more than one shard.
     pub fn register_into(self: &Arc<BlockCache>, reg: &clio_obs::MetricsRegistry) {
-        let counters: [(&str, fn(&CacheSnapshot) -> u64); 4] = [
+        let counters: [(&str, fn(&CacheSnapshot) -> u64); 5] = [
             ("clio_cache_hits_total", |s| s.hits),
             ("clio_cache_misses_total", |s| s.misses),
             ("clio_cache_inserts_total", |s| s.inserts),
             ("clio_cache_evictions_total", |s| s.evictions),
+            ("clio_cache_duplicate_loads_total", |s| s.duplicate_loads),
         ];
         for (name, read) in counters {
             let cache = self.clone();
@@ -260,14 +437,35 @@ impl BlockCache {
         reg.register_gauge_fn("clio_cache_resident_blocks", move || cache.len() as i64);
         let cap = self.capacity() as i64;
         reg.register_gauge_fn("clio_cache_capacity_blocks", move || cap);
+        let n = self.shard_count() as i64;
+        reg.register_gauge_fn("clio_cache_shards", move || n);
+        if self.shard_count() > 1 {
+            for i in 0..self.shard_count() {
+                let cache = self.clone();
+                reg.register_counter_fn(&format!("clio_cache_shard{i}_hits_total"), move || {
+                    cache.shard_stats(i).hits
+                });
+                let cache = self.clone();
+                reg.register_counter_fn(&format!("clio_cache_shard{i}_misses_total"), move || {
+                    cache.shard_stats(i).misses
+                });
+                let cache = self.clone();
+                reg.register_gauge_fn(&format!("clio_cache_shard{i}_resident_blocks"), move || {
+                    cache.shard_len(i) as i64
+                });
+            }
+        }
     }
 
     /// Zeroes the statistics counters (contents are untouched).
     pub fn reset_stats(&self) {
-        self.counters.hits.store(0, Ordering::Relaxed);
-        self.counters.misses.store(0, Ordering::Relaxed);
-        self.counters.inserts.store(0, Ordering::Relaxed);
-        self.counters.evictions.store(0, Ordering::Relaxed);
+        for shard in &self.shards {
+            shard.counters.hits.store(0, Ordering::Relaxed);
+            shard.counters.misses.store(0, Ordering::Relaxed);
+            shard.counters.inserts.store(0, Ordering::Relaxed);
+            shard.counters.evictions.store(0, Ordering::Relaxed);
+        }
+        self.duplicate_loads.store(0, Ordering::Relaxed);
     }
 }
 
@@ -392,6 +590,7 @@ mod tests {
         assert!(text.contains("clio_cache_misses_total 1"));
         assert!(text.contains("clio_cache_resident_blocks 1"));
         assert!(text.contains("clio_cache_capacity_blocks 4"));
+        assert!(text.contains("clio_cache_shards 1"));
         let line = format!("{}", c.stats());
         assert!(line.contains("hits=1"));
         assert!(line.contains("hit_ratio=50.0%"));
@@ -408,5 +607,159 @@ mod tests {
         for i in 10_000 - 16..10_000 {
             assert!(c.get(key(i)).is_some(), "block {i} missing");
         }
+    }
+
+    // ---------------- sharded mode ----------------
+
+    #[test]
+    fn shard_count_rounds_and_clamps() {
+        assert_eq!(BlockCache::with_shards(64, 8).shard_count(), 8);
+        assert_eq!(BlockCache::with_shards(64, 5).shard_count(), 8);
+        // Too few blocks for 8 shards: clamp so every shard holds >= 1.
+        assert_eq!(BlockCache::with_shards(4, 8).shard_count(), 4);
+        assert_eq!(BlockCache::with_shards(1, 8).shard_count(), 1);
+        assert_eq!(BlockCache::new(16).shard_count(), 1);
+    }
+
+    #[test]
+    fn sharded_capacity_is_partitioned_exactly() {
+        let c = BlockCache::with_shards(13, 4);
+        let total: usize = c.shards.iter().map(|s| s.capacity).sum();
+        assert_eq!(total, 13);
+        assert!(c.shards.iter().all(|s| s.capacity >= 3));
+    }
+
+    #[test]
+    fn sharded_round_trip_and_len() {
+        // Per-shard capacity (384/8 = 48) covers every key even if the
+        // hash lands them all in one shard, so nothing can be evicted.
+        let c = BlockCache::with_shards(384, 8);
+        for i in 0..48u64 {
+            c.put(key(i), data(i as u8));
+        }
+        assert_eq!(c.len(), 48);
+        for i in 0..48u64 {
+            assert_eq!(c.get(key(i)).unwrap()[0], i as u8, "block {i}");
+        }
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (48, 0, 48));
+        c.clear();
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn sharded_churn_never_exceeds_capacity() {
+        let c = BlockCache::with_shards(32, 4);
+        for i in 0..10_000u64 {
+            c.put(key(i), data((i % 251) as u8));
+        }
+        assert!(c.len() <= 32, "len {} over capacity", c.len());
+        assert!(c.len() >= 4, "every shard should retain something");
+        // Per-shard stats sum to the totals.
+        let total: u64 = (0..c.shard_count()).map(|i| c.shard_stats(i).inserts).sum();
+        assert_eq!(total, c.stats().inserts);
+    }
+
+    #[test]
+    fn sharded_parallel_readers_agree() {
+        // 2048/8 = 256 per shard: all 256 keys fit in any one shard, so
+        // the uneven hash spread cannot evict anything.
+        let c = Arc::new(BlockCache::with_shards(2048, 8));
+        for i in 0..256u64 {
+            c.put(key(i), data((i % 251) as u8));
+        }
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..1_000u64 {
+                    let i = (round * 7 + t * 13) % 256;
+                    assert_eq!(c.get(key(i)).unwrap()[0], (i % 251) as u8);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.stats().hits, 4_000);
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_misses() {
+        use std::sync::mpsc;
+        let c = Arc::new(BlockCache::with_shards(16, 4));
+        let (loading_tx, loading_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let c1 = c.clone();
+        let leader = std::thread::spawn(move || {
+            c1.get_or_load(key(3), || {
+                loading_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+                Ok(vec![42u8; 4])
+            })
+            .unwrap()
+        });
+        // Wait until the leader is inside its load, then race it.
+        loading_rx.recv().unwrap();
+        let c2 = c.clone();
+        let loser = std::thread::spawn(move || {
+            c2.get_or_load(key(3), || panic!("loser must never load"))
+                .unwrap()
+        });
+        // Give the loser time to park on the flight, then release.
+        while c.stats().duplicate_loads == 0 {
+            std::thread::yield_now();
+        }
+        release_tx.send(()).unwrap();
+        assert_eq!(leader.join().unwrap()[0], 42);
+        assert_eq!(loser.join().unwrap()[0], 42);
+        let s = c.stats();
+        assert_eq!(s.duplicate_loads, 1, "exactly one avoided load");
+        assert_eq!(s.inserts, 1, "the block was loaded and inserted once");
+    }
+
+    #[test]
+    fn single_flight_failed_leader_lets_waiter_retry() {
+        use std::sync::mpsc;
+        let c = Arc::new(BlockCache::with_shards(16, 4));
+        let (loading_tx, loading_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let c1 = c.clone();
+        let leader = std::thread::spawn(move || {
+            c1.get_or_load(key(5), || {
+                loading_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+                Err(clio_types::ClioError::VolumeFull)
+            })
+        });
+        loading_rx.recv().unwrap();
+        let c2 = c.clone();
+        let waiter = std::thread::spawn(move || c2.get_or_load(key(5), || Ok(vec![7u8; 4])));
+        while c.stats().duplicate_loads == 0 {
+            std::thread::yield_now();
+        }
+        release_tx.send(()).unwrap();
+        assert!(leader.join().unwrap().is_err());
+        // The waiter retried after the leader's failure and loaded itself.
+        assert_eq!(waiter.join().unwrap().unwrap()[0], 7);
+        assert_eq!(c.get(key(5)).unwrap()[0], 7);
+    }
+
+    #[test]
+    fn sharded_registry_exposes_shard_collectors() {
+        let c = Arc::new(BlockCache::with_shards(64, 4));
+        let reg = clio_obs::MetricsRegistry::new();
+        c.register_into(&reg);
+        for i in 0..32u64 {
+            c.put(key(i), data(1));
+            let _ = c.get(key(i));
+        }
+        let text = clio_obs::expo::render_prometheus(&reg);
+        assert!(text.contains("clio_cache_shards 4"));
+        assert!(text.contains("clio_cache_shard0_hits_total"));
+        assert!(text.contains("clio_cache_shard3_resident_blocks"));
+        assert!(text.contains("clio_cache_duplicate_loads_total 0"));
+        assert!(text.contains("clio_cache_hits_total 32"));
     }
 }

@@ -11,6 +11,11 @@ pub struct ServiceConfig {
     pub fanout: u16,
     /// Shared block cache capacity, in blocks.
     pub cache_blocks: usize,
+    /// Number of LRU shards the block cache is split over (rounded up to
+    /// a power of two). More shards mean less lock contention between
+    /// concurrent readers; `1` restores the exact global-LRU behaviour
+    /// the cache-behaviour experiments (Table 1, §4) were measured with.
+    pub cache_shards: usize,
     /// Read back and parse every appended block, invalidating and
     /// re-writing it at the next block on failure (§2.3.2). Costs one
     /// device read per append; required for the fault-injection tests.
@@ -30,6 +35,7 @@ impl Default for ServiceConfig {
             block_size: DEFAULT_BLOCK_SIZE,
             fanout: DEFAULT_FANOUT as u16,
             cache_blocks: 1024,
+            cache_shards: 8,
             verify_appends: false,
             unique_id_skew_us: 5_000_000,
             trace_events: 512,
@@ -55,6 +61,14 @@ impl ServiceConfig {
         self.verify_appends = true;
         self
     }
+
+    /// Sets the block-cache shard count (see
+    /// [`ServiceConfig::cache_shards`]); `1` = exact global LRU.
+    #[must_use]
+    pub fn with_cache_shards(mut self, shards: usize) -> ServiceConfig {
+        self.cache_shards = shards;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -67,6 +81,8 @@ mod tests {
         assert_eq!(c.block_size, 1024);
         assert_eq!(c.fanout, 16);
         assert!(!c.verify_appends);
+        assert_eq!(c.cache_shards, 8);
+        assert_eq!(ServiceConfig::small().with_cache_shards(1).cache_shards, 1);
         assert!(
             ServiceConfig::small()
                 .with_verified_appends()

@@ -44,6 +44,7 @@ pub struct ServiceObs {
     read_errors: Arc<Counter>,
     locates: Arc<Counter>,
     creates: Arc<Counter>,
+    view_publishes: Arc<Counter>,
 }
 
 impl ServiceObs {
@@ -68,6 +69,7 @@ impl ServiceObs {
             read_errors: registry.counter("clio_core_read_errors_total"),
             locates: registry.counter("clio_core_locates_total"),
             creates: registry.counter("clio_core_creates_total"),
+            view_publishes: registry.counter("clio_core_view_publishes_total"),
             registry,
         })
     }
@@ -146,6 +148,12 @@ impl ServiceObs {
             dur,
             if ok { "ok" } else { "error" },
         );
+    }
+
+    /// Counts one republication of the immutable read snapshot (every
+    /// mutating op republishes, so this tracks snapshot churn).
+    pub fn note_view_publish(&self) {
+        self.view_publishes.inc();
     }
 
     /// Registers the shared block cache's counters.

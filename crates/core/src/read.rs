@@ -6,6 +6,16 @@
 //! file — including all its sublogs (§2.1) — in either direction, using the
 //! entrymap tree to hop over blocks without relevant entries, and the
 //! timestamp search (§2.1) to start from a point in time.
+//!
+//! # Concurrency
+//!
+//! The medium is write-once: every sealed block is immutable forever, so
+//! reads need no coordination with the appender at all. Every operation
+//! here runs against an immutable [`ReadView`] snapshot published by the
+//! append path — the append-side state mutex is **never** acquired, and no
+//! lock is held across device I/O. [`LogCursor`] pins its snapshot at
+//! creation and refreshes it only on crossing the snapshot's watermark
+//! (reaching the end), which is also what lets cursors tail a growing log.
 
 use std::sync::Arc;
 
@@ -15,7 +25,7 @@ use clio_format::{BlockView, FragKind};
 use clio_types::{BlockNo, ClioError, EntryAddr, LogFileId, Result, SeqNo, Timestamp};
 use clio_volume::Volume;
 
-use crate::service::{LogService, State};
+use crate::service::{LogService, ReadView};
 
 /// A fully reassembled log entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,10 +54,15 @@ impl Entry {
     }
 }
 
-/// A per-volume [`BlockSource`] that also sees the server's open block.
+/// A per-volume [`BlockSource`] over one snapshot: the volume's sealed
+/// blocks plus (for the active volume) the snapshot's frozen open-block
+/// image and `data_end` watermark.
 pub(crate) struct VolSource {
     vol: Arc<Volume>,
     open: Option<(u64, Arc<Vec<u8>>)>,
+    /// The snapshot's sealed-data watermark for the active volume; sealed
+    /// volumes read their (final, immutable) device value instead.
+    watermark: Option<u64>,
     fanout: usize,
 }
 
@@ -67,7 +82,7 @@ impl BlockSource for VolSource {
     }
 
     fn data_end(&self) -> u64 {
-        let dev = self.vol.data_end();
+        let dev = self.watermark.unwrap_or_else(|| self.vol.data_end());
         match &self.open {
             Some((db, _)) => dev.max(db + 1),
             None => dev,
@@ -85,42 +100,44 @@ impl BlockSource for VolSource {
 }
 
 impl LogService {
-    /// A snapshot source over one volume, including the open block when the
-    /// volume is active.
-    pub(crate) fn source_for(&self, st: &State, vol_idx: u32) -> Result<VolSource> {
+    /// A block source over one volume of the snapshot, including the open
+    /// block when the volume is active.
+    pub(crate) fn source_for(&self, view: &ReadView, vol_idx: u32) -> Result<VolSource> {
         let vol = self.seq.volume(vol_idx)?;
-        let open = if vol_idx == st.active_index {
-            st.open
-                .as_ref()
-                .filter(|ob| !ob.builder.is_empty())
-                .map(|ob| (ob.db, Arc::new(ob.builder.finish())))
+        let (open, watermark) = if vol_idx == view.active_index {
+            (view.open.clone(), Some(view.active_data_end))
         } else {
-            None
+            (None, None)
         };
         Ok(VolSource {
             vol,
             open,
+            watermark,
             fanout: usize::from(self.cfg.fanout),
         })
     }
 
-    /// The pending maps to search a volume's unmapped tail with.
-    pub(crate) fn pending_for(&self, st: &State, vol_idx: u32) -> Option<PendingMaps> {
-        if vol_idx == st.active_index {
-            Some(st.emap.pending().clone())
+    /// The pending maps to search a volume's unmapped tail with, borrowed
+    /// from the snapshot (no clone, no lock).
+    pub(crate) fn pending_for<'v>(
+        &self,
+        view: &'v ReadView,
+        vol_idx: u32,
+    ) -> Option<&'v PendingMaps> {
+        if vol_idx == view.active_index {
+            Some(&view.active_pending)
         } else {
-            st.sealed_pendings.get(vol_idx as usize).cloned()
+            view.sealed_pendings.get(vol_idx as usize)
         }
     }
 
-    /// Reads and reassembles the entry at `addr` (public, self-locking).
+    /// Reads and reassembles the entry at `addr` (public, lock-free:
+    /// operates on the current read snapshot).
     pub fn read_entry(&self, addr: EntryAddr) -> Result<Entry> {
         let start = std::time::Instant::now();
         let before = self.obs.device_stats.snapshot().reads;
-        let r = {
-            let st = self.state.lock();
-            self.read_entry_locked(&st, addr)
-        };
+        let view = self.read_view();
+        let r = self.read_entry_in(&view, addr);
         let blocks = self
             .obs
             .device_stats
@@ -136,8 +153,8 @@ impl LogService {
         r
     }
 
-    pub(crate) fn read_entry_locked(&self, st: &State, addr: EntryAddr) -> Result<Entry> {
-        let src = self.source_for(st, addr.volume_index)?;
+    pub(crate) fn read_entry_in(&self, view: &ReadView, addr: EntryAddr) -> Result<Entry> {
+        let src = self.source_for(view, addr.volume_index)?;
         let mut db = addr.block.0;
         let mut img = src.read(db)?;
         if BlockView::is_invalidated(&img) {
@@ -156,10 +173,10 @@ impl LogService {
             }
             (db, img) = found.ok_or_else(|| ClioError::NotFound(format!("entry {addr}")))?;
         }
-        let view = BlockView::parse(&img)?;
-        let first = view.entry(addr.slot)?;
+        let view_blk = BlockView::parse(&img)?;
+        let first = view_blk.entry(addr.slot)?;
         let header = first.header;
-        let block_ts = view.first_ts();
+        let block_ts = view_blk.first_ts();
         let mut data = first.payload.to_vec();
         if let FragKind::First { total_len, chain } = header.frag {
             // Reassemble continuation fragments from following blocks.
@@ -223,20 +240,21 @@ impl LogService {
     /// honouring `floor` (skip entries before that time) when set.
     pub(crate) fn scan_forward(
         &self,
-        st: &State,
+        view: &ReadView,
         ids: &[LogFileId],
         start: (u32, u64, u16),
         floor: Option<Timestamp>,
     ) -> Result<Option<Entry>> {
         let (mut vol_idx, mut db, mut slot) = start;
-        let vol_count = self.seq.volume_count();
+        // The snapshot covers volumes 0..=active_index.
+        let vol_count = view.active_index + 1;
         while vol_idx < vol_count {
-            let src = self.source_for(st, vol_idx)?;
+            let src = self.source_for(view, vol_idx)?;
             let end = src.data_end();
             while db < end {
                 if let Ok(img) = src.read(db) {
-                    if let Ok(view) = BlockView::parse(&img) {
-                        for e in view.entries() {
+                    if let Ok(blk) = BlockView::parse(&img) {
+                        for e in blk.entries() {
                             let Ok(e) = e else { break };
                             if e.slot < slot
                                 || !ids.contains(&e.header.id)
@@ -244,12 +262,12 @@ impl LogService {
                             {
                                 continue;
                             }
-                            let eff = e.header.timestamp.unwrap_or_else(|| view.first_ts());
+                            let eff = e.header.timestamp.unwrap_or_else(|| blk.first_ts());
                             if floor.is_some_and(|f| eff < f) {
                                 continue;
                             }
                             let addr = EntryAddr::new(vol_idx, BlockNo(db), e.slot);
-                            match self.read_entry_locked(st, addr) {
+                            match self.read_entry_in(view, addr) {
                                 Ok(entry) => return Ok(Some(entry)),
                                 // A fragmented entry whose continuation was
                                 // lost (torn by a crash, or destroyed by
@@ -264,8 +282,8 @@ impl LogService {
                 // entries of ours via the entrymap tree. The open block is
                 // invisible to the entrymap (it has not been noted yet), so
                 // visit it explicitly when the tree finds nothing.
-                let pending = self.pending_for(st, vol_idx);
-                let mut loc = Locator::new(&src, pending.as_ref());
+                let pending = self.pending_for(view, vol_idx);
+                let mut loc = Locator::new(&src, pending);
                 let t = std::time::Instant::now();
                 let hop = loc.locate_at_or_after(ids, db + 1)?;
                 self.obs
@@ -296,13 +314,13 @@ impl LogService {
     /// `db`"; `db == u64::MAX` means "from the end of the volume").
     pub(crate) fn scan_backward(
         &self,
-        st: &State,
+        view: &ReadView,
         ids: &[LogFileId],
         before: (u32, u64, u16),
     ) -> Result<Option<Entry>> {
         let (mut vol_idx, mut db, mut slot_excl) = before;
         loop {
-            let src = self.source_for(st, vol_idx)?;
+            let src = self.source_for(view, vol_idx)?;
             let end = src.data_end();
             if end > 0 {
                 if db >= end {
@@ -311,9 +329,9 @@ impl LogService {
                 }
                 loop {
                     if let Ok(img) = src.read(db) {
-                        if let Ok(view) = BlockView::parse(&img) {
+                        if let Ok(blk) = BlockView::parse(&img) {
                             let mut best: Option<u16> = None;
-                            for e in view.entries() {
+                            for e in blk.entries() {
                                 let Ok(e) = e else { break };
                                 if e.slot < slot_excl
                                     && ids.contains(&e.header.id)
@@ -324,12 +342,12 @@ impl LogService {
                             }
                             while let Some(s) = best {
                                 let addr = EntryAddr::new(vol_idx, BlockNo(db), s);
-                                match self.read_entry_locked(st, addr) {
+                                match self.read_entry_in(view, addr) {
                                     Ok(entry) => return Ok(Some(entry)),
                                     // Torn/lost fragments: fall back to the
                                     // previous candidate in this block.
                                     Err(ClioError::NotFound(_)) => {
-                                        best = view
+                                        best = blk
                                             .entries()
                                             .filter_map(|e| e.ok())
                                             .filter(|e| {
@@ -351,8 +369,8 @@ impl LogService {
                     if db == 0 {
                         break;
                     }
-                    let pending = self.pending_for(st, vol_idx);
-                    let mut loc = Locator::new(&src, pending.as_ref());
+                    let pending = self.pending_for(view, vol_idx);
+                    let mut loc = Locator::new(&src, pending);
                     let t = std::time::Instant::now();
                     let hop = loc.locate_before(ids, db - 1)?;
                     self.obs
@@ -382,9 +400,11 @@ impl LogService {
     /// A cursor over `path` (and all its sublogs) positioned before the
     /// first entry.
     pub fn cursor(&self, path: &str) -> Result<LogCursor<'_>> {
-        let ids = self.closure_of(path)?;
+        let view = self.read_view();
+        let ids = self.closure_of(&view, path)?;
         Ok(LogCursor {
             svc: self,
+            view,
             ids,
             anchor: Anchor::Start,
             floor: None,
@@ -393,9 +413,11 @@ impl LogService {
 
     /// A cursor positioned after the last entry (for backward reading).
     pub fn cursor_from_end(&self, path: &str) -> Result<LogCursor<'_>> {
-        let ids = self.closure_of(path)?;
+        let view = self.read_view();
+        let ids = self.closure_of(&view, path)?;
         Ok(LogCursor {
             svc: self,
+            view,
             ids,
             anchor: Anchor::End,
             floor: None,
@@ -405,12 +427,12 @@ impl LogService {
     /// A cursor positioned at `ts`: `next()` yields entries written at or
     /// after `ts`, `prev()` yields those before it (§2).
     pub fn cursor_from_time(&self, path: &str, ts: Timestamp) -> Result<LogCursor<'_>> {
-        let ids = self.closure_of(path)?;
-        let st = self.state.lock();
+        let view = self.read_view();
+        let ids = self.closure_of(&view, path)?;
         // Volumes are created in time order; start in the last volume whose
         // label predates ts, then refine with the in-volume timestamp
         // search (§2.1).
-        let vol_count = self.seq.volume_count();
+        let vol_count = view.active_index + 1;
         let mut vol_pick = 0;
         for v in 0..vol_count {
             if self.seq.volume(v)?.label().created <= ts {
@@ -419,16 +441,16 @@ impl LogService {
                 break;
             }
         }
-        let src = self.source_for(&st, vol_pick)?;
+        let src = self.source_for(&view, vol_pick)?;
         let (db_opt, _) = tsearch::find_block_by_time(&src, ts)?;
         let start = (vol_pick, db_opt.unwrap_or(0), 0u16);
-        let anchor = match self.scan_forward(&st, &ids, start, Some(ts))? {
+        let anchor = match self.scan_forward(&view, &ids, start, Some(ts))? {
             Some(e) => Anchor::BeforeEntry(e.addr),
             None => Anchor::End,
         };
-        drop(st);
         Ok(LogCursor {
             svc: self,
+            view,
             ids,
             anchor,
             floor: None,
@@ -459,15 +481,14 @@ impl LogService {
         Ok(None)
     }
 
-    /// The id closure (log file + sublogs) for a path.
-    fn closure_of(&self, path: &str) -> Result<Vec<LogFileId>> {
-        let st = self.state.lock();
-        let id = st.catalog.resolve(path)?;
-        let attrs = st.catalog.attrs(id)?;
+    /// The id closure (log file + sublogs) for a path, from the snapshot.
+    fn closure_of(&self, view: &ReadView, path: &str) -> Result<Vec<LogFileId>> {
+        let id = view.catalog.resolve(path)?;
+        let attrs = view.catalog.attrs(id)?;
         if attrs.perms & clio_format::records::PERM_READ == 0 {
             return Err(ClioError::PermissionDenied(path.to_owned()));
         }
-        Ok(st.catalog.closure(id))
+        Ok(view.catalog.closure(id))
     }
 }
 
@@ -487,10 +508,14 @@ enum Anchor {
 /// A bidirectional cursor over the entries of a log file and its sublogs.
 ///
 /// The sublog set is captured at creation; log files created afterwards are
-/// not included. `next()` after the end simply returns `None` and may
-/// return new entries later — cursors can tail a growing log.
+/// not included. The cursor pins a read snapshot at creation and walks it
+/// without ever locking the appender; when `next()` exhausts the pinned
+/// snapshot it refreshes to the current one, so `next()` after the end
+/// simply returns `None` and may return new entries later — cursors can
+/// tail a growing log.
 pub struct LogCursor<'a> {
     svc: &'a LogService,
+    view: Arc<ReadView>,
     ids: Vec<LogFileId>,
     anchor: Anchor,
     floor: Option<Timestamp>,
@@ -532,14 +557,32 @@ impl LogCursor<'_> {
     }
 
     fn next_inner(&mut self) -> Result<Option<Entry>> {
-        let st = self.svc.state.lock();
         let start = match self.anchor {
             Anchor::End => return Ok(None),
             Anchor::Start => (0u32, 0u64, 0u16),
             Anchor::At(a) => (a.volume_index, a.block.0, a.slot + 1),
             Anchor::BeforeEntry(a) => (a.volume_index, a.block.0, a.slot),
         };
-        match self.svc.scan_forward(&st, &self.ids, start, self.floor)? {
+        if let Some(e) = self
+            .svc
+            .scan_forward(&self.view, &self.ids, start, self.floor)?
+        {
+            self.anchor = Anchor::At(e.addr);
+            self.floor = None;
+            return Ok(Some(e));
+        }
+        // The pinned snapshot is exhausted — the cursor crossed its
+        // watermark. Refresh to the currently published snapshot and look
+        // again; this is the only point a cursor observes new appends.
+        let fresh = self.svc.read_view();
+        if Arc::ptr_eq(&fresh, &self.view) {
+            return Ok(None);
+        }
+        self.view = fresh;
+        match self
+            .svc
+            .scan_forward(&self.view, &self.ids, start, self.floor)?
+        {
             Some(e) => {
                 self.anchor = Anchor::At(e.addr);
                 self.floor = None;
@@ -550,16 +593,15 @@ impl LogCursor<'_> {
     }
 
     fn prev_inner(&mut self) -> Result<Option<Entry>> {
-        let st = self.svc.state.lock();
         let before = match self.anchor {
             Anchor::Start => return Ok(None),
             Anchor::End => {
-                let last_vol = self.svc.seq.volume_count() - 1;
-                (last_vol, u64::MAX, u16::MAX)
+                // Walk backward from the end of the pinned snapshot.
+                (self.view.active_index, u64::MAX, u16::MAX)
             }
             Anchor::At(a) | Anchor::BeforeEntry(a) => (a.volume_index, a.block.0, a.slot),
         };
-        match self.svc.scan_backward(&st, &self.ids, before)? {
+        match self.svc.scan_backward(&self.view, &self.ids, before)? {
             Some(e) => {
                 self.anchor = Anchor::BeforeEntry(e.addr);
                 Ok(Some(e))

@@ -87,7 +87,7 @@ impl LogService {
             .map(|d| obs.instrument_device(d))
             .collect();
         let pool = Arc::new(crate::obs::InstrumentingPool::new(pool, obs.clone()));
-        let cache = Arc::new(BlockCache::new(cfg.cache_blocks));
+        let cache = Arc::new(BlockCache::with_shards(cfg.cache_blocks, cfg.cache_shards));
         let seq = Arc::new(VolumeSequence::open(devices, cache, pool, 0)?);
         let end_locate_us = elapsed_us(recover_start);
         // Geometry is defined by the volume labels, not the passed config.

@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use clio_testkit::sync::Mutex;
+use clio_testkit::sync::{ArcCell, Mutex};
 
 use clio_cache::BlockCache;
 use clio_entrymap::{EntrymapWriter, Geometry, PendingMaps};
@@ -108,20 +108,49 @@ pub(crate) struct OpenBlock {
     pub staged: bool,
 }
 
-/// All mutable service state, guarded by one lock.
+/// All append-side service state, guarded by one lock. Reads never touch
+/// this — they run against the published [`ReadView`] snapshot.
+///
+/// The shareable pieces (`catalog`, `sealed_pendings`) live behind `Arc`s
+/// so publishing a snapshot is a refcount bump; mutations go through
+/// [`Arc::make_mut`], copy-on-write, so an in-flight reader's snapshot is
+/// never modified underneath it.
 pub(crate) struct State {
-    pub catalog: Catalog,
+    pub catalog: Arc<Catalog>,
     pub emap: EntrymapWriter,
     pub open: Option<OpenBlock>,
     /// Final pending maps of sealed (non-active) volumes, by volume index.
-    pub sealed_pendings: Vec<PendingMaps>,
+    pub sealed_pendings: Arc<Vec<PendingMaps>>,
     pub active_index: u32,
+    /// Frozen clone of `emap.pending()`, refreshed whenever a block seals
+    /// (the only time the pending maps change); shared into snapshots.
+    pub pending_snap: Arc<PendingMaps>,
     /// Entrymap records displaced by invalidated blocks, to be written in
     /// the next opened block (§2.3.2).
     pub carryover: Vec<clio_format::EntrymapRecord>,
     /// Invalidated blocks awaiting a bad-block log record.
     pub pending_badblocks: Vec<u64>,
     pub stats: SpaceStats,
+}
+
+/// An immutable snapshot of everything the read path needs, published
+/// via an atomic-swap cell on every visible mutation. Because sealed
+/// blocks are write-once, a snapshot can never go stale *incorrectly* —
+/// at worst it lags by the contents of the open block until the next
+/// publish (bounded staleness; a forced append or flush republishes).
+pub(crate) struct ReadView {
+    /// The catalog as of the snapshot.
+    pub catalog: Arc<Catalog>,
+    /// Final pending maps of sealed (non-active) volumes, by volume index.
+    pub sealed_pendings: Arc<Vec<PendingMaps>>,
+    /// Index of the active (writable) volume.
+    pub active_index: u32,
+    /// The active volume's pending entrymap state.
+    pub active_pending: Arc<PendingMaps>,
+    /// The active volume's sealed-data watermark at snapshot time.
+    pub active_data_end: u64,
+    /// Frozen image of the non-empty open block, if any.
+    pub open: Option<(u64, Arc<Vec<u8>>)>,
 }
 
 /// The Clio log service.
@@ -160,6 +189,8 @@ pub struct LogService {
     pub(crate) cfg: ServiceConfig,
     pub(crate) obs: Arc<ServiceObs>,
     pub(crate) state: Mutex<State>,
+    /// The current read snapshot; reads `get` it and never lock `state`.
+    pub(crate) view: ArcCell<ReadView>,
 }
 
 impl LogService {
@@ -172,7 +203,7 @@ impl LogService {
     ) -> Result<LogService> {
         let obs = ServiceObs::new(cfg.trace_events);
         let pool = Arc::new(InstrumentingPool::new(pool, obs.clone()));
-        let cache = Arc::new(BlockCache::new(cfg.cache_blocks));
+        let cache = Arc::new(BlockCache::with_shards(cfg.cache_blocks, cfg.cache_shards));
         let seq = Arc::new(VolumeSequence::create(
             seq_id,
             cache,
@@ -212,6 +243,17 @@ impl LogService {
             None => EntrymapWriter::new(geo),
         };
         obs.attach_cache(seq.cache());
+        let catalog = Arc::new(catalog);
+        let sealed_pendings = Arc::new(sealed_pendings);
+        let pending_snap = Arc::new(emap.pending().clone());
+        let view = ArcCell::new(Arc::new(ReadView {
+            catalog: catalog.clone(),
+            sealed_pendings: sealed_pendings.clone(),
+            active_index,
+            active_pending: pending_snap.clone(),
+            active_data_end: active.data_end(),
+            open: None,
+        }));
         LogService {
             seq,
             clock,
@@ -223,11 +265,52 @@ impl LogService {
                 open: None,
                 sealed_pendings,
                 active_index,
+                pending_snap,
                 carryover: Vec::new(),
                 pending_badblocks: Vec::new(),
                 stats: SpaceStats::default(),
             }),
+            view,
         }
+    }
+
+    /// Publishes a fresh [`ReadView`] from the current append-side state.
+    /// Called (with the state lock held) at the end of every mutating
+    /// operation; readers pick it up via a cheap atomic-swap-cell `get`.
+    pub(crate) fn publish_view(&self, st: &State) {
+        let open = st
+            .open
+            .as_ref()
+            .filter(|ob| !ob.builder.is_empty())
+            .map(|ob| (ob.db, Arc::new(ob.builder.finish())));
+        let active_data_end = self
+            .seq
+            .volume(st.active_index)
+            .map(|v| v.data_end())
+            .unwrap_or(0);
+        self.view.set(Arc::new(ReadView {
+            catalog: st.catalog.clone(),
+            sealed_pendings: st.sealed_pendings.clone(),
+            active_index: st.active_index,
+            active_pending: st.pending_snap.clone(),
+            active_data_end,
+            open,
+        }));
+        self.obs.note_view_publish();
+    }
+
+    /// The current read snapshot.
+    pub(crate) fn read_view(&self) -> Arc<ReadView> {
+        self.view.get()
+    }
+
+    /// Test hook: runs `f` while the append-side state mutex is held.
+    /// The concurrency tests use this to prove the read path never
+    /// acquires the append lock — readers must make progress inside `f`.
+    #[doc(hidden)]
+    pub fn while_append_locked<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _st = self.state.lock();
+        f()
     }
 
     /// The service configuration.
@@ -277,34 +360,38 @@ impl LogService {
             None => ("", path),
         };
         let mut st = self.state.lock();
-        let parent = st.catalog.resolve(parent_path)?;
-        let rec = st.catalog.prepare_create(parent, name, self.clock.now())?;
-        let id = match &rec {
-            CatalogRecord::Create(a) => a.id,
-            _ => unreachable!("prepare_create returns Create"),
-        };
-        // §2.2: the change is logged in the catalog log file — durably,
-        // before the creation is acknowledged.
-        self.append_catalog_record(&mut st, &rec)?;
-        st.catalog.apply(&rec)?;
-        Ok(id)
+        let r = (|| {
+            let parent = st.catalog.resolve(parent_path)?;
+            let rec = st.catalog.prepare_create(parent, name, self.clock.now())?;
+            let id = match &rec {
+                CatalogRecord::Create(a) => a.id,
+                _ => unreachable!("prepare_create returns Create"),
+            };
+            // §2.2: the change is logged in the catalog log file — durably,
+            // before the creation is acknowledged.
+            self.append_catalog_record(&mut st, &rec)?;
+            Arc::make_mut(&mut st.catalog).apply(&rec)?;
+            Ok(id)
+        })();
+        self.publish_view(&st);
+        r
     }
 
-    /// Resolves a path to a log file id.
+    /// Resolves a path to a log file id (snapshot read; lock-free).
     pub fn resolve(&self, path: &str) -> Result<LogFileId> {
-        self.state.lock().catalog.resolve(path)
+        self.read_view().catalog.resolve(path)
     }
 
-    /// The display path of a log file.
+    /// The display path of a log file (snapshot read).
     pub fn path_of(&self, id: LogFileId) -> Result<String> {
-        self.state.lock().catalog.path_of(id)
+        self.read_view().catalog.path_of(id)
     }
 
-    /// Names of the direct sublogs of `path`.
+    /// Names of the direct sublogs of `path` (snapshot read).
     pub fn list(&self, path: &str) -> Result<Vec<String>> {
-        let st = self.state.lock();
-        let id = st.catalog.resolve(path)?;
-        let mut names: Vec<String> = st.catalog.children(id).map(|a| a.name.clone()).collect();
+        let view = self.read_view();
+        let id = view.catalog.resolve(path)?;
+        let mut names: Vec<String> = view.catalog.children(id).map(|a| a.name.clone()).collect();
         names.retain(|n| !n.starts_with('.') && !n.is_empty());
         names.sort();
         Ok(names)
@@ -312,41 +399,54 @@ impl LogService {
 
     /// A snapshot of the attributes of `id`.
     pub fn attrs(&self, id: LogFileId) -> Result<clio_format::LogFileAttrs> {
-        Ok(self.state.lock().catalog.attrs(id)?.clone())
+        Ok(self.read_view().catalog.attrs(id)?.clone())
     }
 
     /// Seals a log file against further appends.
     pub fn seal_log(&self, id: LogFileId) -> Result<()> {
-        let mut st = self.state.lock();
-        st.catalog.attrs(id)?;
-        let rec = CatalogRecord::Seal { id };
-        self.append_catalog_record(&mut st, &rec)?;
-        st.catalog.apply(&rec)
+        self.apply_catalog_change(|cat| {
+            cat.attrs(id)?;
+            Ok(CatalogRecord::Seal { id })
+        })
     }
 
     /// Changes a log file's permissions.
     pub fn set_perms(&self, id: LogFileId, perms: u16) -> Result<()> {
-        let mut st = self.state.lock();
-        st.catalog.attrs(id)?;
-        let rec = CatalogRecord::SetPerms { id, perms };
-        self.append_catalog_record(&mut st, &rec)?;
-        st.catalog.apply(&rec)
+        self.apply_catalog_change(|cat| {
+            cat.attrs(id)?;
+            Ok(CatalogRecord::SetPerms { id, perms })
+        })
     }
 
     /// Renames a log file (its place in the hierarchy is unchanged).
     pub fn rename(&self, id: LogFileId, name: &str) -> Result<()> {
+        self.apply_catalog_change(|cat| {
+            cat.attrs(id)?;
+            let rec = CatalogRecord::Rename {
+                id,
+                name: name.to_owned(),
+            };
+            // Validate against a probe copy before logging.
+            let mut probe = cat.clone();
+            probe.apply(&rec)?;
+            Ok(rec)
+        })
+    }
+
+    /// Prepares a catalog record against the live catalog, logs it
+    /// durably, applies it, and republishes the read snapshot.
+    fn apply_catalog_change(
+        &self,
+        prepare: impl FnOnce(&Catalog) -> Result<CatalogRecord>,
+    ) -> Result<()> {
         let mut st = self.state.lock();
-        st.catalog.attrs(id)?;
-        let rec = CatalogRecord::Rename {
-            id,
-            name: name.to_owned(),
-        };
-        // Validate against the live catalog before logging.
-        let mut probe = st.catalog.clone();
-        probe.apply(&rec)?;
-        self.append_catalog_record(&mut st, &rec)?;
-        st.catalog = probe;
-        Ok(())
+        let r = (|| {
+            let rec = prepare(&st.catalog)?;
+            self.append_catalog_record(&mut st, &rec)?;
+            Arc::make_mut(&mut st.catalog).apply(&rec)
+        })();
+        self.publish_view(&st);
+        r
     }
 
     // ------------------------------------------------------------------
@@ -370,6 +470,20 @@ impl LogService {
 
     fn append_inner(&self, id: LogFileId, data: &[u8], opts: AppendOpts) -> Result<Receipt> {
         let mut st = self.state.lock();
+        let r = self.append_locked(&mut st, id, data, opts);
+        // Republish even on failure: a failed append may still have sealed
+        // blocks (fragmentation) the snapshot should reflect.
+        self.publish_view(&st);
+        r
+    }
+
+    fn append_locked(
+        &self,
+        st: &mut State,
+        id: LogFileId,
+        data: &[u8],
+        opts: AppendOpts,
+    ) -> Result<Receipt> {
         let attrs = st.catalog.attrs(id)?;
         if id.is_reserved() {
             return Err(ClioError::PermissionDenied(format!(
@@ -394,7 +508,7 @@ impl LogService {
             matches!(form, EntryForm::Timestamped | EntryForm::Full).then_some(now),
             opts.seqno,
         );
-        let (vol_idx, db, slot) = self.push_record(&mut st, header, data, true)?;
+        let (vol_idx, db, slot) = self.push_record(st, header, data, true)?;
         let mut addr = EntryAddr::new(vol_idx, clio_types::BlockNo(db), slot);
         if matches!(opts.durability, Durability::Forced) {
             // If the entry sits in the still-open block, persisting may
@@ -402,13 +516,13 @@ impl LogService {
             // final address is only known afterwards.
             let in_open =
                 vol_idx == st.active_index && st.open.as_ref().is_some_and(|ob| ob.db == db);
-            if let Some(final_db) = self.persist_open(&mut st)? {
+            if let Some(final_db) = self.persist_open(st)? {
                 if in_open {
                     addr.block = clio_types::BlockNo(final_db);
                 }
             }
         }
-        self.drain_badblocks(&mut st)?;
+        self.drain_badblocks(st)?;
         Ok(Receipt {
             addr,
             timestamp: now,
@@ -424,19 +538,25 @@ impl LogService {
     /// Forces any buffered entries to stable storage (§2.3.1).
     pub fn flush(&self) -> Result<()> {
         let mut st = self.state.lock();
-        self.persist_open(&mut st)?;
-        self.drain_badblocks(&mut st)?;
-        Ok(())
+        let r = (|| {
+            self.persist_open(&mut st)?;
+            self.drain_badblocks(&mut st)
+        })();
+        self.publish_view(&st);
+        r
     }
 
     /// Seals the open block outright (used by tests and volume hygiene).
     pub fn seal_current_block(&self) -> Result<()> {
         let mut st = self.state.lock();
-        if st.open.is_some() {
-            self.seal_open(&mut st)?;
-        }
-        self.drain_badblocks(&mut st)?;
-        Ok(())
+        let r = (|| {
+            if st.open.is_some() {
+                self.seal_open(&mut st)?;
+            }
+            self.drain_badblocks(&mut st)
+        })();
+        self.publish_view(&st);
+        r
     }
 
     /// The space-overhead report (§3.5).

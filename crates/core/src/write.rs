@@ -52,17 +52,19 @@ impl LogService {
         // device after a crash).
         let idx = st.active_index as usize;
         let pending = st.emap.pending().clone();
-        while st.sealed_pendings.len() < idx {
-            st.sealed_pendings
-                .push(clio_entrymap::PendingMaps::new(pending.geometry()));
+        // Copy-on-write: snapshots holding the old Vec are unaffected.
+        let sealed = std::sync::Arc::make_mut(&mut st.sealed_pendings);
+        while sealed.len() < idx {
+            sealed.push(clio_entrymap::PendingMaps::new(pending.geometry()));
         }
-        st.sealed_pendings.push(pending);
+        sealed.push(pending);
         debug_assert_eq!(st.sealed_pendings.len(), idx + 1);
 
         let now = self.clock.now();
         self.seq.extend(now)?;
         st.active_index += 1;
         st.emap = clio_entrymap::EntrymapWriter::new(Geometry::new(usize::from(self.cfg.fanout)));
+        st.pending_snap = std::sync::Arc::new(st.emap.pending().clone());
         // Displaced maps belong to the finished volume's tree; they live on
         // in its preserved pending state, not on the new volume.
         st.carryover.clear();
@@ -255,6 +257,14 @@ impl LogService {
     /// Seals the open block onto the medium, verifying and re-placing it on
     /// corruption (§2.3.2). Returns the data block it finally landed on.
     pub(crate) fn seal_open(&self, st: &mut State) -> Result<u64> {
+        let r = self.seal_open_inner(st);
+        // The seal noted blocks in the entrymap writer; refresh the frozen
+        // pending clone that read snapshots share.
+        st.pending_snap = std::sync::Arc::new(st.emap.pending().clone());
+        r
+    }
+
+    fn seal_open_inner(&self, st: &mut State) -> Result<u64> {
         let mut ob = st
             .open
             .take()

@@ -36,6 +36,10 @@ run cargo build --release --offline --workspace
 run cargo test -q --offline --workspace
 run cargo test -q --offline --workspace -- --include-ignored
 
+# The concurrency stress tests race real threads; run them optimized so
+# the schedules they exercise resemble production interleavings.
+run cargo test -q --release --offline -p clio-core --test concurrent_reads
+
 # Smoke the machine-readable bench output: one harness with --json must
 # emit a file the in-tree decoder accepts.
 smoke_dir=$(mktemp -d)
@@ -48,5 +52,15 @@ run cargo build --release --offline -p clio-obs --bin clio_json_check
     exit 1
 }
 run ./target/release/clio_json_check "$smoke_dir/BENCH_fig2_tree.json"
+
+# Smoke the concurrent-read scaling harness: a shrunk run must complete
+# and emit valid JSON (scaling numbers themselves are host-dependent).
+run cargo build --release --offline -p clio-bench --bin conc_read
+(cd "$smoke_dir" && run "$OLDPWD"/target/release/conc_read --json --quick > /dev/null)
+[ -f "$smoke_dir/BENCH_conc_read.json" ] || {
+    echo "error: conc_read --json did not write BENCH_conc_read.json" >&2
+    exit 1
+}
+run ./target/release/clio_json_check "$smoke_dir/BENCH_conc_read.json"
 
 echo "ci: all green"
