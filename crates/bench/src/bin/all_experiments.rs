@@ -22,6 +22,7 @@ fn main() {
         "mot_fs",
         "sec4_hbfs",
         "conc_read",
+        "group_commit",
     ];
     let mut failures = 0;
     for bin in bins {

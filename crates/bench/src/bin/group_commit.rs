@@ -1,0 +1,187 @@
+//! Group-commit coalescing: forced-append cost under 1/2/4/8 concurrent
+//! appender threads, with and without the group-commit pipeline.
+//!
+//! Forced appends are the expensive operation of §2.3.1: each one must
+//! reach stable storage before it is acknowledged. The group-commit
+//! pipeline stages entries under a short lock and lets the first forced
+//! waiter become a *leader* that dallies briefly (`commit_wait_us`),
+//! drains every sealed block staged meanwhile in one vectored device
+//! write, and wakes the covered followers. The headline number is
+//! **appends per device write**: the legacy path pays one device write
+//! per forced append (ratio ~= 1.0); with group commit, concurrent
+//! appenders share writes, so the ratio should exceed 1.5 at 4 threads.
+//!
+//! Flags: `--json` writes `BENCH_group_commit.json`; `--quick` shrinks
+//! the workload for CI smoke runs.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use clio_bench::report::Report;
+use clio_bench::table;
+use clio_core::service::{AppendOpts, LogService};
+use clio_core::ServiceConfig;
+use clio_obs::{MetricValue, MetricsRegistry};
+use clio_types::{ManualClock, Timestamp, VolumeSeqId};
+use clio_volume::MemDevicePool;
+
+fn counter(reg: &MetricsRegistry, name: &str) -> u64 {
+    for s in reg.gather() {
+        if s.name == name {
+            if let MetricValue::Counter(v) = s.value {
+                return v;
+            }
+        }
+    }
+    0
+}
+
+struct RoundResult {
+    appends: u64,
+    device_writes: u64,
+    secs: f64,
+    writes_saved: u64,
+    batches: u64,
+}
+
+/// One measured round: `threads` appenders each issue `ops` forced
+/// appends to their own log file on a fresh in-memory service.
+fn run_round(threads: usize, ops: u64, group: bool) -> RoundResult {
+    let cfg = ServiceConfig {
+        trace_events: 0, // the trace ring is a mutex; keep the hot path atomic-only
+        commit_wait_us: 300,
+        ..ServiceConfig::default()
+    }
+    .with_group_commit(group);
+    let svc = Arc::new(
+        LogService::create(
+            VolumeSeqId(1),
+            Arc::new(MemDevicePool::new(cfg.block_size, 1 << 16)),
+            cfg,
+            Arc::new(ManualClock::starting_at(Timestamp::from_secs(1))),
+        )
+        .expect("create service"),
+    );
+    for t in 0..threads {
+        svc.create_log(&format!("/gc{t}")).expect("create log");
+    }
+    svc.flush().expect("flush setup");
+
+    let before = svc.obs().device_stats.snapshot();
+    let saved_before = counter(svc.metrics(), "clio_core_forced_writes_saved_total");
+    let batches_before = counter(svc.metrics(), "clio_core_group_commit_batches_total");
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let svc = svc.clone();
+        let barrier = barrier.clone();
+        handles.push(std::thread::spawn(move || {
+            let id = svc.resolve(&format!("/gc{t}")).expect("resolve");
+            let payload = [t as u8; 48];
+            barrier.wait();
+            for _ in 0..ops {
+                svc.append(id, &payload, AppendOpts::forced())
+                    .expect("forced append");
+            }
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("appender thread");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let after = svc.obs().device_stats.snapshot();
+    RoundResult {
+        appends: threads as u64 * ops,
+        device_writes: after.write_ops().saturating_sub(before.write_ops()),
+        secs,
+        writes_saved: counter(svc.metrics(), "clio_core_forced_writes_saved_total")
+            .saturating_sub(saved_before),
+        batches: counter(svc.metrics(), "clio_core_group_commit_batches_total")
+            .saturating_sub(batches_before),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut report = Report::new(
+        "group_commit",
+        "Group commit — forced appends coalesced into vectored device writes",
+    );
+
+    let ops: u64 = if quick { 200 } else { 2_000 };
+    let thread_counts: &[usize] = &[1, 2, 4, 8];
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    println!("Group-commit coalescing — {ops} forced appends/thread, commit dally 300us");
+    println!("(in-memory device pool: the ratio isolates write *count*, not media latency)");
+    println!(
+        "host parallelism: {cores} core(s) — batching needs appenders overlapping in time; \
+         the leader's dally admits followers even on one core\n"
+    );
+
+    let header = [
+        "threads",
+        "mode",
+        "appends",
+        "device writes",
+        "appends/write",
+        "saved",
+        "batches",
+        "elapsed (ms)",
+    ];
+    let mut rows = Vec::new();
+    let mut group_ratio_4t = 0.0f64;
+    let mut legacy_ratio_4t = 0.0f64;
+    let mut saved_4t = 0u64;
+    for &t in thread_counts {
+        for group in [true, false] {
+            let r = run_round(t, ops, group);
+            let ratio = r.appends as f64 / r.device_writes.max(1) as f64;
+            if t == 4 && group {
+                group_ratio_4t = ratio;
+                saved_4t = r.writes_saved;
+            }
+            if t == 4 && !group {
+                legacy_ratio_4t = ratio;
+            }
+            let mode = if group { "group" } else { "legacy" };
+            report.scalar(&format!("appends_per_device_write_{t}t_{mode}"), ratio);
+            report.scalar(&format!("forced_writes_saved_{t}t_{mode}"), r.writes_saved);
+            rows.push(vec![
+                format!("{t}"),
+                mode.to_owned(),
+                format!("{}", r.appends),
+                format!("{}", r.device_writes),
+                format!("{ratio:.2}"),
+                format!("{}", r.writes_saved),
+                format!("{}", r.batches),
+                format!("{:.1}", r.secs * 1e3),
+            ]);
+        }
+    }
+    print!("{}", table::render(&header, &rows));
+
+    report.scalar("ops_per_thread", ops);
+    report.scalar("host_cores", cores as u64);
+    report.scalar("commit_wait_us", 300u64);
+    report.table("coalescing", &header, &rows);
+    report.note(
+        "appends/write is the headline: the legacy path pays ~1 device write per forced \
+         append; group commit lets concurrent forced appenders share one vectored write, \
+         so the ratio grows with thread count (4 threads should exceed 1.5).",
+    );
+    report.note(
+        "On a 1-core container the appenders still overlap — a follower only needs to \
+         stage its entry during the leader's 300us dally — but scheduling jitter makes \
+         the ratio noisier than on a multi-core host.",
+    );
+    report.emit();
+
+    println!(
+        "\n4-thread appends per device write: {group_ratio_4t:.2} with group commit \
+         ({saved_4t} forced writes saved) vs {legacy_ratio_4t:.2} legacy"
+    );
+}

@@ -27,6 +27,20 @@ pub struct ServiceConfig {
     pub unique_id_skew_us: u64,
     /// Capacity of the per-service op trace ring (0 disables tracing).
     pub trace_events: usize,
+    /// Group commit (§2.3.1 spirit, Hagmann-style): sealed blocks are
+    /// queued in memory and forced appends coalesce into one vectored
+    /// device write under a leader/follower protocol. Off restores the
+    /// legacy one-device-write-per-forced-append path for A/B runs.
+    /// `Default` honours the `CLIO_GROUP_COMMIT` environment variable
+    /// (`0` = off) so test suites can A/B without code changes.
+    pub group_commit: bool,
+    /// Largest number of blocks one vectored commit write may carry;
+    /// longer sealed queues drain in several writes.
+    pub max_batch_blocks: usize,
+    /// How long (µs) a commit leader dallies before writing, so forced
+    /// appends arriving nearly together share its batch. `0` commits
+    /// immediately (batching then comes only from genuine concurrency).
+    pub commit_wait_us: u64,
 }
 
 impl Default for ServiceConfig {
@@ -39,6 +53,9 @@ impl Default for ServiceConfig {
             verify_appends: false,
             unique_id_skew_us: 5_000_000,
             trace_events: 512,
+            group_commit: std::env::var("CLIO_GROUP_COMMIT").map_or(true, |v| v != "0"),
+            max_batch_blocks: 64,
+            commit_wait_us: 0,
         }
     }
 }
@@ -69,6 +86,14 @@ impl ServiceConfig {
         self.cache_shards = shards;
         self
     }
+
+    /// Enables or disables group commit (see
+    /// [`ServiceConfig::group_commit`]).
+    #[must_use]
+    pub fn with_group_commit(mut self, on: bool) -> ServiceConfig {
+        self.group_commit = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +108,9 @@ mod tests {
         assert!(!c.verify_appends);
         assert_eq!(c.cache_shards, 8);
         assert_eq!(ServiceConfig::small().with_cache_shards(1).cache_shards, 1);
+        assert_eq!(c.max_batch_blocks, 64);
+        assert_eq!(c.commit_wait_us, 0);
+        assert!(!ServiceConfig::small().with_group_commit(false).group_commit);
         assert!(
             ServiceConfig::small()
                 .with_verified_appends()

@@ -45,6 +45,10 @@ pub struct ServiceObs {
     locates: Arc<Counter>,
     creates: Arc<Counter>,
     view_publishes: Arc<Counter>,
+    group_commit_batches: Arc<Counter>,
+    forced_writes_saved: Arc<Counter>,
+    /// Blocks written per group-commit batch (log2 buckets).
+    pub group_commit_batch_blocks: Arc<Histogram>,
 }
 
 impl ServiceObs {
@@ -70,6 +74,9 @@ impl ServiceObs {
             locates: registry.counter("clio_core_locates_total"),
             creates: registry.counter("clio_core_creates_total"),
             view_publishes: registry.counter("clio_core_view_publishes_total"),
+            group_commit_batches: registry.counter("clio_core_group_commit_batches_total"),
+            forced_writes_saved: registry.counter("clio_core_forced_writes_saved_total"),
+            group_commit_batch_blocks: registry.histogram("clio_core_group_commit_batch_blocks"),
             registry,
         })
     }
@@ -154,6 +161,20 @@ impl ServiceObs {
     /// mutating op republishes, so this tracks snapshot churn).
     pub fn note_view_publish(&self) {
         self.view_publishes.inc();
+    }
+
+    /// Records one group-commit batch: how many blocks it wrote, how many
+    /// staged forced appends it covered, and how many physical device
+    /// writes it took. "Writes saved" is the forced appends covered beyond
+    /// the device writes the batch actually issued (a lone forced append
+    /// commits with one write, saving nothing — exactly the legacy cost).
+    pub fn note_group_commit(&self, blocks: u64, forced_covered: u64, device_writes: u64) {
+        self.group_commit_batches.inc();
+        self.group_commit_batch_blocks.record(blocks);
+        let saved = forced_covered.saturating_sub(device_writes.max(1));
+        if saved > 0 {
+            self.forced_writes_saved.add(saved);
+        }
     }
 
     /// Registers the shared block cache's counters.

@@ -60,6 +60,10 @@ impl Entry {
 pub(crate) struct VolSource {
     vol: Arc<Volume>,
     open: Option<(u64, Arc<Vec<u8>>)>,
+    /// Blocks sealed in memory but not yet written to the device (the
+    /// snapshot's group-commit queue), ordered by data block. Served like
+    /// sealed blocks; they sit past the device watermark.
+    queued: Vec<(u64, Arc<Vec<u8>>)>,
     /// The snapshot's sealed-data watermark for the active volume; sealed
     /// volumes read their (final, immutable) device value instead.
     watermark: Option<u64>,
@@ -82,10 +86,13 @@ impl BlockSource for VolSource {
     }
 
     fn data_end(&self) -> u64 {
-        let dev = self.watermark.unwrap_or_else(|| self.vol.data_end());
+        let mut end = self.watermark.unwrap_or_else(|| self.vol.data_end());
+        if let Some((db, _)) = self.queued.last() {
+            end = end.max(db + 1);
+        }
         match &self.open {
-            Some((db, _)) => dev.max(db + 1),
-            None => dev,
+            Some((db, _)) => end.max(db + 1),
+            None => end,
         }
     }
 
@@ -94,6 +101,9 @@ impl BlockSource for VolSource {
             if *odb == db {
                 return Ok(img.clone());
             }
+        }
+        if let Ok(i) = self.queued.binary_search_by_key(&db, |(qdb, _)| *qdb) {
+            return Ok(self.queued[i].1.clone());
         }
         self.vol.read_data_block(db)
     }
@@ -104,14 +114,19 @@ impl LogService {
     /// block when the volume is active.
     pub(crate) fn source_for(&self, view: &ReadView, vol_idx: u32) -> Result<VolSource> {
         let vol = self.seq.volume(vol_idx)?;
-        let (open, watermark) = if vol_idx == view.active_index {
-            (view.open.clone(), Some(view.active_data_end))
+        let (open, queued, watermark) = if vol_idx == view.active_index {
+            (
+                view.open.clone(),
+                view.queued.clone(),
+                Some(view.active_data_end),
+            )
         } else {
-            (None, None)
+            (None, Vec::new(), None)
         };
         Ok(VolSource {
             vol,
             open,
+            queued,
             watermark,
             fanout: usize::from(self.cfg.fanout),
         })

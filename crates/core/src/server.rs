@@ -38,6 +38,16 @@ pub enum Request {
         /// Client sequence number for async unique identification (§2.1).
         seqno: Option<SeqNo>,
     },
+    /// Append one entry to each of several log files in a single round
+    /// trip; the reply carries every receipt. A forced batch pays one
+    /// durability point for all items (one group commit, or one device
+    /// write on the legacy path).
+    AppendBatch {
+        /// `(path, payload)` per entry, appended in order.
+        items: Vec<(String, Vec<u8>)>,
+        /// Synchronous (forced) write covering the whole batch — §2.3.1.
+        forced: bool,
+    },
     /// Read up to `max` entries at or after `from`.
     ReadFrom {
         /// Log file path (sublogs included).
@@ -94,6 +104,8 @@ pub enum Response {
     Created(LogFileId),
     /// An entry was appended.
     Appended(Receipt),
+    /// A batch was appended; one receipt per item, in order.
+    Receipts(Vec<Receipt>),
     /// Entries read.
     Entries(Vec<Entry>),
     /// Sublog names.
@@ -113,6 +125,17 @@ impl Response {
     pub fn receipt(self) -> Result<Receipt> {
         match self {
             Response::Appended(r) => Ok(r),
+            Response::Fail(e) => Err(e),
+            other => Err(ClioError::Internal(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Unwraps a batch-append response.
+    pub fn receipts(self) -> Result<Vec<Receipt>> {
+        match self {
+            Response::Receipts(v) => Ok(v),
             Response::Fail(e) => Err(e),
             other => Err(ClioError::Internal(format!(
                 "unexpected response {other:?}"
@@ -240,6 +263,16 @@ impl ClioClient {
         .receipt()
     }
 
+    /// Convenience: appends to many log files in one round trip, one
+    /// receipt per item.
+    pub fn append_batch(
+        &self,
+        items: Vec<(String, Vec<u8>)>,
+        forced: bool,
+    ) -> Result<Vec<Receipt>> {
+        self.call(Request::AppendBatch { items, forced }).receipts()
+    }
+
     /// Convenience: the server's metrics in the Prometheus-style text
     /// format.
     pub fn stats_text(&self) -> Result<String> {
@@ -275,6 +308,21 @@ fn handle_request(svc: &LogService, req: Request) -> Response {
             };
             match svc.append_path(&path, &data, opts) {
                 Ok(r) => Response::Appended(r),
+                Err(e) => Response::Fail(e),
+            }
+        }
+        Request::AppendBatch { items, forced } => {
+            let opts = AppendOpts {
+                durability: if forced {
+                    Durability::Forced
+                } else {
+                    Durability::Buffered
+                },
+                timestamped: true,
+                seqno: None,
+            };
+            match svc.append_batch(&items, opts) {
+                Ok(v) => Response::Receipts(v),
                 Err(e) => Response::Fail(e),
             }
         }

@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use clio_testkit::sync::{ArcCell, Mutex};
+use clio_testkit::sync::{ArcCell, Condvar, Mutex};
 
 use clio_cache::BlockCache;
 use clio_entrymap::{EntrymapWriter, Geometry, PendingMaps};
@@ -108,6 +108,18 @@ pub(crate) struct OpenBlock {
     pub staged: bool,
 }
 
+/// A block sealed in memory but not yet written to the device — the
+/// *seal* stage of the group-commit pipeline. Queued images are shared
+/// into read snapshots (so readers see them immediately) and drained onto
+/// the medium in one vectored write by the next commit.
+#[derive(Clone)]
+pub(crate) struct SealedBlock {
+    /// The data block this image will occupy.
+    pub db: u64,
+    /// The finished block image.
+    pub image: Arc<Vec<u8>>,
+}
+
 /// All append-side service state, guarded by one lock. Reads never touch
 /// this — they run against the published [`ReadView`] snapshot.
 ///
@@ -131,6 +143,16 @@ pub(crate) struct State {
     /// Invalidated blocks awaiting a bad-block log record.
     pub pending_badblocks: Vec<u64>,
     pub stats: SpaceStats,
+    /// Blocks sealed in memory, awaiting the next commit's vectored write
+    /// (group commit only; always empty on the legacy path). Ordered by
+    /// `db`, contiguous from the active volume's device end.
+    pub sealed_queue: Vec<SealedBlock>,
+    /// Forced appends staged since the last commit — what the commit
+    /// "covers", for the forced-writes-saved metric.
+    pub staged_forced: u64,
+    /// Monotone commit sequence: bumped once per staged forced append (or
+    /// forced batch); a commit makes every seq up to its snapshot durable.
+    pub forced_seq: u64,
 }
 
 /// An immutable snapshot of everything the read path needs, published
@@ -151,6 +173,28 @@ pub(crate) struct ReadView {
     pub active_data_end: u64,
     /// Frozen image of the non-empty open block, if any.
     pub open: Option<(u64, Arc<Vec<u8>>)>,
+    /// Images of blocks sealed in memory but not yet on the device
+    /// (group-commit queue), ordered by data block. Readers serve these
+    /// exactly like sealed device blocks.
+    pub queued: Vec<(u64, Arc<Vec<u8>>)>,
+}
+
+/// The leader/follower commit gate. A forced appender stages its entry
+/// under the state lock, then waits here: the first waiter to find no
+/// commit in flight becomes the *leader*, (optionally) dallies
+/// `commit_wait_us`, drains the sealed queue plus the partial block in one
+/// vectored device write, advances `committed` to the commit-seq snapshot,
+/// and wakes every follower whose sequence number it covered.
+pub(crate) struct CommitGate {
+    pub m: Mutex<CommitClock>,
+    pub cv: Condvar,
+}
+
+pub(crate) struct CommitClock {
+    /// Highest forced-append sequence number made durable so far.
+    pub committed: u64,
+    /// Whether a leader is currently writing.
+    pub committing: bool,
 }
 
 /// The Clio log service.
@@ -191,6 +235,8 @@ pub struct LogService {
     pub(crate) state: Mutex<State>,
     /// The current read snapshot; reads `get` it and never lock `state`.
     pub(crate) view: ArcCell<ReadView>,
+    /// Group-commit leader election and completion signalling.
+    pub(crate) commit: CommitGate,
 }
 
 impl LogService {
@@ -253,6 +299,7 @@ impl LogService {
             active_pending: pending_snap.clone(),
             active_data_end: active.data_end(),
             open: None,
+            queued: Vec::new(),
         }));
         LogService {
             seq,
@@ -269,9 +316,27 @@ impl LogService {
                 carryover: Vec::new(),
                 pending_badblocks: Vec::new(),
                 stats: SpaceStats::default(),
+                sealed_queue: Vec::new(),
+                staged_forced: 0,
+                forced_seq: 0,
             }),
             view,
+            commit: CommitGate {
+                m: Mutex::new(CommitClock {
+                    committed: 0,
+                    committing: false,
+                }),
+                cv: Condvar::new(),
+            },
         }
+    }
+
+    /// Whether the group-commit pipeline is in effect. Verified appends
+    /// are incompatible with deferred batch writes (verification re-places
+    /// a block *before* its address is acknowledged, which a queued seal
+    /// cannot do), so `verify_appends` forces the legacy path.
+    pub(crate) fn group_commit_on(&self) -> bool {
+        self.cfg.group_commit && !self.cfg.verify_appends
     }
 
     /// Publishes a fresh [`ReadView`] from the current append-side state.
@@ -288,6 +353,11 @@ impl LogService {
             .volume(st.active_index)
             .map(|v| v.data_end())
             .unwrap_or(0);
+        let queued = st
+            .sealed_queue
+            .iter()
+            .map(|b| (b.db, b.image.clone()))
+            .collect();
         self.view.set(Arc::new(ReadView {
             catalog: st.catalog.clone(),
             sealed_pendings: st.sealed_pendings.clone(),
@@ -295,6 +365,7 @@ impl LogService {
             active_pending: st.pending_snap.clone(),
             active_data_end,
             open,
+            queued,
         }));
         self.obs.note_view_publish();
     }
@@ -469,12 +540,72 @@ impl LogService {
     }
 
     fn append_inner(&self, id: LogFileId, data: &[u8], opts: AppendOpts) -> Result<Receipt> {
-        let mut st = self.state.lock();
-        let r = self.append_locked(&mut st, id, data, opts);
-        // Republish even on failure: a failed append may still have sealed
-        // blocks (fragmentation) the snapshot should reflect.
-        self.publish_view(&st);
-        r
+        let group_forced = self.group_commit_on() && matches!(opts.durability, Durability::Forced);
+        // Stage: encode the entry into the open block under the (short)
+        // state lock. A group-mode forced append defers both the device
+        // write and the snapshot republish to the commit leader.
+        let (r, my_seq) = {
+            let mut st = self.state.lock();
+            let r = self.append_locked(&mut st, id, data, opts);
+            let seq = st.forced_seq;
+            // Republish even on failure: a failed append may still have
+            // sealed blocks (fragmentation) the snapshot should reflect.
+            if !(group_forced && r.is_ok()) {
+                self.publish_view(&st);
+            }
+            (r, seq)
+        };
+        let receipt = r?;
+        if group_forced {
+            // Commit: wait for a leader to make our sequence number
+            // durable, or become the leader ourselves.
+            self.commit_wait(my_seq)?;
+        }
+        Ok(receipt)
+    }
+
+    /// Leader/follower commit. Blocks until every forced append staged at
+    /// or before `my_seq` is durable. The first waiter that finds no
+    /// commit in flight becomes the leader: it drains the sealed queue and
+    /// the current partial block in one batched device write, advances the
+    /// committed watermark to the staging sequence it observed, and wakes
+    /// all followers it covered.
+    fn commit_wait(&self, my_seq: u64) -> Result<()> {
+        loop {
+            let mut gate = self.commit.m.lock();
+            if gate.committed >= my_seq {
+                return Ok(());
+            }
+            if gate.committing {
+                // Follow: a leader is writing; its batch may cover us.
+                drop(self.commit.cv.wait(gate));
+                continue;
+            }
+            gate.committing = true;
+            drop(gate);
+            // Lead. Dally (with no lock held) so forced appends arriving
+            // nearly together can join this batch.
+            if self.cfg.commit_wait_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(self.cfg.commit_wait_us));
+            }
+            let (result, target) = {
+                let mut st = self.state.lock();
+                let target = st.forced_seq;
+                let r = self.commit_locked(&mut st);
+                // Publish once per batch: every follower's entries become
+                // visible (and durable) with this single republish.
+                self.publish_view(&st);
+                (r, target)
+            };
+            let mut gate = self.commit.m.lock();
+            if result.is_ok() {
+                gate.committed = gate.committed.max(target);
+            }
+            gate.committing = false;
+            drop(gate);
+            self.commit.cv.notify_all();
+            result?;
+        }
     }
 
     fn append_locked(
@@ -511,14 +642,22 @@ impl LogService {
         let (vol_idx, db, slot) = self.push_record(st, header, data, true)?;
         let mut addr = EntryAddr::new(vol_idx, clio_types::BlockNo(db), slot);
         if matches!(opts.durability, Durability::Forced) {
-            // If the entry sits in the still-open block, persisting may
-            // move that block (verification failures re-place it), so the
-            // final address is only known afterwards.
-            let in_open =
-                vol_idx == st.active_index && st.open.as_ref().is_some_and(|ob| ob.db == db);
-            if let Some(final_db) = self.persist_open(st)? {
-                if in_open {
-                    addr.block = clio_types::BlockNo(final_db);
+            if self.group_commit_on() {
+                // Group mode: only *stage* here; the device write happens
+                // in commit_wait, batched with other forced appends. The
+                // address is final (no verification re-placement).
+                st.forced_seq += 1;
+                st.staged_forced += 1;
+            } else {
+                // If the entry sits in the still-open block, persisting may
+                // move that block (verification failures re-place it), so
+                // the final address is only known afterwards.
+                let in_open =
+                    vol_idx == st.active_index && st.open.as_ref().is_some_and(|ob| ob.db == db);
+                if let Some(final_db) = self.persist_open(st)? {
+                    if in_open {
+                        addr.block = clio_types::BlockNo(final_db);
+                    }
                 }
             }
         }
@@ -536,10 +675,14 @@ impl LogService {
     }
 
     /// Forces any buffered entries to stable storage (§2.3.1).
+    ///
+    /// Always republishes the read snapshot, even when the open block is
+    /// empty: draining queued sealed blocks advances the device watermark,
+    /// which the snapshot must reflect.
     pub fn flush(&self) -> Result<()> {
         let mut st = self.state.lock();
         let r = (|| {
-            self.persist_open(&mut st)?;
+            self.persist_all(&mut st)?;
             self.drain_badblocks(&mut st)
         })();
         self.publish_view(&st);
@@ -547,16 +690,76 @@ impl LogService {
     }
 
     /// Seals the open block outright (used by tests and volume hygiene).
+    /// Also drains the sealed queue so the seal lands on the device.
     pub fn seal_current_block(&self) -> Result<()> {
         let mut st = self.state.lock();
         let r = (|| {
             if st.open.is_some() {
                 self.seal_open(&mut st)?;
             }
+            self.write_sealed_queue(&mut st)?;
             self.drain_badblocks(&mut st)
         })();
         self.publish_view(&st);
         r
+    }
+
+    /// Appends one entry per `(path, payload)` item, replying with all
+    /// receipts. Entries are staged under a single state-lock hold, and a
+    /// forced batch pays for **one** durability point covering every item
+    /// (one commit in group mode, one `persist_open` on the legacy path)
+    /// instead of one per entry.
+    ///
+    /// On error, entries staged before the failing item remain buffered
+    /// (they are not rolled back); none of them have been forced.
+    pub fn append_batch(
+        &self,
+        items: &[(String, Vec<u8>)],
+        opts: AppendOpts,
+    ) -> Result<Vec<Receipt>> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let start = std::time::Instant::now();
+        let group_forced = self.group_commit_on() && matches!(opts.durability, Durability::Forced);
+        let mut noted: Vec<LogFileId> = Vec::with_capacity(items.len());
+        let (r, my_seq) = {
+            let mut st = self.state.lock();
+            let r: Result<Vec<Receipt>> = (|| {
+                let mut receipts = Vec::with_capacity(items.len());
+                let staged_opts = AppendOpts {
+                    durability: Durability::Buffered,
+                    ..opts
+                };
+                for (path, data) in items {
+                    let id = st.catalog.resolve(path)?;
+                    noted.push(id);
+                    receipts.push(self.append_locked(&mut st, id, data, staged_opts)?);
+                }
+                if matches!(opts.durability, Durability::Forced) {
+                    if self.group_commit_on() {
+                        st.forced_seq += 1;
+                        st.staged_forced += items.len() as u64;
+                    } else {
+                        self.persist_open(&mut st)?;
+                    }
+                }
+                Ok(receipts)
+            })();
+            let seq = st.forced_seq;
+            if !(group_forced && r.is_ok()) {
+                self.publish_view(&st);
+            }
+            (r, seq)
+        };
+        for id in &noted {
+            self.obs.note_append(*id, 0, start.elapsed(), r.is_ok());
+        }
+        let receipts = r?;
+        if group_forced {
+            self.commit_wait(my_seq)?;
+        }
+        Ok(receipts)
     }
 
     /// The space-overhead report (§3.5).
@@ -609,7 +812,10 @@ impl LogService {
         let now = self.clock.now();
         let header = EntryHeader::new(LogFileId::CATALOG, EntryForm::Timestamped, Some(now), None);
         self.push_record(st, header, &rec.encode(), false)?;
-        self.persist_open(st)?;
+        // Committed directly under the state lock (not through the gate):
+        // catalog changes are rare and already serialized with any commit
+        // leader by the lock itself.
+        self.persist_all(st)?;
         Ok(())
     }
 }

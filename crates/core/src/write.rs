@@ -10,7 +10,7 @@ use clio_format::{
 };
 use clio_types::{BlockNo, ClioError, LogFileId, Result};
 
-use crate::service::{LogService, OpenBlock, State};
+use crate::service::{LogService, OpenBlock, SealedBlock, State};
 use crate::stats::SpaceStats;
 
 /// Bound on seal retries after append-verification failures; repeated
@@ -46,6 +46,9 @@ impl LogService {
         if st.open.is_some() {
             self.seal_open(st)?;
         }
+        // The sealed queue belongs to the finishing volume; drain it onto
+        // that volume's medium before the successor takes over.
+        self.write_sealed_queue(st)?;
         // Preserve the finished volume's pending maps: its final groups
         // have no on-device maps (there is no block after them to carry
         // one), so searches need this in-memory state (rebuilt from the
@@ -84,7 +87,12 @@ impl LogService {
         debug_assert!(st.open.is_none(), "open_block_at with a block already open");
         let vol = self.seq.volume(st.active_index)?;
         loop {
-            let db = vol.data_end();
+            // The next fresh block sits past any queued (sealed-in-memory)
+            // blocks, which the device end does not yet reflect.
+            let db = st
+                .sealed_queue
+                .last()
+                .map_or_else(|| vol.data_end(), |b| b.db + 1);
             if db >= vol.data_capacity() {
                 return self.switch_volume(st);
             }
@@ -129,7 +137,14 @@ impl LogService {
                 max: (vol.data_capacity() as usize).saturating_mul(usable),
             });
         }
-        let current = st.open.as_ref().map_or(vol.data_end(), |ob| ob.db);
+        let current = st.open.as_ref().map_or_else(
+            || {
+                st.sealed_queue
+                    .last()
+                    .map_or_else(|| vol.data_end(), |b| b.db + 1)
+            },
+            |ob| ob.db,
+        );
         if current + blocks_needed > vol.data_capacity() {
             self.switch_volume(st)?;
         }
@@ -265,6 +280,9 @@ impl LogService {
     }
 
     fn seal_open_inner(&self, st: &mut State) -> Result<u64> {
+        if self.group_commit_on() {
+            return self.seal_open_queued(st);
+        }
         let mut ob = st
             .open
             .take()
@@ -321,6 +339,125 @@ impl LogService {
         st.emap.note_block(db, ob.ids.iter().copied());
         st.stats.note_sealed_block(padding, TRAILER_SIZE);
         Ok(db)
+    }
+
+    /// Group-commit seal: finishes the open block into the in-memory
+    /// sealed queue without touching the device. The entrymap and space
+    /// accounting advance exactly as for a device seal; the next commit's
+    /// batched write (or a flush/volume switch) lands it on the medium.
+    /// The block's address is final — group commit never runs with append
+    /// verification, so there is no re-placement.
+    fn seal_open_queued(&self, st: &mut State) -> Result<u64> {
+        let ob = st
+            .open
+            .take()
+            .ok_or_else(|| ClioError::Internal("seal with no open block".into()))?;
+        let img = ob.builder.finish();
+        let padding = self.cfg.block_size
+            - TRAILER_SIZE
+            - 2 * usize::from(ob.builder.count())
+            - ob.builder.data_len();
+        let db = ob.db;
+        st.sealed_queue.push(SealedBlock {
+            db,
+            image: std::sync::Arc::new(img),
+        });
+        st.emap.note_block(db, ob.ids.iter().copied());
+        st.stats.note_sealed_block(padding, TRAILER_SIZE);
+        Ok(db)
+    }
+
+    /// Drains the sealed queue onto the active volume in vectored writes of
+    /// at most `max_batch_blocks` blocks each. Returns `(device_writes,
+    /// blocks_written)`. On a device error the unwritten suffix (as
+    /// resynchronised from the device end) is re-queued, so a later commit
+    /// or flush retries it.
+    pub(crate) fn write_sealed_queue(&self, st: &mut State) -> Result<(u64, u64)> {
+        if st.sealed_queue.is_empty() {
+            return Ok((0, 0));
+        }
+        let vol = self.seq.volume(st.active_index)?;
+        let queue = std::mem::take(&mut st.sealed_queue);
+        let total = queue.len() as u64;
+        let chunk_blocks = self.cfg.max_batch_blocks.max(1);
+        let mut writes = 0u64;
+        let mut written = 0usize;
+        for chunk in queue.chunks(chunk_blocks) {
+            let first_db = chunk[0].db;
+            let images: Vec<std::sync::Arc<Vec<u8>>> =
+                chunk.iter().map(|b| b.image.clone()).collect();
+            if let Err(e) = vol.append_data_blocks(first_db, &images) {
+                // Torn batch: the volume resynchronised its end to what
+                // actually landed. (On a tail-staging device the end can
+                // overshoot by the staged block; in-tree pools never stack
+                // a tail over a tearing device.)
+                let landed = vol
+                    .data_end()
+                    .saturating_sub(first_db)
+                    .min(chunk.len() as u64) as usize;
+                st.sealed_queue = queue[written + landed..].to_vec();
+                return Err(e);
+            }
+            writes += 1;
+            written += chunk.len();
+        }
+        Ok((writes, total))
+    }
+
+    /// The commit stage of the group-commit pipeline (state lock held):
+    /// stages the current partial block (NV tail rewrite where supported,
+    /// early seal otherwise), drains the sealed queue in batched writes,
+    /// and records the batch metrics. On error the covered forced count is
+    /// restored so a retrying leader accounts for the same appends.
+    pub(crate) fn commit_locked(&self, st: &mut State) -> Result<()> {
+        let covered = std::mem::take(&mut st.staged_forced);
+        let vol = self.seq.volume(st.active_index)?;
+        let mut tail_stage = None;
+        if let Some(ob) = st.open.as_mut() {
+            if vol.supports_tail_rewrite() {
+                tail_stage = Some((ob.db, ob.builder.finish()));
+            } else if !ob.builder.is_empty() {
+                ob.builder.flags_mut().sealed_early = true;
+                self.seal_open(st)?;
+            }
+        }
+        // Queue first, tail second: the tail rewrite targets the block
+        // right after the queued ones, and the device only accepts a tail
+        // at its write-once end.
+        let (writes, blocks) = match self.write_sealed_queue(st) {
+            Ok(x) => x,
+            Err(e) => {
+                st.staged_forced += covered;
+                return Err(e);
+            }
+        };
+        let mut tail_writes = 0u64;
+        if let Some((db, img)) = tail_stage {
+            if let Err(e) = vol.rewrite_tail_data(db, img) {
+                st.staged_forced += covered;
+                return Err(e);
+            }
+            if let Some(ob) = st.open.as_mut() {
+                ob.staged = true;
+            }
+            tail_writes = 1;
+        }
+        if writes + tail_writes > 0 || covered > 0 {
+            self.obs
+                .note_group_commit(blocks, covered, writes + tail_writes);
+        }
+        Ok(())
+    }
+
+    /// Forces everything buffered to stable storage through whichever
+    /// pipeline is active: a full commit in group mode, `persist_open` on
+    /// the legacy path (where the sealed queue is always empty).
+    pub(crate) fn persist_all(&self, st: &mut State) -> Result<()> {
+        if self.group_commit_on() {
+            self.commit_locked(st)
+        } else {
+            self.persist_open(st).map(|_| ())
+        }
     }
 
     /// Makes the open block durable: staged to the device's battery-backed

@@ -208,3 +208,60 @@ fn tracing_can_be_disabled_by_config() {
     assert!(counter(svc.metrics(), "clio_core_appends_total") == 1);
     assert!(svc.obs().trace().is_empty());
 }
+
+#[test]
+fn flush_republishes_when_only_the_sealed_queue_advanced() {
+    // Force the group path regardless of the CLIO_GROUP_COMMIT A/B env.
+    let cfg = ServiceConfig::small().with_group_commit(true);
+    let svc = LogService::create(
+        VolumeSeqId(1),
+        Arc::new(MemDevicePool::new(256, 4096)),
+        cfg,
+        clock(),
+    )
+    .unwrap();
+    svc.create_log("/q").unwrap();
+    // Fill whole blocks with buffered entries: they seal into the
+    // in-memory queue, the device end does not move.
+    for i in 0..12u32 {
+        let mut p = format!("q{i}:").into_bytes();
+        p.resize(64, b'q');
+        svc.append_path("/q", &p, AppendOpts::standard()).unwrap();
+    }
+    let dev_end_before = svc.volumes().active().data_end();
+    let publishes_before = counter(svc.metrics(), "clio_core_view_publishes_total");
+    let device_appends_before = counter(svc.metrics(), "clio_device_appends_total");
+    // Read-your-writes from the in-memory queue, before any device write.
+    let mut cur = svc.cursor("/q").unwrap();
+    assert_eq!(
+        cur.collect_remaining().unwrap().len(),
+        12,
+        "queued sealed blocks must be readable before the flush"
+    );
+
+    svc.flush().unwrap();
+
+    // The flush drained queued sealed blocks onto the device and
+    // republished the snapshot — even though nothing else changed.
+    assert!(
+        svc.volumes().active().data_end() > dev_end_before,
+        "flush did not advance the device watermark"
+    );
+    assert!(
+        counter(svc.metrics(), "clio_core_view_publishes_total") > publishes_before,
+        "flush did not republish the read snapshot"
+    );
+    assert!(counter(svc.metrics(), "clio_device_appends_total") > device_appends_before);
+    // Group-commit collectors saw the batch.
+    assert!(counter(svc.metrics(), "clio_core_group_commit_batches_total") >= 1);
+    assert!(histogram(svc.metrics(), "clio_core_group_commit_batch_blocks").count >= 1);
+
+    // An idempotent flush still republishes (watermark already current).
+    let publishes = counter(svc.metrics(), "clio_core_view_publishes_total");
+    svc.flush().unwrap();
+    assert!(counter(svc.metrics(), "clio_core_view_publishes_total") > publishes);
+
+    // Everything reads back after the flush.
+    let mut cur = svc.cursor("/q").unwrap();
+    assert_eq!(cur.collect_remaining().unwrap().len(), 12);
+}

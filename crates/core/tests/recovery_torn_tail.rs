@@ -99,6 +99,132 @@ fn torn_tail_block_is_invalidated_and_prefix_survives() {
     assert_eq!(got.last().unwrap().data, b"post-recovery");
 }
 
+/// Group-commit torn batches: buffered appends queue several sealed
+/// blocks in memory, a forced append drains them in one vectored device
+/// write, and the crash tears that write after `k` of its `n` blocks —
+/// for every `k`. Recovery must land on a consistent prefix: everything
+/// acknowledged durable before the tear (the flushed receipts) reads
+/// back, the recovered tail is an in-order prefix of the staged entries,
+/// and re-recovery is idempotent.
+#[test]
+fn torn_group_commit_batch_recovers_a_consistent_prefix() {
+    const STAGED: usize = 12;
+    const MAX_TEAR: usize = 10;
+    let mut rng = StdRng::seed_from_u64(0x70_71);
+    // Identical payloads for every tear point: placement is deterministic.
+    let staged_payloads: Vec<Vec<u8>> = (0..STAGED)
+        .map(|i| {
+            let mut p = format!("s{i}:").into_bytes();
+            let tag = p.len();
+            p.resize(64, 0);
+            rng.fill(&mut p[tag..]);
+            p
+        })
+        .collect();
+    let mut recovered_lens: Vec<usize> = Vec::new();
+    let mut saw_full_batch = false;
+    for k in 0..=MAX_TEAR {
+        let (pool, handles) = faulty_pool(256, 1 << 14);
+        // Force the group path regardless of the CLIO_GROUP_COMMIT A/B env.
+        let cfg = ServiceConfig::small().with_group_commit(true);
+        let mut oracle: Vec<Vec<u8>> = Vec::new();
+        let mut flushed_receipts = Vec::new();
+        let torn = {
+            let svc =
+                LogService::create(VolumeSeqId(9), pool.clone(), cfg.clone(), clock()).unwrap();
+            svc.create_log("/t").unwrap();
+            for i in 0..20 {
+                let mut p = format!("p{i}:").into_bytes();
+                p.resize(64, b'd');
+                flushed_receipts.push(svc.append_path("/t", &p, AppendOpts::standard()).unwrap());
+                oracle.push(p);
+            }
+            svc.flush().unwrap();
+            // Stage: these seal several blocks into the in-memory queue
+            // without touching the device.
+            for p in &staged_payloads {
+                svc.append_path("/t", p, AppendOpts::standard()).unwrap();
+            }
+            // Commit: the forced append drains the queue in one vectored
+            // write, torn after k blocks.
+            handles.lock().last().unwrap().tear_next_batch_after(k);
+            svc.append_path("/t", b"forced-tail", AppendOpts::forced())
+                .is_err()
+        }; // crash
+        if !torn {
+            saw_full_batch = true;
+        }
+
+        let (svc, _report) =
+            LogService::recover(pool.devices(), pool.clone(), cfg.clone(), clock()).unwrap();
+        // Acknowledged-durable receipts survive byte-for-byte.
+        for (want, r) in oracle.iter().zip(&flushed_receipts) {
+            assert_eq!(
+                &svc.read_entry(r.addr).expect("flushed receipt").data,
+                want,
+                "tear k={k}"
+            );
+        }
+        // The scan is the oracle plus an in-order prefix of the staged
+        // entries (with the forced tail last, only after all of them).
+        let mut cur = svc.cursor("/t").unwrap();
+        let got = cur.collect_remaining().unwrap();
+        assert!(got.len() >= oracle.len(), "tear k={k} lost flushed entries");
+        for (want, have) in oracle.iter().zip(&got) {
+            assert_eq!(want, &have.data, "tear k={k}");
+        }
+        let tail: Vec<&[u8]> = got[oracle.len()..]
+            .iter()
+            .map(|e| e.data.as_slice())
+            .collect();
+        let mut expect_seq: Vec<&[u8]> = staged_payloads.iter().map(|p| p.as_slice()).collect();
+        expect_seq.push(b"forced-tail");
+        assert!(
+            tail.len() <= expect_seq.len() && tail == expect_seq[..tail.len()],
+            "tear k={k}: recovered tail is not a staged-order prefix ({} entries)",
+            tail.len()
+        );
+        if !torn {
+            assert_eq!(tail.len(), expect_seq.len(), "untorn batch lost entries");
+        }
+        if k == 0 {
+            assert_eq!(
+                got.len(),
+                oracle.len(),
+                "a batch torn before its first block must recover to the flush point"
+            );
+        }
+        recovered_lens.push(got.len());
+
+        // Idempotent: a second recovery finds the same entries and
+        // nothing further to invalidate.
+        drop(svc);
+        let (svc2, report2) =
+            LogService::recover(pool.devices(), pool.clone(), cfg, clock()).unwrap();
+        assert!(
+            report2.invalidated.is_empty(),
+            "tear k={k}: second recovery re-invalidated: {report2:?}"
+        );
+        let mut cur = svc2.cursor("/t").unwrap();
+        assert_eq!(cur.collect_remaining().unwrap().len(), got.len());
+        // And the service keeps working.
+        svc2.append_path("/t", b"post-recovery", AppendOpts::forced())
+            .unwrap();
+    }
+    assert!(
+        saw_full_batch,
+        "tear sweep never exceeded the batch size; raise MAX_TEAR"
+    );
+    assert!(
+        recovered_lens.windows(2).all(|w| w[0] <= w[1]),
+        "more surviving blocks recovered fewer entries: {recovered_lens:?}"
+    );
+    assert!(
+        recovered_lens.first() < recovered_lens.last(),
+        "the sweep never recovered a longer prefix: {recovered_lens:?}"
+    );
+}
+
 /// The seeded sweep: random flushed prefixes, one to five torn tail
 /// writes, arbitrary payload bytes from `clio_testkit::rng`.
 #[test]

@@ -600,6 +600,49 @@ fn server_boundary_round_trip() {
 }
 
 #[test]
+fn server_append_batch_is_one_round_trip() {
+    use clio_core::server::{LogServer, Request, Response};
+    let server = LogServer::spawn(small_service());
+    let client = server.client();
+    for path in ["/a", "/b"] {
+        match client.call(Request::CreateLog { path: path.into() }) {
+            Response::Created(_) => {}
+            other => panic!("create failed: {other:?}"),
+        }
+    }
+    let before = server.ipc_round_trips();
+    let items: Vec<(String, Vec<u8>)> = (0..6u32)
+        .map(|i| {
+            let path = if i % 2 == 0 { "/a" } else { "/b" };
+            (path.to_owned(), format!("batch{i}").into_bytes())
+        })
+        .collect();
+    let receipts = client.append_batch(items.clone(), true).unwrap();
+    assert_eq!(receipts.len(), 6);
+    assert_eq!(
+        server.ipc_round_trips(),
+        before + 1,
+        "a whole batch costs exactly one IPC round trip"
+    );
+    // Every receipt resolves to its payload, in order.
+    let entries = client
+        .call(Request::ReadFrom {
+            path: "/a".into(),
+            from: Timestamp::ZERO,
+            max: 10,
+        })
+        .entries()
+        .unwrap();
+    assert_eq!(entries.len(), 3);
+    assert_eq!(entries[0].data, b"batch0");
+    assert_eq!(entries[2].data, b"batch4");
+    // An unknown path fails the whole call without a panic.
+    let bad = client.append_batch(vec![("/nope".into(), b"x".to_vec())], false);
+    assert!(bad.is_err());
+    server.shutdown();
+}
+
+#[test]
 fn buffered_vs_forced_durability() {
     let svc = small_service();
     svc.create_log("/x").unwrap();

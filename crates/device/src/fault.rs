@@ -10,7 +10,7 @@
 use clio_testkit::rng::StdRng;
 use clio_testkit::sync::Mutex;
 
-use clio_types::{BlockNo, Result};
+use clio_types::{BlockNo, ClioError, Result};
 
 use crate::traits::{LogDevice, SharedDevice};
 
@@ -70,6 +70,9 @@ pub struct FaultyDevice {
     corrupted: Mutex<Vec<BlockNo>>,
     /// One-shot trigger: corrupt exactly the next append.
     force_next: Mutex<bool>,
+    /// One-shot trigger: tear the next `append_blocks` batch after this
+    /// many blocks have landed.
+    tear_after: Mutex<Option<usize>>,
 }
 
 impl FaultyDevice {
@@ -83,6 +86,7 @@ impl FaultyDevice {
             rng: Mutex::new(rng),
             corrupted: Mutex::new(Vec::new()),
             force_next: Mutex::new(false),
+            tear_after: Mutex::new(None),
         }
     }
 
@@ -90,6 +94,16 @@ impl FaultyDevice {
     /// plan's probabilities. Useful for targeted tests.
     pub fn corrupt_next_append(&self) {
         *self.force_next.lock() = true;
+    }
+
+    /// Tears the next vectored `append_blocks` call after `k` blocks have
+    /// landed: the first `k` blocks of the batch are written normally, the
+    /// rest are dropped on the floor, and the call reports an I/O error —
+    /// the crash-mid-batch a torn-batch recovery test needs. One-shot; if
+    /// the next batch has `<= k` blocks it completes normally and the
+    /// trigger is consumed.
+    pub fn tear_next_batch_after(&self, k: usize) {
+        *self.tear_after.lock() = Some(k);
     }
 
     /// Blocks that were written corrupted, in write order. Test oracle.
@@ -140,6 +154,25 @@ impl LogDevice for FaultyDevice {
         }
         drop(rng);
         self.inner.append_block(expected, data)
+    }
+
+    fn append_blocks(&self, expected: BlockNo, blocks: &[&[u8]]) -> Result<()> {
+        let tear = self.tear_after.lock().take();
+        let n = blocks.len();
+        let stop = tear.map_or(n, |k| k.min(n));
+        // Per-block so the plan's per-append faults stay live inside
+        // batches (and so a tear leaves exactly `stop` blocks written).
+        let mut at = expected;
+        for b in &blocks[..stop] {
+            self.append_block(at, b)?;
+            at = at.next();
+        }
+        match tear {
+            Some(k) if k < n => Err(ClioError::Io(format!(
+                "fault injection tore batch after {k} of {n} blocks"
+            ))),
+            _ => Ok(()),
+        }
     }
 
     fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {

@@ -125,6 +125,38 @@ impl LogDevice for FileWormDevice {
         Ok(())
     }
 
+    fn append_blocks(&self, expected: BlockNo, blocks: &[&[u8]]) -> Result<()> {
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        for b in blocks {
+            check_len(self.block_size, b.len())?;
+        }
+        let n = blocks.len() as u64;
+        let mut g = self.file.lock();
+        let end = self.end_blocks(&g)?;
+        if end + n > self.capacity {
+            return Err(ClioError::VolumeFull);
+        }
+        if expected.0 != end {
+            return Err(ClioError::NotAppendOnly {
+                attempted: expected,
+                end: BlockNo(end),
+            });
+        }
+        // One syscall for the whole batch, then one durability barrier —
+        // this is the physical write the group-commit path amortises over
+        // every logical append in the batch.
+        let mut batch = Vec::with_capacity(blocks.len() * self.block_size);
+        for b in blocks {
+            batch.extend_from_slice(b);
+        }
+        g.seek(SeekFrom::End(0))?;
+        g.write_all(&batch)?;
+        g.sync_data()?;
+        Ok(())
+    }
+
     fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {
         check_len(self.block_size, buf.len())?;
         if block.0 >= self.capacity {

@@ -127,6 +127,31 @@ impl LogDevice for MemWormDevice {
         Ok(())
     }
 
+    fn append_blocks(&self, expected: BlockNo, blocks: &[&[u8]]) -> Result<()> {
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        for b in blocks {
+            check_len(self.block_size, b.len())?;
+        }
+        let n = blocks.len() as u64;
+        let mut g = self.inner.lock();
+        if g.end + n > self.capacity {
+            return Err(ClioError::VolumeFull);
+        }
+        if expected.0 != g.end {
+            return Err(ClioError::NotAppendOnly {
+                attempted: expected,
+                end: BlockNo(g.end),
+            });
+        }
+        for b in blocks {
+            g.data.extend_from_slice(b);
+        }
+        g.end += n;
+        Ok(())
+    }
+
     fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {
         check_len(self.block_size, buf.len())?;
         if block.0 >= self.capacity {

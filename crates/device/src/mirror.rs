@@ -134,6 +134,44 @@ impl LogDevice for MirroredDevice {
         Ok(())
     }
 
+    fn append_blocks(&self, expected: BlockNo, blocks: &[&[u8]]) -> Result<()> {
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        for b in blocks {
+            check_len(self.block_size(), b.len())?;
+        }
+        let n = blocks.len() as u64;
+        let mut accepted = false;
+        let mut ahead_end = None;
+        for r in &self.replicas {
+            match r.append_blocks(expected, blocks) {
+                Ok(()) => accepted = true,
+                // A replica ahead of `expected` already has a prefix of the
+                // batch from a previous partially-failed attempt: same
+                // data, same slots. Complete its missing suffix, or leave
+                // it alone if it already has the whole batch.
+                Err(ClioError::NotAppendOnly { end, .. }) if end > expected => {
+                    if end.0 >= expected.0 + n {
+                        ahead_end = Some(end);
+                    } else {
+                        let have = (end.0 - expected.0) as usize;
+                        r.append_blocks(end, &blocks[have..])?;
+                        accepted = true;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if !accepted {
+            return Err(ClioError::NotAppendOnly {
+                attempted: expected,
+                end: ahead_end.unwrap_or(expected),
+            });
+        }
+        Ok(())
+    }
+
     fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {
         let mut last_err = None;
         let mut fallback: Option<Vec<u8>> = None;

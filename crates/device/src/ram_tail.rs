@@ -108,6 +108,45 @@ impl LogDevice for RamTailDevice {
         }
     }
 
+    fn append_blocks(&self, expected: BlockNo, blocks: &[&[u8]]) -> Result<()> {
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        for b in blocks {
+            check_len(self.block_size(), b.len())?;
+        }
+        let mut g = self.tail.lock();
+        match &*g {
+            // The batch starts at the staged block: its first element is the
+            // sealed (final) contents of the tail, so burn the whole batch
+            // through and retire the buffer. On failure the buffer is kept
+            // unless the first block actually landed on the medium.
+            Some(t) if t.block == expected => {
+                let r = self.inner.append_blocks(expected, blocks);
+                let first_landed = match &r {
+                    Ok(()) => true,
+                    Err(_) => self.inner.is_written(expected).unwrap_or(false),
+                };
+                if first_landed {
+                    *g = None;
+                }
+                r
+            }
+            // Appending past a staged block: drain the battery-backed RAM
+            // to the medium first, then write the batch.
+            Some(t) if t.block.next() == expected => {
+                self.inner.append_block(t.block, &t.data)?;
+                *g = None;
+                self.inner.append_blocks(expected, blocks)
+            }
+            Some(t) => Err(ClioError::NotAppendOnly {
+                attempted: expected,
+                end: t.block.next(),
+            }),
+            None => self.inner.append_blocks(expected, blocks),
+        }
+    }
+
     fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {
         check_len(self.block_size(), buf.len())?;
         if let Some(t) = &*self.tail.lock() {

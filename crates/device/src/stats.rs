@@ -37,12 +37,21 @@ pub struct DeviceStats {
     seek_distance: AtomicU64,
     /// Position of the last access; -1 means "no access yet".
     last_pos: AtomicI64,
+    /// Vectored `append_blocks` batches issued (each is one physical device
+    /// write regardless of how many blocks it carries).
+    batch_appends: AtomicU64,
+    /// Blocks written through vectored batches (also counted in `appends`).
+    batch_blocks: AtomicU64,
     /// Wall-clock latency of successful block reads, in nanoseconds.
     pub read_latency_ns: Arc<Histogram>,
     /// Wall-clock latency of successful block appends, in nanoseconds.
     pub append_latency_ns: Arc<Histogram>,
     /// Wall-clock latency of `is_written` probes, in nanoseconds.
     pub probe_latency_ns: Arc<Histogram>,
+    /// Blocks per successful vectored batch.
+    pub append_batch_blocks: Arc<Histogram>,
+    /// Wall-clock latency of successful vectored batches, in nanoseconds.
+    pub append_batch_latency_ns: Arc<Histogram>,
 }
 
 /// A point-in-time copy of [`DeviceStats`].
@@ -72,6 +81,10 @@ pub struct StatsSnapshot {
     pub seeks: u64,
     /// Total seek distance in blocks.
     pub seek_distance: u64,
+    /// Vectored batches issued.
+    pub batch_appends: u64,
+    /// Blocks written through vectored batches.
+    pub batch_blocks: u64,
 }
 
 impl StatsSnapshot {
@@ -79,6 +92,15 @@ impl StatsSnapshot {
     #[must_use]
     pub fn accesses(&self) -> u64 {
         self.reads + self.appends + self.end_probes
+    }
+
+    /// Physical write operations to the device: single-block appends plus
+    /// one per vectored batch, however many blocks the batch carried. The
+    /// group-commit benchmark's appends-per-device-write ratio divides
+    /// logical appends by the delta of this.
+    #[must_use]
+    pub fn write_ops(&self) -> u64 {
+        self.appends - self.batch_blocks + self.batch_appends
     }
 
     /// Total failed operations of any kind.
@@ -149,6 +171,8 @@ impl DeviceStats {
             probe_errors: self.probe_errors.load(Ordering::Relaxed),
             seeks: self.seeks.load(Ordering::Relaxed),
             seek_distance: self.seek_distance.load(Ordering::Relaxed),
+            batch_appends: self.batch_appends.load(Ordering::Relaxed),
+            batch_blocks: self.batch_blocks.load(Ordering::Relaxed),
         }
     }
 
@@ -168,15 +192,19 @@ impl DeviceStats {
         self.seeks.store(0, Ordering::Relaxed);
         self.seek_distance.store(0, Ordering::Relaxed);
         self.last_pos.store(-1, Ordering::Relaxed);
+        self.batch_appends.store(0, Ordering::Relaxed);
+        self.batch_blocks.store(0, Ordering::Relaxed);
         self.read_latency_ns.reset();
         self.append_latency_ns.reset();
         self.probe_latency_ns.reset();
+        self.append_batch_blocks.reset();
+        self.append_batch_latency_ns.reset();
     }
 
     /// Registers every counter and latency histogram into `reg` under the
     /// `clio_device_*` namespace.
     pub fn register_into(self: &Arc<DeviceStats>, reg: &MetricsRegistry) {
-        let counters: [(&str, fn(&StatsSnapshot) -> u64); 11] = [
+        let counters: [(&str, fn(&StatsSnapshot) -> u64); 12] = [
             ("clio_device_reads_total", |s| s.reads),
             ("clio_device_appends_total", |s| s.appends),
             ("clio_device_invalidations_total", |s| s.invalidations),
@@ -192,6 +220,7 @@ impl DeviceStats {
             }),
             ("clio_device_probe_errors_total", |s| s.probe_errors),
             ("clio_device_seeks_total", |s| s.seeks),
+            ("clio_device_batch_appends_total", |s| s.batch_appends),
         ];
         for (name, read) in counters {
             let stats = self.clone();
@@ -209,6 +238,14 @@ impl DeviceStats {
         reg.register_histogram(
             "clio_device_probe_latency_ns",
             self.probe_latency_ns.clone(),
+        );
+        reg.register_histogram(
+            "clio_device_append_batch_blocks",
+            self.append_batch_blocks.clone(),
+        );
+        reg.register_histogram(
+            "clio_device_append_batch_latency_ns",
+            self.append_batch_latency_ns.clone(),
         );
     }
 }
@@ -269,6 +306,34 @@ impl LogDevice for InstrumentedDevice {
                     .record_duration(start.elapsed());
                 self.stats.appends.fetch_add(1, Ordering::Relaxed);
                 self.stats.touch(expected);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.append_errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    fn append_blocks(&self, expected: BlockNo, blocks: &[&[u8]]) -> Result<()> {
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        let n = blocks.len() as u64;
+        let start = Instant::now();
+        match self.inner.append_blocks(expected, blocks) {
+            Ok(()) => {
+                self.stats
+                    .append_batch_latency_ns
+                    .record_duration(start.elapsed());
+                self.stats.append_batch_blocks.record(n);
+                self.stats.batch_appends.fetch_add(1, Ordering::Relaxed);
+                self.stats.batch_blocks.fetch_add(n, Ordering::Relaxed);
+                self.stats.appends.fetch_add(n, Ordering::Relaxed);
+                self.stats.touch(expected);
+                self.stats
+                    .last_pos
+                    .store((expected.0 + n - 1) as i64, Ordering::Relaxed);
                 Ok(())
             }
             Err(e) => {

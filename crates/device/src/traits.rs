@@ -53,6 +53,25 @@ pub trait LogDevice: Send + Sync {
     /// anywhere except at the end of the written portion" (§2).
     fn append_block(&self, expected: BlockNo, data: &[u8]) -> Result<()>;
 
+    /// Appends a batch of blocks starting at the current append point.
+    ///
+    /// `expected` must equal the append point exactly as for
+    /// [`LogDevice::append_block`]; the blocks land contiguously in order.
+    /// The default implementation loops over `append_block`, so a crash or
+    /// fault mid-batch can leave any prefix of the batch written — callers
+    /// that need to know how much landed must re-locate the end. Native
+    /// implementations may write the whole batch in one device operation
+    /// (one syscall + one sync for the file device), which is what the
+    /// group-commit write path exploits.
+    fn append_blocks(&self, expected: BlockNo, blocks: &[&[u8]]) -> Result<()> {
+        let mut at = expected;
+        for b in blocks {
+            self.append_block(at, b)?;
+            at = at.next();
+        }
+        Ok(())
+    }
+
     /// Reads a written block into `buf` (length [`LogDevice::block_size`]).
     fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()>;
 

@@ -1,0 +1,196 @@
+//! Conformance checking for vectored device appends.
+//!
+//! `LogDevice::append_blocks` has a loop-of-`append_block` default, and six
+//! native implementations that each take a different shortcut (one lock,
+//! one syscall, replica catch-up, tail sealing, ...). The group-commit
+//! write path depends on every one of them producing *exactly* the bytes
+//! the loop would have produced, so the device crate's conformance test
+//! drives each implementation and the fallback through identical append
+//! schedules and byte-compares the resulting media.
+//!
+//! This module holds the device-agnostic harness. `clio-testkit` sits
+//! below `clio-device` in the dependency order, so the device under test
+//! is reached through closures rather than the `LogDevice` trait.
+
+/// A device under conformance test, abstracted behind closures so the
+/// harness does not need the `LogDevice` trait.
+///
+/// `append_batch` forwards to the implementation's `append_blocks`;
+/// `append_one` forwards to plain `append_block`. `read` returns one
+/// written block's bytes; `end` the current append point. Errors are
+/// stringified — the harness only compares success/failure shape, not
+/// error payloads.
+pub struct BatchDevice {
+    /// Vectored append at the given expected block number.
+    pub append_batch: Box<dyn FnMut(u64, &[Vec<u8>]) -> Result<(), String>>,
+    /// Single-block append at the given expected block number.
+    pub append_one: Box<dyn FnMut(u64, &[u8]) -> Result<(), String>>,
+    /// Read one written block.
+    pub read: Box<dyn Fn(u64) -> Result<Vec<u8>, String>>,
+    /// Current append point (written-block count).
+    pub end: Box<dyn Fn() -> u64>,
+}
+
+/// Deterministic per-block fill so every block in every schedule is
+/// distinguishable: byte `j` of block `i` is a mix of both indices.
+fn block_image(block_size: usize, i: u64) -> Vec<u8> {
+    (0..block_size)
+        .map(|j| {
+            (i as u8)
+                .wrapping_mul(31)
+                .wrapping_add(j as u8)
+                .wrapping_add(1)
+        })
+        .collect()
+}
+
+/// The batch shapes every schedule is built from: singletons, pairs, a
+/// long run, and uneven mixes. Values are batch lengths.
+const SCHEDULES: &[&[usize]] = &[
+    &[1],
+    &[3],
+    &[1, 1, 1],
+    &[2, 1],
+    &[1, 4, 2],
+    &[8],
+    &[2, 2, 2],
+    &[5, 1, 3],
+];
+
+/// Drives one freshly-made device per (schedule, mode) through the append
+/// schedules and asserts the vectored implementation is byte-for-byte
+/// equivalent to a loop of single appends.
+///
+/// `mk` must return a *fresh, empty* device each call. All batches in the
+/// schedules fit comfortably in 32 blocks; devices should be created with
+/// at least that capacity.
+///
+/// # Panics
+///
+/// Panics (test-style, with context) on any divergence: block contents,
+/// append point, or error behaviour at a wrong append point.
+pub fn check_batch_append_conformance(block_size: usize, mk: impl Fn() -> BatchDevice) {
+    for (si, schedule) in SCHEDULES.iter().enumerate() {
+        let mut vectored = mk();
+        let mut looped = mk();
+        let mut next = 0u64;
+        for &len in *schedule {
+            let images: Vec<Vec<u8>> = (0..len as u64)
+                .map(|k| block_image(block_size, next + k))
+                .collect();
+            (vectored.append_batch)(next, &images)
+                .unwrap_or_else(|e| panic!("schedule {si}: vectored append at {next} failed: {e}"));
+            for (k, img) in images.iter().enumerate() {
+                (looped.append_one)(next + k as u64, img).unwrap_or_else(|e| {
+                    panic!(
+                        "schedule {si}: looped append at {} failed: {e}",
+                        next + k as u64
+                    )
+                });
+            }
+            next += len as u64;
+        }
+        assert_eq!(
+            (vectored.end)(),
+            next,
+            "schedule {si}: vectored device append point"
+        );
+        assert_eq!(
+            (looped.end)(),
+            next,
+            "schedule {si}: looped device append point"
+        );
+        for b in 0..next {
+            let v = (vectored.read)(b)
+                .unwrap_or_else(|e| panic!("schedule {si}: vectored read of block {b}: {e}"));
+            let l = (looped.read)(b)
+                .unwrap_or_else(|e| panic!("schedule {si}: looped read of block {b}: {e}"));
+            assert_eq!(v, l, "schedule {si}: block {b} diverges");
+            assert_eq!(
+                v,
+                block_image(block_size, b),
+                "schedule {si}: block {b} corrupted"
+            );
+        }
+        // Both reject a batch that is not at the append point, and neither
+        // moves the end while doing so.
+        let stale = vec![block_image(block_size, 99)];
+        assert!(
+            (vectored.append_batch)(next + 2, &stale).is_err(),
+            "schedule {si}: vectored append past the end must fail"
+        );
+        assert!(
+            (looped.append_one)(next + 2, &stale[0]).is_err(),
+            "schedule {si}: looped append past the end must fail"
+        );
+        assert_eq!(
+            (vectored.end)(),
+            next,
+            "schedule {si}: failed batch moved the end"
+        );
+        // An empty batch is a universal no-op.
+        (vectored.append_batch)(next, &[])
+            .unwrap_or_else(|e| panic!("schedule {si}: empty batch must succeed: {e}"));
+        assert_eq!(
+            (vectored.end)(),
+            next,
+            "schedule {si}: empty batch moved the end"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::Mutex;
+    use std::sync::Arc;
+
+    /// A minimal in-memory append-only device used to self-test the
+    /// harness (the real devices live above this crate).
+    fn toy(block_size: usize, batch_bug: bool) -> BatchDevice {
+        let blocks: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (b1, b2, b3) = (blocks.clone(), blocks.clone(), blocks.clone());
+        BatchDevice {
+            append_batch: Box::new(move |expected, imgs| {
+                let mut g = b1.lock();
+                if expected != g.len() as u64 {
+                    return Err("not append-only".into());
+                }
+                for img in imgs {
+                    let mut img = img.clone();
+                    if batch_bug {
+                        img[0] ^= 0xFF;
+                    }
+                    g.push(img);
+                }
+                Ok(())
+            }),
+            append_one: Box::new(move |expected, img| {
+                let mut g = b2.lock();
+                if expected != g.len() as u64 {
+                    return Err("not append-only".into());
+                }
+                g.push(img.to_vec());
+                Ok(())
+            }),
+            read: Box::new(move |b| {
+                b3.lock()
+                    .get(b as usize)
+                    .cloned()
+                    .ok_or_else(|| "unwritten".into())
+            }),
+            end: Box::new(move || blocks.lock().len() as u64),
+        }
+    }
+
+    #[test]
+    fn harness_accepts_a_correct_device() {
+        check_batch_append_conformance(32, || toy(32, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "diverges")]
+    fn harness_catches_a_batch_that_mangles_bytes() {
+        check_batch_append_conformance(32, || toy(32, true));
+    }
+}

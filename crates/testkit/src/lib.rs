@@ -20,8 +20,13 @@
 //!   explicit named regression cases.
 //! * [`bench`] — a wall-clock micro-benchmark timer:
 //!   warmup, fixed-duration samples, median-of-samples reporting.
+//!
+//! It also hosts shared cross-crate test harnesses, currently
+//! [`devcheck`] — byte-for-byte conformance schedules for vectored
+//! device appends (`LogDevice::append_blocks`).
 
 pub mod bench;
+pub mod devcheck;
 pub mod prop;
 pub mod rng;
 pub mod sync;

@@ -206,6 +206,48 @@ impl Volume {
         Ok(())
     }
 
+    /// Appends a run of data blocks starting at `first_db` in one vectored
+    /// device write, write-through.
+    ///
+    /// As with [`Volume::append_data_block`], `first_db` may be the staged
+    /// tail block (sealing it with the batch's first image). On error the
+    /// device may have landed a prefix of the batch (a torn batch); the
+    /// volume resynchronises `data_end` from the device and caches exactly
+    /// the blocks that landed, so the caller can tell how far the write got
+    /// from `data_end()` and recovery sees a consistent medium.
+    pub fn append_data_blocks(&self, first_db: u64, images: &[Arc<Vec<u8>>]) -> Result<()> {
+        if images.is_empty() {
+            return Ok(());
+        }
+        let end = self.data_end();
+        if first_db != end && first_db + 1 != end {
+            return Err(ClioError::NotAppendOnly {
+                attempted: BlockNo(first_db + 1),
+                end: BlockNo(end + 1),
+            });
+        }
+        let refs: Vec<&[u8]> = images.iter().map(|i| i.as_slice()).collect();
+        let r = self.device.append_blocks(BlockNo(first_db + 1), &refs);
+        let landed = match &r {
+            Ok(()) => images.len() as u64,
+            Err(_) => {
+                let dev_end = match self.device.query_end() {
+                    Some(e) => e.0,
+                    None => locate_end(&*self.device)?.0 .0,
+                };
+                dev_end
+                    .saturating_sub(first_db + 1)
+                    .min(images.len() as u64)
+            }
+        };
+        for (i, img) in images.iter().take(landed as usize).enumerate() {
+            self.cache.put(self.key(first_db + i as u64), img.clone());
+        }
+        self.data_end
+            .store((first_db + landed).max(end), Ordering::Release);
+        r
+    }
+
     /// Rewrites the tail data block in non-volatile staging (devices with a
     /// RAM tail only). `db` may be the block at the current end (opening
     /// the tail) or the last written one (if it is still in the tail
@@ -332,6 +374,46 @@ mod tests {
         v.invalidate_data_block(0).unwrap();
         let back = v.read_data_block(0).unwrap();
         assert!(back.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn batch_append_writes_through_and_advances_end() {
+        let v = fresh(10);
+        v.append_data_block(0, vec![1u8; 256]).unwrap();
+        let images: Vec<Arc<Vec<u8>>> = (2u8..5).map(|i| Arc::new(vec![i; 256])).collect();
+        v.append_data_blocks(1, &images).unwrap();
+        assert_eq!(v.data_end(), 4);
+        for (i, img) in images.iter().enumerate() {
+            assert_eq!(v.read_data_block(1 + i as u64).unwrap(), *img);
+        }
+        // Misplaced batches are rejected without touching the device.
+        assert!(v.append_data_blocks(9, &images).is_err());
+        assert_eq!(v.data_end(), 4);
+        // Empty batches are no-ops.
+        v.append_data_blocks(4, &[]).unwrap();
+        assert_eq!(v.data_end(), 4);
+    }
+
+    #[test]
+    fn torn_batch_resyncs_end_from_the_device() {
+        use clio_device::{FaultPlan, FaultyDevice};
+        let raw = Arc::new(MemWormDevice::new(256, 16));
+        let faulty = Arc::new(FaultyDevice::new(raw, FaultPlan::default()));
+        let cache = Arc::new(BlockCache::new(64));
+        let label = Volume::first_label(VolumeId(1), VolumeSeqId(2), 256, 16, Timestamp(0));
+        let v = Volume::format(faulty.clone(), 0, cache, label).unwrap();
+        let images: Vec<Arc<Vec<u8>>> = (1u8..5).map(|i| Arc::new(vec![i; 256])).collect();
+        faulty.tear_next_batch_after(2);
+        assert!(v.append_data_blocks(0, &images).is_err());
+        // Two of the four blocks landed; the volume noticed.
+        assert_eq!(v.data_end(), 2);
+        assert_eq!(v.read_data_block(0).unwrap()[0], 1);
+        assert_eq!(v.read_data_block(1).unwrap()[0], 2);
+        assert!(v.read_data_block(2).is_err());
+        // The write can be resumed where the tear left off.
+        v.append_data_blocks(2, &images[2..]).unwrap();
+        assert_eq!(v.data_end(), 4);
+        assert_eq!(v.read_data_block(3).unwrap()[0], 4);
     }
 
     #[test]

@@ -40,6 +40,16 @@ run cargo test -q --offline --workspace -- --include-ignored
 # the schedules they exercise resemble production interleavings.
 run cargo test -q --release --offline -p clio-core --test concurrent_reads
 
+# Torn-batch crash recovery: the group-commit vectored write torn at
+# every prefix length must recover to a consistent prefix. Run released
+# so the full tear sweep stays fast.
+run cargo test -q --release --offline -p clio-core --test recovery_torn_tail
+
+# A/B the append pipeline: the whole core suite must also pass with
+# group commit disabled (the legacy one-write-per-forced-append path).
+echo "==> CLIO_GROUP_COMMIT=0 cargo test -q --offline -p clio-core"
+CLIO_GROUP_COMMIT=0 cargo test -q --offline -p clio-core
+
 # Smoke the machine-readable bench output: one harness with --json must
 # emit a file the in-tree decoder accepts.
 smoke_dir=$(mktemp -d)
@@ -62,5 +72,15 @@ run cargo build --release --offline -p clio-bench --bin conc_read
     exit 1
 }
 run ./target/release/clio_json_check "$smoke_dir/BENCH_conc_read.json"
+
+# Smoke the group-commit harness: a shrunk run must complete and emit
+# valid JSON (the coalescing ratio itself is host-dependent).
+run cargo build --release --offline -p clio-bench --bin group_commit
+(cd "$smoke_dir" && run "$OLDPWD"/target/release/group_commit --json --quick > /dev/null)
+[ -f "$smoke_dir/BENCH_group_commit.json" ] || {
+    echo "error: group_commit --json did not write BENCH_group_commit.json" >&2
+    exit 1
+}
+run ./target/release/clio_json_check "$smoke_dir/BENCH_group_commit.json"
 
 echo "ci: all green"
