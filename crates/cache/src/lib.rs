@@ -219,7 +219,7 @@ impl BlockCache {
         let rem = capacity_blocks % n;
         let shards: Vec<Shard> = (0..n)
             .map(|i| Shard {
-                inner: Mutex::new(Lru::empty()),
+                inner: Mutex::with_class(Lru::empty(), "cache.shard"),
                 capacity: base + usize::from(i < rem),
                 counters: Counters::default(),
             })
@@ -230,7 +230,7 @@ impl BlockCache {
             capacity: capacity_blocks,
             resident: AtomicUsize::new(0),
             duplicate_loads: AtomicU64::new(0),
-            inflight: Mutex::new(HashMap::new()),
+            inflight: Mutex::with_class(HashMap::new(), "cache.inflight"),
         }
     }
 
@@ -325,7 +325,7 @@ impl BlockCache {
                     Some(f) => (f.clone(), false),
                     None => {
                         let f = Arc::new(Flight {
-                            state: Mutex::new(FlightState::Pending),
+                            state: Mutex::with_class(FlightState::Pending, "cache.flight"),
                             cv: Condvar::new(),
                         });
                         g.insert(key, f.clone());
@@ -422,7 +422,8 @@ impl BlockCache {
     /// `clio_cache_*` namespace, including a per-shard collector set
     /// (`clio_cache_shard<i>_*`) when the cache has more than one shard.
     pub fn register_into(self: &Arc<BlockCache>, reg: &clio_obs::MetricsRegistry) {
-        let counters: [(&str, fn(&CacheSnapshot) -> u64); 5] = [
+        type Field = fn(&CacheSnapshot) -> u64;
+        let counters: [(&str, Field); 5] = [
             ("clio_cache_hits_total", |s| s.hits),
             ("clio_cache_misses_total", |s| s.misses),
             ("clio_cache_inserts_total", |s| s.inserts),

@@ -233,7 +233,7 @@ impl ServiceObs {
     /// A timer for one traced span.
     #[must_use]
     pub fn start_span(&self) -> Instant {
-        Instant::now()
+        clio_obs::clock::now()
     }
 }
 

@@ -149,7 +149,7 @@ impl LogService {
     /// Reads and reassembles the entry at `addr` (public, lock-free:
     /// operates on the current read snapshot).
     pub fn read_entry(&self, addr: EntryAddr) -> Result<Entry> {
-        let start = std::time::Instant::now();
+        let start = clio_obs::clock::now();
         let before = self.obs.device_stats.snapshot().reads;
         let view = self.read_view();
         let r = self.read_entry_in(&view, addr);
@@ -299,7 +299,7 @@ impl LogService {
                 // visit it explicitly when the tree finds nothing.
                 let pending = self.pending_for(view, vol_idx);
                 let mut loc = Locator::new(&src, pending);
-                let t = std::time::Instant::now();
+                let t = clio_obs::clock::now();
                 let hop = loc.locate_at_or_after(ids, db + 1)?;
                 self.obs
                     .note_locate(ids.first().copied(), &loc.stats, t.elapsed());
@@ -386,7 +386,7 @@ impl LogService {
                     }
                     let pending = self.pending_for(view, vol_idx);
                     let mut loc = Locator::new(&src, pending);
-                    let t = std::time::Instant::now();
+                    let t = clio_obs::clock::now();
                     let hop = loc.locate_before(ids, db - 1)?;
                     self.obs
                         .note_locate(ids.first().copied(), &loc.stats, t.elapsed());
@@ -554,7 +554,7 @@ impl LogCursor<'_> {
         &mut self,
         op: impl FnOnce(&mut Self) -> Result<Option<Entry>>,
     ) -> Result<Option<Entry>> {
-        let start = std::time::Instant::now();
+        let start = clio_obs::clock::now();
         let before = self.svc.obs.device_stats.snapshot().reads;
         let r = op(self);
         let blocks = self

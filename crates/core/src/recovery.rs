@@ -80,7 +80,7 @@ impl LogService {
         cfg: ServiceConfig,
         clock: Arc<dyn Clock>,
     ) -> Result<(LogService, RecoveryReport)> {
-        let recover_start = std::time::Instant::now();
+        let recover_start = clio_obs::clock::now();
         let obs = crate::obs::ServiceObs::new(cfg.trace_events);
         let devices: Vec<SharedDevice> = devices
             .into_iter()
@@ -104,7 +104,7 @@ impl LogService {
 
         // Step 2: rebuild entrymap pending state per volume, invalidating
         // corrupt blocks as they are discovered.
-        let rebuild_start = std::time::Instant::now();
+        let rebuild_start = clio_obs::clock::now();
         let mut pendings: Vec<PendingMaps> = Vec::new();
         for v in 0..seq.volume_count() {
             let vol = seq.volume(v)?;
@@ -125,7 +125,7 @@ impl LogService {
 
         // Step 3: rebuild the catalog. Find the newest volume whose catalog
         // entries include a checkpoint and replay from there.
-        let catalog_start = std::time::Instant::now();
+        let catalog_start = clio_obs::clock::now();
         let mut per_volume: Vec<Vec<CatalogRecord>> = Vec::new();
         for v in 0..seq.volume_count() {
             let vol = seq.volume(v)?;

@@ -306,26 +306,35 @@ impl LogService {
             clock,
             cfg,
             obs,
-            state: Mutex::new(State {
-                catalog,
-                emap,
-                open: None,
-                sealed_pendings,
-                active_index,
-                pending_snap,
-                carryover: Vec::new(),
-                pending_badblocks: Vec::new(),
-                stats: SpaceStats::default(),
-                sealed_queue: Vec::new(),
-                staged_forced: 0,
-                forced_seq: 0,
-            }),
+            // Held across device writes by design: the appender (or the
+            // group-commit leader committing on behalf of followers)
+            // owns the append point end to end.
+            state: Mutex::with_class_io(
+                State {
+                    catalog,
+                    emap,
+                    open: None,
+                    sealed_pendings,
+                    active_index,
+                    pending_snap,
+                    carryover: Vec::new(),
+                    pending_badblocks: Vec::new(),
+                    stats: SpaceStats::default(),
+                    sealed_queue: Vec::new(),
+                    staged_forced: 0,
+                    forced_seq: 0,
+                },
+                "core.state",
+            ),
             view,
             commit: CommitGate {
-                m: Mutex::new(CommitClock {
-                    committed: 0,
-                    committing: false,
-                }),
+                m: Mutex::with_class(
+                    CommitClock {
+                        committed: 0,
+                        committing: false,
+                    },
+                    "core.commit_gate",
+                ),
                 cv: Condvar::new(),
             },
         }
@@ -410,7 +419,7 @@ impl LogService {
     /// exist (`create_log("/mail/smith")` needs `/mail`). The new log file
     /// is a sublog of its parent (§2.1).
     pub fn create_log(&self, path: &str) -> Result<LogFileId> {
-        let start = std::time::Instant::now();
+        let start = clio_obs::clock::now();
         let r = self.create_log_inner(path);
         self.obs
             .note_create(r.as_ref().ok().copied(), start.elapsed(), r.is_ok());
@@ -526,7 +535,7 @@ impl LogService {
 
     /// Appends `data` as one log entry of log file `id`.
     pub fn append(&self, id: LogFileId, data: &[u8], opts: AppendOpts) -> Result<Receipt> {
-        let start = std::time::Instant::now();
+        let start = clio_obs::clock::now();
         let before = self.obs.device_stats.snapshot().accesses();
         let r = self.append_inner(id, data, opts);
         let blocks = self
@@ -720,7 +729,7 @@ impl LogService {
         if items.is_empty() {
             return Ok(Vec::new());
         }
-        let start = std::time::Instant::now();
+        let start = clio_obs::clock::now();
         let group_forced = self.group_commit_on() && matches!(opts.durability, Durability::Forced);
         let mut noted: Vec<LogFileId> = Vec::with_capacity(items.len());
         let (r, my_seq) = {

@@ -173,7 +173,10 @@ impl LogService {
 
         // Fast path: the whole record fits the open block.
         {
-            let ob = st.open.as_mut().expect("ensure_open opened a block");
+            let ob = st
+                .open
+                .as_mut()
+                .expect("invariant: ensure_open left an open block in state");
             if let PushOutcome::Written(slot) = ob.builder.push(&header, payload) {
                 ob.ids.insert(header.id);
                 account(
@@ -222,7 +225,10 @@ impl LogService {
             self.ensure_open(st)?;
             let mut wrote = false;
             {
-                let ob = st.open.as_mut().expect("ensure_open opened a block");
+                let ob = st
+                    .open
+                    .as_mut()
+                    .expect("invariant: ensure_open left an open block in state");
                 let is_first = first.is_none();
                 let hdr = if is_first {
                     &first_header
@@ -265,7 +271,8 @@ impl LogService {
             }
         }
         account(&mut st.stats, &header, payload.len(), overhead, is_client);
-        let (db, slot) = first.expect("fragmentation wrote at least one fragment");
+        let (db, slot) =
+            first.expect("invariant: a non-empty entry always writes at least one fragment");
         Ok((vol_idx, db, slot))
     }
 

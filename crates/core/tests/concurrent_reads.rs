@@ -8,11 +8,12 @@
 //! sharded cache's per-shard counters stay consistent with the totals.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 use clio_core::service::{AppendOpts, LogService};
 use clio_core::ServiceConfig;
+use clio_testkit::sync::Mutex;
 use clio_types::{ManualClock, Timestamp, VolumeSeqId};
 use clio_volume::MemDevicePool;
 
@@ -77,7 +78,7 @@ fn readers_race_a_live_writer() {
                 // frozen open-block image.
                 let e = svc.read_entry(r.addr).unwrap();
                 assert_eq!(e.data, payload(i));
-                receipts.lock().unwrap().push(r.addr);
+                receipts.lock().push(r.addr);
             }
             done.store(true, Ordering::Release);
         })
@@ -93,7 +94,7 @@ fn readers_race_a_live_writer() {
                 let mut rounds = 0u64;
                 let mut x = 0x9E37_79B9u64 + t as u64;
                 while !(done.load(Ordering::Acquire) && rounds > 0) {
-                    let known: Vec<_> = receipts.lock().unwrap().clone();
+                    let known: Vec<_> = receipts.lock().clone();
                     if known.is_empty() {
                         std::thread::yield_now();
                         continue;

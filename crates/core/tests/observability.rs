@@ -42,7 +42,7 @@ fn histogram(reg: &MetricsRegistry, name: &str) -> clio_obs::HistSnapshot {
     for s in reg.gather() {
         if s.name == name {
             if let MetricValue::Histogram(h) = s.value {
-                return h;
+                return *h;
             }
             panic!("{name} is not a histogram");
         }

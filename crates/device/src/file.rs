@@ -1,13 +1,14 @@
 //! Host-file-backed write-once device.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::fs::File;
 use std::path::Path;
 
+use clio_testkit::lockdep;
 use clio_testkit::sync::Mutex;
 
 use clio_types::{BlockNo, ClioError, Result, INVALIDATED_BYTE};
 
+use crate::store::raw;
 use crate::traits::{check_len, LogDevice};
 
 /// A write-once device backed by an ordinary host file.
@@ -31,14 +32,9 @@ impl FileWormDevice {
         block_size: usize,
         capacity: u64,
     ) -> Result<FileWormDevice> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let file = raw::create_rw(path.as_ref())?;
         Ok(FileWormDevice {
-            file: Mutex::new(file),
+            file: Mutex::with_class(file, "device.file"),
             block_size,
             capacity,
             end_query: true,
@@ -55,7 +51,7 @@ impl FileWormDevice {
         block_size: usize,
         capacity: u64,
     ) -> Result<FileWormDevice> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let file = raw::open_rw(path.as_ref())?;
         let len = file.metadata()?.len();
         if len % block_size as u64 != 0 {
             return Err(ClioError::Io(format!(
@@ -63,7 +59,7 @@ impl FileWormDevice {
             )));
         }
         Ok(FileWormDevice {
-            file: Mutex::new(file),
+            file: Mutex::with_class(file, "device.file"),
             block_size,
             capacity,
             end_query: true,
@@ -108,6 +104,7 @@ impl LogDevice for FileWormDevice {
     }
 
     fn append_block(&self, expected: BlockNo, data: &[u8]) -> Result<()> {
+        lockdep::assert_no_locks_held("FileWormDevice::append_block");
         check_len(self.block_size, data.len())?;
         let mut g = self.file.lock();
         let end = self.end_blocks(&g)?;
@@ -120,8 +117,7 @@ impl LogDevice for FileWormDevice {
                 end: BlockNo(end),
             });
         }
-        g.seek(SeekFrom::End(0))?;
-        g.write_all(data)?;
+        raw::append_at_end(&mut g, data)?;
         Ok(())
     }
 
@@ -129,6 +125,7 @@ impl LogDevice for FileWormDevice {
         if blocks.is_empty() {
             return Ok(());
         }
+        lockdep::assert_no_locks_held("FileWormDevice::append_blocks");
         for b in blocks {
             check_len(self.block_size, b.len())?;
         }
@@ -151,8 +148,7 @@ impl LogDevice for FileWormDevice {
         for b in blocks {
             batch.extend_from_slice(b);
         }
-        g.seek(SeekFrom::End(0))?;
-        g.write_all(&batch)?;
+        raw::append_at_end(&mut g, &batch)?;
         g.sync_data()?;
         Ok(())
     }
@@ -166,12 +162,12 @@ impl LogDevice for FileWormDevice {
         if block.0 >= self.end_blocks(&g)? {
             return Err(ClioError::UnwrittenBlock(block));
         }
-        g.seek(SeekFrom::Start(block.0 * self.block_size as u64))?;
-        g.read_exact(buf)?;
+        raw::read_at(&mut g, block.0 * self.block_size as u64, buf)?;
         Ok(())
     }
 
     fn invalidate_block(&self, block: BlockNo) -> Result<()> {
+        lockdep::assert_no_locks_held("FileWormDevice::invalidate_block");
         if block.0 >= self.capacity {
             return Err(ClioError::OutOfRange(block));
         }
@@ -179,12 +175,16 @@ impl LogDevice for FileWormDevice {
         if block.0 >= self.end_blocks(&g)? {
             return Err(ClioError::UnwrittenBlock(block));
         }
-        g.seek(SeekFrom::Start(block.0 * self.block_size as u64))?;
-        g.write_all(&vec![INVALIDATED_BYTE; self.block_size])?;
+        raw::write_at(
+            &mut g,
+            block.0 * self.block_size as u64,
+            &vec![INVALIDATED_BYTE; self.block_size],
+        )?;
         Ok(())
     }
 
     fn sync(&self) -> Result<()> {
+        lockdep::assert_no_locks_held("FileWormDevice::sync");
         self.file.lock().sync_data()?;
         Ok(())
     }

@@ -1,5 +1,6 @@
 //! In-memory write-once device.
 
+use clio_testkit::lockdep;
 use clio_testkit::sync::Mutex;
 
 use clio_types::{BlockNo, ClioError, Result, INVALIDATED_BYTE};
@@ -34,11 +35,14 @@ impl MemWormDevice {
     #[must_use]
     pub fn new(block_size: usize, capacity: u64) -> MemWormDevice {
         MemWormDevice {
-            inner: Mutex::new(Inner {
-                data: Vec::new(),
-                end: 0,
-                invalidated: Vec::new(),
-            }),
+            inner: Mutex::with_class(
+                Inner {
+                    data: Vec::new(),
+                    end: 0,
+                    invalidated: Vec::new(),
+                },
+                "device.mem",
+            ),
             block_size,
             capacity,
             end_query: true,
@@ -111,6 +115,7 @@ impl LogDevice for MemWormDevice {
     }
 
     fn append_block(&self, expected: BlockNo, data: &[u8]) -> Result<()> {
+        lockdep::assert_no_locks_held("MemWormDevice::append_block");
         check_len(self.block_size, data.len())?;
         let mut g = self.inner.lock();
         if g.end >= self.capacity {
@@ -131,6 +136,7 @@ impl LogDevice for MemWormDevice {
         if blocks.is_empty() {
             return Ok(());
         }
+        lockdep::assert_no_locks_held("MemWormDevice::append_blocks");
         for b in blocks {
             check_len(self.block_size, b.len())?;
         }
@@ -167,6 +173,7 @@ impl LogDevice for MemWormDevice {
     }
 
     fn invalidate_block(&self, block: BlockNo) -> Result<()> {
+        lockdep::assert_no_locks_held("MemWormDevice::invalidate_block");
         if block.0 >= self.capacity {
             return Err(ClioError::OutOfRange(block));
         }

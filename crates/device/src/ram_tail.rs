@@ -35,7 +35,9 @@ impl RamTailDevice {
     pub fn new(inner: SharedDevice) -> RamTailDevice {
         RamTailDevice {
             inner,
-            tail: Mutex::new(None),
+            // Held across the inner device's appends by design: sealing
+            // the staged tail block must be atomic w.r.t. other appenders.
+            tail: Mutex::with_class_io(None, "device.ram_tail"),
         }
     }
 

@@ -10,7 +10,6 @@
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 use clio_obs::{Histogram, MetricsRegistry};
 use clio_types::{BlockNo, Result};
@@ -204,7 +203,8 @@ impl DeviceStats {
     /// Registers every counter and latency histogram into `reg` under the
     /// `clio_device_*` namespace.
     pub fn register_into(self: &Arc<DeviceStats>, reg: &MetricsRegistry) {
-        let counters: [(&str, fn(&StatsSnapshot) -> u64); 12] = [
+        type Field = fn(&StatsSnapshot) -> u64;
+        let counters: [(&str, Field); 12] = [
             ("clio_device_reads_total", |s| s.reads),
             ("clio_device_appends_total", |s| s.appends),
             ("clio_device_invalidations_total", |s| s.invalidations),
@@ -285,7 +285,7 @@ impl LogDevice for InstrumentedDevice {
     }
 
     fn is_written(&self, block: BlockNo) -> Result<bool> {
-        let start = Instant::now();
+        let start = clio_obs::clock::now();
         let r = self.inner.is_written(block);
         if r.is_ok() {
             self.stats.probe_latency_ns.record_duration(start.elapsed());
@@ -298,7 +298,7 @@ impl LogDevice for InstrumentedDevice {
     }
 
     fn append_block(&self, expected: BlockNo, data: &[u8]) -> Result<()> {
-        let start = Instant::now();
+        let start = clio_obs::clock::now();
         match self.inner.append_block(expected, data) {
             Ok(()) => {
                 self.stats
@@ -320,7 +320,7 @@ impl LogDevice for InstrumentedDevice {
             return Ok(());
         }
         let n = blocks.len() as u64;
-        let start = Instant::now();
+        let start = clio_obs::clock::now();
         match self.inner.append_blocks(expected, blocks) {
             Ok(()) => {
                 self.stats
@@ -344,7 +344,7 @@ impl LogDevice for InstrumentedDevice {
     }
 
     fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {
-        let start = Instant::now();
+        let start = clio_obs::clock::now();
         match self.inner.read_block(block, buf) {
             Ok(()) => {
                 self.stats.read_latency_ns.record_duration(start.elapsed());

@@ -5,13 +5,65 @@
 //! disks. [`BlockStore`] is that abstraction: fixed-size blocks, random read
 //! *and write* access.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::fs::File;
 use std::path::Path;
 
+use clio_testkit::lockdep;
 use clio_testkit::sync::Mutex;
 
 use clio_types::{BlockNo, ClioError, Result};
+
+/// The one place in the device layer allowed to touch raw host-file
+/// primitives.
+///
+/// Everything position- or extent-changing (`OpenOptions`, `seek`,
+/// `set_len`, positioned writes) funnels through these helpers so the
+/// write-once discipline of the devices built on top can be audited in
+/// one screen of code; the `worm-writes` rule in `clio-lint` rejects
+/// those primitives anywhere else under `crates/device/src`.
+pub(crate) mod raw {
+    use std::fs::{File, OpenOptions};
+    use std::io::{self, Read, Seek, SeekFrom, Write};
+    use std::path::Path;
+
+    /// Opens `path` read-write, creating or truncating it.
+    pub(crate) fn create_rw(path: &Path) -> io::Result<File> {
+        OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+    }
+
+    /// Opens an existing `path` read-write.
+    pub(crate) fn open_rw(path: &Path) -> io::Result<File> {
+        OpenOptions::new().read(true).write(true).open(path)
+    }
+
+    /// Extends (or shrinks) the file to exactly `len` bytes.
+    pub(crate) fn set_extent(file: &File, len: u64) -> io::Result<()> {
+        file.set_len(len)
+    }
+
+    /// Reads exactly `buf.len()` bytes at absolute offset `off`.
+    pub(crate) fn read_at(file: &mut File, off: u64, buf: &mut [u8]) -> io::Result<()> {
+        file.seek(SeekFrom::Start(off))?;
+        file.read_exact(buf)
+    }
+
+    /// Writes all of `data` at absolute offset `off`.
+    pub(crate) fn write_at(file: &mut File, off: u64, data: &[u8]) -> io::Result<()> {
+        file.seek(SeekFrom::Start(off))?;
+        file.write_all(data)
+    }
+
+    /// Appends all of `data` at the file's current end.
+    pub(crate) fn append_at_end(file: &mut File, data: &[u8]) -> io::Result<()> {
+        file.seek(SeekFrom::End(0))?;
+        file.write_all(data)
+    }
+}
 
 /// A rewriteable, block-oriented storage device (a conventional disk).
 pub trait BlockStore: Send + Sync {
@@ -69,7 +121,7 @@ impl MemBlockStore {
         MemBlockStore {
             block_size,
             capacity,
-            data: Mutex::new(vec![0; block_size * capacity as usize]),
+            data: Mutex::with_class(vec![0; block_size * capacity as usize], "device.store.mem"),
         }
     }
 
@@ -103,6 +155,7 @@ impl BlockStore for MemBlockStore {
     }
 
     fn write_block(&self, block: BlockNo, data: &[u8]) -> Result<()> {
+        lockdep::assert_no_locks_held("MemBlockStore::write_block");
         let off = self.check(block, data.len())?;
         self.data.lock()[off..off + self.block_size].copy_from_slice(data);
         Ok(())
@@ -123,17 +176,12 @@ impl FileBlockStore {
         block_size: usize,
         capacity: u64,
     ) -> Result<FileBlockStore> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
-        file.set_len(block_size as u64 * capacity)?;
+        let file = raw::create_rw(path.as_ref())?;
+        raw::set_extent(&file, block_size as u64 * capacity)?;
         Ok(FileBlockStore {
             block_size,
             capacity,
-            file: Mutex::new(file),
+            file: Mutex::with_class(file, "device.store.file"),
         })
     }
 
@@ -143,11 +191,11 @@ impl FileBlockStore {
         block_size: usize,
         capacity: u64,
     ) -> Result<FileBlockStore> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let file = raw::open_rw(path.as_ref())?;
         Ok(FileBlockStore {
             block_size,
             capacity,
-            file: Mutex::new(file),
+            file: Mutex::with_class(file, "device.store.file"),
         })
     }
 
@@ -176,21 +224,19 @@ impl BlockStore for FileBlockStore {
 
     fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {
         let off = self.check(block, buf.len())?;
-        let mut g = self.file.lock();
-        g.seek(SeekFrom::Start(off))?;
-        g.read_exact(buf)?;
+        raw::read_at(&mut self.file.lock(), off, buf)?;
         Ok(())
     }
 
     fn write_block(&self, block: BlockNo, data: &[u8]) -> Result<()> {
+        lockdep::assert_no_locks_held("FileBlockStore::write_block");
         let off = self.check(block, data.len())?;
-        let mut g = self.file.lock();
-        g.seek(SeekFrom::Start(off))?;
-        g.write_all(data)?;
+        raw::write_at(&mut self.file.lock(), off, data)?;
         Ok(())
     }
 
     fn sync(&self) -> Result<()> {
+        lockdep::assert_no_locks_held("FileBlockStore::sync");
         self.file.lock().sync_data()?;
         Ok(())
     }

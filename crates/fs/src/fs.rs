@@ -197,10 +197,15 @@ impl<S: BlockStore> FileSystem<S> {
         let fs = FileSystem {
             store,
             sb,
-            inner: Mutex::new(Inner {
-                alloc,
-                counters: FsCounters::default(),
-            }),
+            // io class: the allocator writes the bitmap through to the
+            // store while this lock is held (write-through consistency).
+            inner: Mutex::with_class_io(
+                Inner {
+                    alloc,
+                    counters: FsCounters::default(),
+                },
+                "fs.state",
+            ),
         };
         // Root directory.
         fs.put_inode(ROOT_INO, &Inode::empty(InodeKind::Dir))?;
@@ -227,10 +232,13 @@ impl<S: BlockStore> FileSystem<S> {
         Ok(FileSystem {
             store,
             sb,
-            inner: Mutex::new(Inner {
-                alloc,
-                counters: FsCounters::default(),
-            }),
+            inner: Mutex::with_class_io(
+                Inner {
+                    alloc,
+                    counters: FsCounters::default(),
+                },
+                "fs.state",
+            ),
         })
     }
 

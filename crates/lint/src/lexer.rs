@@ -1,0 +1,404 @@
+//! A minimal Rust lexer: just enough to tell code from comments and
+//! string literals, which is exactly what the retired `grep`-based CI
+//! check could not do.
+//!
+//! Handles line comments, nested block comments, cooked strings with
+//! escapes, raw/byte/C strings (`r".."`, `r#".."#`, `b".."`, `br#".."#`,
+//! `c".."`), char literals vs. lifetimes, identifiers (including
+//! `r#raw_idents`), numbers, and punctuation (`::` is merged into a
+//! single token because every rule matches on paths). It does not build
+//! a syntax tree and does not need to: the rules are token-sequence
+//! matchers.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// String literal of any flavor; `text` holds the *contents* (no
+    /// quotes, no prefix), so rules can inspect e.g. `expect(...)`
+    /// messages.
+    Str,
+    /// Character literal; `text` holds the contents.
+    Char,
+    /// Lifetime such as `'a` (without the quote).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// Punctuation; single character except for the merged `::`.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: Kind,
+    /// The token text (see [`Kind`] for what it holds per kind).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Whether `ident` is a string-literal prefix when directly followed by
+/// a quote (or `#`s then a quote for the raw flavors).
+fn is_str_prefix(ident: &str) -> bool {
+    matches!(ident, "r" | "b" | "br" | "rb" | "c" | "cr")
+}
+
+/// Lexes `src` into tokens, skipping comments and whitespace.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src,
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.i < self.b.len() {
+            let line = self.line;
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.skip_line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.skip_block_comment(),
+                b'"' => {
+                    let s = self.cooked_string();
+                    self.push(Kind::Str, s, line);
+                }
+                b'\'' => self.char_or_lifetime(line),
+                _ if is_ident_start(c) => self.ident_or_prefixed_string(line),
+                _ if c.is_ascii_digit() => {
+                    let s = self.number();
+                    self.push(Kind::Num, s, line);
+                }
+                b':' if self.peek(1) == Some(b':') => {
+                    self.i += 2;
+                    self.push(Kind::Punct, "::".to_string(), line);
+                }
+                _ => {
+                    // Multi-byte UTF-8 punctuation is impossible in the
+                    // positions our rules care about; emit byte-wise.
+                    let ch = self.src[self.i..]
+                        .chars()
+                        .next()
+                        .unwrap_or(char::from(self.b[self.i]));
+                    self.i += ch.len_utf8();
+                    self.push(Kind::Punct, ch.to_string(), line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: Kind, text: String, line: u32) {
+        self.toks.push(Tok { kind, text, line });
+    }
+
+    fn bump_line_on(&mut self, c: u8) {
+        if c == b'\n' {
+            self.line += 1;
+        }
+    }
+
+    fn skip_line_comment(&mut self) {
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                self.bump_line_on(self.b[self.i]);
+                self.i += 1;
+            }
+        }
+    }
+
+    /// At an opening `"`; consumes through the closing quote and returns
+    /// the contents.
+    fn cooked_string(&mut self) -> String {
+        self.i += 1;
+        let start = self.i;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => {
+                    self.i += 1;
+                    if self.i < self.b.len() {
+                        self.bump_line_on(self.b[self.i]);
+                        self.i += 1;
+                    }
+                }
+                b'"' => {
+                    let s = self.src[start..self.i].to_string();
+                    self.i += 1;
+                    return s;
+                }
+                c => {
+                    self.bump_line_on(c);
+                    self.i += 1;
+                }
+            }
+        }
+        self.src[start..].to_string()
+    }
+
+    /// At the first `#` or `"` of a raw string body (after the prefix);
+    /// consumes through the matching close and returns the contents.
+    fn raw_string(&mut self) -> String {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        self.i += 1; // the opening quote
+        let start = self.i;
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'"' {
+                let after = &self.b[self.i + 1..];
+                if after.len() >= hashes && after[..hashes].iter().all(|&c| c == b'#') {
+                    let s = self.src[start..self.i].to_string();
+                    self.i += 1 + hashes;
+                    return s;
+                }
+            }
+            self.bump_line_on(self.b[self.i]);
+            self.i += 1;
+        }
+        self.src[start..].to_string()
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        if self.peek(1) == Some(b'\\') {
+            // Escaped char literal: scan to the closing quote.
+            self.i += 2; // quote + backslash
+            let start = self.i;
+            if self.i < self.b.len() {
+                self.i += 1; // the escaped character itself
+            }
+            while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                self.i += 1;
+            }
+            let s = self.src[start.saturating_sub(1)..self.i.min(self.src.len())].to_string();
+            self.i += 1;
+            self.push(Kind::Char, s, line);
+            return;
+        }
+        let rest = &self.src[self.i + 1..];
+        let mut chs = rest.char_indices();
+        match (chs.next(), chs.next()) {
+            (Some((_, c0)), Some((j1, '\''))) if c0 != '\'' => {
+                // Plain char literal like 'x' (any single char).
+                self.i += 1 + j1 + 1;
+                self.push(Kind::Char, c0.to_string(), line);
+            }
+            (Some((_, c0)), _) if c0.is_alphabetic() || c0 == '_' => {
+                // Lifetime: consume the identifier after the quote.
+                self.i += 1;
+                let start = self.i;
+                while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                    self.i += 1;
+                }
+                let s = self.src[start..self.i].to_string();
+                self.push(Kind::Lifetime, s, line);
+            }
+            _ => {
+                // Lone quote (macro land); emit as punctuation.
+                self.i += 1;
+                self.push(Kind::Punct, "'".to_string(), line);
+            }
+        }
+    }
+
+    fn ident_or_prefixed_string(&mut self, line: u32) {
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        let ident = &self.src[start..self.i];
+        let next = self.peek(0);
+        if is_str_prefix(ident) && (next == Some(b'"') || next == Some(b'#')) {
+            // `r"..."`, `br#"..."#`, `b"..."`, `c"..."` etc. A `#` only
+            // continues a string for raw flavors; `b#` is not a string.
+            let raw = ident.contains('r');
+            if raw {
+                let s = self.raw_string();
+                self.push(Kind::Str, s, line);
+                return;
+            }
+            if next == Some(b'"') {
+                self.i += 1;
+                // cooked_string expects i at the quote's successor; step
+                // back so it consumes from the quote.
+                self.i -= 1;
+                let s = self.cooked_string();
+                self.push(Kind::Str, s, line);
+                return;
+            }
+        }
+        if ident == "r" && next == Some(b'#') && self.peek(1).is_some_and(is_ident_start) {
+            // Raw identifier `r#type`: merge into one Ident token.
+            self.i += 1; // '#'
+            let istart = self.i;
+            while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                self.i += 1;
+            }
+            let s = self.src[istart..self.i].to_string();
+            self.push(Kind::Ident, s, line);
+            return;
+        }
+        self.push(Kind::Ident, ident.to_string(), line);
+    }
+
+    fn number(&mut self) -> String {
+        let start = self.i;
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            if is_ident_continue(c) {
+                self.i += 1;
+            } else if c == b'.'
+                && self.peek(1).is_some_and(|n| n.is_ascii_digit())
+                && self.b[self.i - 1].is_ascii_digit()
+            {
+                // `1.5` continues the number; `0..5` does not.
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        self.src[start..self.i].to_string()
+    }
+}
+
+/// True when `toks[at..]` is the path `segs[0] :: segs[1] :: ...`.
+pub fn match_path(toks: &[Tok], at: usize, segs: &[&str]) -> bool {
+    let mut i = at;
+    for (n, seg) in segs.iter().enumerate() {
+        if n > 0 {
+            match toks.get(i) {
+                Some(t) if t.kind == Kind::Punct && t.text == "::" => i += 1,
+                _ => return false,
+            }
+        }
+        match toks.get(i) {
+            Some(t) if t.kind == Kind::Ident && t.text == *seg => i += 1,
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let toks = kinds(
+            r##"
+            // parking_lot in a comment
+            /* crossbeam /* nested */ still comment */
+            let s = "proptest inside a string";
+            let r = r#"criterion raw "quoted" string"#;
+            real_ident
+            "##,
+        );
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "let", "r", "real_ident"]);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            strs,
+            vec![
+                "proptest inside a string",
+                r#"criterion raw "quoted" string"#
+            ]
+        );
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("let c: char = 'a'; fn f<'a>(x: &'a str) { let q = '\\n'; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let chars = toks.iter().filter(|(k, _)| *k == Kind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn double_colon_merges_and_paths_match() {
+        let toks = lex("std::sync::Mutex::new(0)");
+        assert!(match_path(&toks, 0, &["std", "sync", "Mutex"]));
+        assert!(!match_path(&toks, 0, &["std", "sync", "RwLock"]));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "a\n/* x\ny */\n\"s1\\\ns2\"\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 4); // the string starts on line 4
+        assert_eq!(toks[2].line, 6); // `b` after the embedded newline
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let toks = lex(r#"x "a\"b" y"#);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].kind, Kind::Str);
+        assert_eq!(toks[1].text, r#"a\"b"#);
+    }
+}

@@ -1,0 +1,91 @@
+//! The ratchet baseline file, `lint/ratchet.toml`.
+//!
+//! A deliberately tiny TOML subset — comments, one `[unwrap]` table,
+//! `key = integer` pairs — parsed in-tree because the workspace takes no
+//! registry dependencies. [`render`] regenerates the file in canonical
+//! form so `--update-ratchet` output is always diff-stable.
+
+use std::collections::BTreeMap;
+
+/// Parses a baseline file into `key -> (count, line)` (the line is kept
+/// so ratchet diagnostics point at the entry to edit).
+pub fn parse(content: &str) -> Result<BTreeMap<String, (u64, u32)>, String> {
+    let mut out = BTreeMap::new();
+    let mut in_unwrap = false;
+    for (n, raw) in content.lines().enumerate() {
+        let lineno = u32::try_from(n + 1).unwrap_or(u32::MAX);
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            if section.trim() != "unwrap" {
+                return Err(format!("line {lineno}: unknown section [{section}]"));
+            }
+            in_unwrap = true;
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "line {lineno}: expected `key = count`, got `{line}`"
+            ));
+        };
+        if !in_unwrap {
+            return Err(format!("line {lineno}: entry outside the [unwrap] section"));
+        }
+        let key = key.trim().to_string();
+        let count: u64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {lineno}: `{}` is not a count", value.trim()))?;
+        if out.insert(key.clone(), (count, lineno)).is_some() {
+            return Err(format!("line {lineno}: duplicate entry `{key}`"));
+        }
+    }
+    Ok(out)
+}
+
+/// Renders measured counts as a canonical baseline file.
+#[must_use]
+pub fn render(counts: &BTreeMap<String, u64>) -> String {
+    let mut s = String::from(
+        "# unwrap-ratchet baseline (see clio-lint). Per-crate counts of\n\
+         # `.unwrap()` and undocumented `.expect(...)` in library code\n\
+         # (crates/*/src and the root src/). `expect(\"invariant: ...\")`\n\
+         # is exempt. These numbers may only go down; after an\n\
+         # improvement, regenerate with:\n\
+         #\n\
+         #     cargo run --release --offline -p clio-lint -- --update-ratchet\n\
+         \n\
+         [unwrap]\n",
+    );
+    for (key, count) in counts {
+        s.push_str(&format!("{key} = {count}\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_canonical_form() {
+        let mut counts = BTreeMap::new();
+        counts.insert("core".to_string(), 7u64);
+        counts.insert("device".to_string(), 0u64);
+        let text = render(&counts);
+        let parsed = parse(&text).expect("canonical form parses");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["core"].0, 7);
+        assert_eq!(parsed["device"].0, 0);
+    }
+
+    #[test]
+    fn rejects_junk() {
+        assert!(parse("[other]\n").is_err());
+        assert!(parse("core = 1\n").is_err(), "entry before section");
+        assert!(parse("[unwrap]\ncore = x\n").is_err());
+        assert!(parse("[unwrap]\ncore = 1\ncore = 2\n").is_err());
+    }
+}

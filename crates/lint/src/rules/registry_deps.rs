@@ -1,0 +1,95 @@
+//! `no-registry-deps`: the workspace is hermetic. The registry crates it
+//! once used were replaced by in-tree equivalents in `clio-testkit`
+//! (see DESIGN.md "Hermetic workspace"), and they must not creep back in
+//! through either source code or a manifest. This rule replaces the old
+//! CI `grep`, which flagged comments and strings; the token stream here
+//! only ever matches live identifiers.
+
+use crate::lexer::Kind;
+use crate::{Diag, SourceFile};
+
+/// Rule name used in diagnostics.
+pub const NAME: &str = "no-registry-deps";
+
+/// Crates retired when the workspace went hermetic. `crossbeam` is a
+/// prefix match (`crossbeam-utils`, `crossbeam_channel`, …); `rand` only
+/// counts when used as a path root, so a local `rand` variable is fine.
+const RETIRED: &[&str] = &["parking_lot", "proptest", "criterion"];
+
+fn replacement(name: &str) -> &'static str {
+    match name {
+        "parking_lot" => "clio_testkit::sync",
+        "proptest" => "clio_testkit::{rng, devcheck}",
+        "criterion" => "clio_testkit::bench",
+        _ if name.starts_with("crossbeam") => "clio_testkit::sync + std channels",
+        _ => "clio_testkit::rng",
+    }
+}
+
+/// Flags retired crate names used as identifiers in source.
+pub fn check(sf: &SourceFile, out: &mut Vec<Diag>) {
+    for (i, t) in sf.toks.iter().enumerate() {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        let hit = RETIRED.contains(&name)
+            || name.starts_with("crossbeam")
+            || (name == "rand" && sf.is_punct(i + 1, "::"));
+        if hit {
+            out.push(Diag {
+                rel: sf.rel.clone(),
+                line: t.line,
+                rule: NAME,
+                msg: format!(
+                    "retired registry crate `{name}` — the workspace is hermetic; \
+                     use {} instead",
+                    replacement(name)
+                ),
+            });
+        }
+    }
+}
+
+/// Flags retired crate names in a `Cargo.toml`, ignoring comments.
+pub fn check_toml(rel: &str, content: &str, out: &mut Vec<Diag>) {
+    for (n, raw) in content.lines().enumerate() {
+        let line = strip_toml_comment(raw);
+        for word in split_words(line) {
+            let hit = RETIRED.contains(&word) || word.starts_with("crossbeam") || word == "rand";
+            if hit {
+                out.push(Diag {
+                    rel: rel.to_string(),
+                    line: u32::try_from(n + 1).unwrap_or(u32::MAX),
+                    rule: NAME,
+                    msg: format!(
+                        "retired registry crate `{word}` in manifest — the workspace \
+                         builds offline from in-tree crates only"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Truncates a TOML line at the first `#` outside a basic string.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Splits on everything that can't be part of a crate name (`-` and `_`
+/// both bind, so `crossbeam-utils` is one word).
+fn split_words(line: &str) -> impl Iterator<Item = &str> {
+    line.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '-'))
+        .filter(|w| !w.is_empty())
+}

@@ -1,0 +1,52 @@
+//! `no-wallclock`: determinism policy. Test schedules and recovery
+//! results must be replayable, so product code never reads the host
+//! clock directly. Latency spans come from `clio_obs::clock::now()`;
+//! semantic timestamps come from `clio_types::time::Clock`, which tests
+//! replace with a logical clock. Only the approved timing modules may
+//! call `Instant::now()` / `SystemTime::now()` themselves.
+
+use crate::lexer::match_path;
+use crate::{Diag, SourceFile};
+
+/// Rule name used in diagnostics.
+pub const NAME: &str = "no-wallclock";
+
+/// Where direct host-clock reads are the point:
+/// - `crates/sim/` — the simulator owns virtual/real time mapping;
+/// - `crates/obs/src/` — `clio_obs::clock` is the sanctioned funnel, and
+///   trace timestamps are observability;
+/// - `crates/bench/` — benchmark drivers measure wall time;
+/// - `crates/testkit/src/bench.rs` — the in-tree bench timer;
+/// - `crates/types/src/time.rs` — `SystemClock`, the one production
+///   implementation of the semantic `Clock` trait.
+const APPROVED: &[&str] = &[
+    "crates/sim/",
+    "crates/obs/src/",
+    "crates/bench/",
+    "crates/testkit/src/bench.rs",
+    "crates/types/src/time.rs",
+];
+
+/// Flags `Instant::now()` and `SystemTime::now()` outside the approved
+/// modules (test code included: deterministic tests are the point).
+pub fn check(sf: &SourceFile, out: &mut Vec<Diag>) {
+    if APPROVED.iter().any(|p| sf.rel.starts_with(p)) {
+        return;
+    }
+    let toks = &sf.toks;
+    for i in 0..toks.len() {
+        for root in ["Instant", "SystemTime"] {
+            if match_path(toks, i, &[root, "now"]) {
+                out.push(Diag {
+                    rel: sf.rel.clone(),
+                    line: toks[i].line,
+                    rule: NAME,
+                    msg: format!(
+                        "host clock read `{root}::now()` — use clio_obs::clock::now() \
+                         for latency spans or clio_types::time::Clock for semantic time"
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: raw std blocking primitives, plain and grouped.
+use std::sync::Mutex;
+use std::sync::{Arc, Condvar, RwLock};
+
+fn f() {
+    let m = std::sync::Mutex::new(0);
+    let _ = (m, Arc::new(()));
+}

@@ -1,0 +1,11 @@
+//! Fixture: every retired registry crate, used for real. The comment
+//! mentions of parking_lot here must NOT be flagged; the uses must.
+use crossbeam_channel::bounded;
+use parking_lot::Mutex;
+
+fn f() {
+    let m = Mutex::new(0);
+    let _ = proptest::arbitrary::<u32>();
+    let _ = criterion::black_box(m);
+    let _ = rand::random::<u8>();
+}

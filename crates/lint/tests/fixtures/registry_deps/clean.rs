@@ -1,0 +1,9 @@
+//! Fixture: parking_lot, crossbeam, proptest, criterion in prose — a
+//! doc comment is not a dependency.
+
+fn f() {
+    let s = "crossbeam inside a string is fine";
+    let r = r#"so is proptest in a raw string"#;
+    let rand = 3; // a local named `rand` is not a path root
+    let _ = rand + s.len() + r.len();
+}

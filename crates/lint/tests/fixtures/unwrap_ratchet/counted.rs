@@ -1,0 +1,18 @@
+//! Fixture: two ratcheted calls — a bare unwrap and an undocumented
+//! expect. The documented invariant and the whole test module are
+//! exempt, and `unwrap_or` is a different method.
+fn f(o: Option<u32>) -> u32 {
+    let a = o.unwrap();
+    let b = o.expect("should never happen");
+    let c = o.expect("invariant: caller verified is_some above");
+    let d = o.unwrap_or(0);
+    a + b + c + d
+}
+
+#[cfg(test)]
+mod tests {
+    fn t(o: Option<u32>) {
+        o.unwrap();
+        o.expect("tests may be blunt");
+    }
+}

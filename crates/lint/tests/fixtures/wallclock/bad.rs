@@ -1,0 +1,8 @@
+//! Fixture: direct host-clock reads in product code.
+use std::time::{Instant, SystemTime};
+
+fn f() {
+    let t = std::time::Instant::now();
+    let s = SystemTime::now();
+    let _ = (t, s, Instant::now());
+}

@@ -1,0 +1,10 @@
+//! Fixture: the sanctioned ways to tell time. `Instant::now()` in this
+//! doc comment and in the string below are prose, not clock reads.
+use std::time::Instant;
+
+fn f(clock: &dyn clio_types::time::Clock) {
+    let span: Instant = clio_obs::clock::now();
+    let ts = clock.now();
+    let s = "Instant::now() spelled out";
+    let _ = (span, ts, s);
+}

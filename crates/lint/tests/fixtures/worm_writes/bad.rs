@@ -1,0 +1,19 @@
+//! Fixture: raw file primitives loose in the device layer. The test
+//! module at the bottom is exempt (crash tests corrupt files on
+//! purpose); everything above it must be flagged.
+use std::fs::OpenOptions;
+use std::io::{Seek, SeekFrom};
+
+fn f(file: &mut std::fs::File) {
+    file.seek(SeekFrom::Start(0)).ok();
+    file.set_len(0).ok();
+    let _ = std::fs::File::create("x");
+    std::fs::write("x", b"y").ok();
+}
+
+#[cfg(test)]
+mod tests {
+    fn torn_tail() {
+        std::fs::write("x", b"y").ok();
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: device code that plays by the rules — all raw access goes
+//! through the audited surface. `OpenOptions` in this comment is prose.
+use crate::store::raw;
+
+fn f(file: &mut std::fs::File, buf: &[u8]) -> std::io::Result<u64> {
+    raw::append_at_end(file, buf)
+}

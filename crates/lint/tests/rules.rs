@@ -1,0 +1,248 @@
+//! Per-rule self-tests over the fixtures in `tests/fixtures/`. Each rule
+//! is fed deliberately-bad and deliberately-clean sources through the
+//! library API with synthetic workspace-relative paths; the fixtures
+//! live in a `fixtures/` directory precisely so the workspace walker
+//! skips them and the shipped tree stays lint-clean.
+
+use std::collections::BTreeMap;
+
+use clio_lint::rules::{raw_locks, registry_deps, unwrap_ratchet, wallclock, worm_writes};
+use clio_lint::{Diag, SourceFile};
+
+fn lint(rel: &str, src: &str, rule: impl Fn(&SourceFile, &mut Vec<Diag>)) -> Vec<Diag> {
+    let sf = SourceFile::parse(rel, src);
+    let mut out = Vec::new();
+    rule(&sf, &mut out);
+    out
+}
+
+#[test]
+fn registry_deps_flags_every_retired_crate() {
+    let diags = lint(
+        "crates/x/src/lib.rs",
+        include_str!("fixtures/registry_deps/bad.rs"),
+        registry_deps::check,
+    );
+    let names: Vec<&str> = diags.iter().map(|d| d.msg.as_str()).collect();
+    assert_eq!(diags.len(), 5, "{names:?}");
+    for needle in [
+        "parking_lot",
+        "crossbeam_channel",
+        "proptest",
+        "criterion",
+        "rand",
+    ] {
+        assert!(
+            names.iter().any(|m| m.contains(needle)),
+            "missing {needle} in {names:?}"
+        );
+    }
+    assert!(diags
+        .iter()
+        .all(|d| d.line > 0 && d.rule == "no-registry-deps"));
+}
+
+#[test]
+fn registry_deps_ignores_comments_strings_and_locals() {
+    let diags = lint(
+        "crates/x/src/lib.rs",
+        include_str!("fixtures/registry_deps/clean.rs"),
+        registry_deps::check,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn registry_deps_catches_manifest_lines_but_not_comments() {
+    let bad = "[dependencies]\nparking_lot = \"0.12\"\n\
+               crossbeam-utils = { version = \"0.8\" }\nrand = \"0.8\"\n\
+               # criterion = \"0.5\" is only a comment\n";
+    let mut diags = Vec::new();
+    registry_deps::check_toml("crates/x/Cargo.toml", bad, &mut diags);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert_eq!(diags[0].line, 2);
+    assert!(diags[1].msg.contains("crossbeam-utils"));
+
+    // A rename can smuggle a dep inside a string — strings are checked.
+    let mut renamed = Vec::new();
+    registry_deps::check_toml(
+        "crates/x/Cargo.toml",
+        "quick = { package = \"proptest\", version = \"1\" }\n",
+        &mut renamed,
+    );
+    assert_eq!(renamed.len(), 1, "{renamed:?}");
+
+    let mut clean = Vec::new();
+    registry_deps::check_toml(
+        "crates/x/Cargo.toml",
+        "clio-testkit.workspace = true\n[features]\nrandomized = []\n",
+        &mut clean,
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn raw_locks_flags_plain_and_grouped_imports() {
+    let diags = lint(
+        "crates/core/src/lib.rs",
+        include_str!("fixtures/raw_locks/bad.rs"),
+        raw_locks::check,
+    );
+    assert_eq!(diags.len(), 4, "{diags:?}");
+    let mut hit: Vec<&str> = diags
+        .iter()
+        .map(|d| {
+            ["Mutex", "RwLock", "Condvar"]
+                .into_iter()
+                .find(|b| d.msg.contains(&format!("std::sync::{b}")))
+                .unwrap_or("?")
+        })
+        .collect();
+    hit.sort_unstable();
+    assert_eq!(hit, vec!["Condvar", "Mutex", "Mutex", "RwLock"]);
+}
+
+#[test]
+fn raw_locks_allows_testkit_and_nonblocking_std_sync() {
+    let src = include_str!("fixtures/raw_locks/clean.rs");
+    assert!(lint("crates/core/src/lib.rs", src, raw_locks::check).is_empty());
+    // The instrumented wrappers themselves are the one allowed home.
+    let bad = include_str!("fixtures/raw_locks/bad.rs");
+    assert!(lint("crates/testkit/src/sync.rs", bad, raw_locks::check).is_empty());
+}
+
+#[test]
+fn wallclock_flags_clock_reads_outside_approved_modules() {
+    let bad = include_str!("fixtures/wallclock/bad.rs");
+    let diags = lint("crates/core/src/service.rs", bad, wallclock::check);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().any(|d| d.msg.contains("SystemTime::now")));
+    assert!(diags.iter().any(|d| d.msg.contains("Instant::now")));
+    // The same source is fine where measuring wall time is the point.
+    assert!(lint("crates/bench/src/bin/x.rs", bad, wallclock::check).is_empty());
+    assert!(lint("crates/sim/src/lib.rs", bad, wallclock::check).is_empty());
+}
+
+#[test]
+fn wallclock_allows_the_sanctioned_funnels() {
+    let diags = lint(
+        "crates/core/src/read.rs",
+        include_str!("fixtures/wallclock/clean.rs"),
+        wallclock::check,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn worm_writes_confines_raw_file_primitives_to_store() {
+    let bad = include_str!("fixtures/worm_writes/bad.rs");
+    let diags = lint("crates/device/src/file.rs", bad, worm_writes::check);
+    assert_eq!(diags.len(), 8, "{diags:?}");
+    for needle in [
+        "OpenOptions",
+        "SeekFrom",
+        "`seek`",
+        "set_len",
+        "File::create",
+        "fs::write",
+    ] {
+        assert!(
+            diags.iter().any(|d| d.msg.contains(needle)),
+            "missing {needle} in {diags:?}"
+        );
+    }
+    // The audited surface itself may use the primitives...
+    assert!(lint("crates/device/src/store.rs", bad, worm_writes::check).is_empty());
+    // ...and so may code outside the device layer entirely.
+    assert!(lint("crates/fs/src/fs.rs", bad, worm_writes::check).is_empty());
+}
+
+#[test]
+fn worm_writes_exempts_test_modules_and_clean_code() {
+    let bad = include_str!("fixtures/worm_writes/bad.rs");
+    let diags = lint("crates/device/src/file.rs", bad, worm_writes::check);
+    // The #[cfg(test)] fs::write at the bottom contributes nothing: all 8
+    // findings sit above the test module.
+    let max_line = diags.iter().map(|d| d.line).max().unwrap_or(0);
+    assert!(max_line <= 11, "test-module write was flagged: {diags:?}");
+    let clean = include_str!("fixtures/worm_writes/clean.rs");
+    assert!(lint("crates/device/src/mirror.rs", clean, worm_writes::check).is_empty());
+}
+
+#[test]
+fn unwrap_ratchet_counts_only_undocumented_library_calls() {
+    let sf = SourceFile::parse(
+        "crates/x/src/lib.rs",
+        include_str!("fixtures/unwrap_ratchet/counted.rs"),
+    );
+    assert_eq!(unwrap_ratchet::count_file(&sf), 2);
+}
+
+#[test]
+fn unwrap_ratchet_scopes_to_library_code() {
+    assert_eq!(
+        unwrap_ratchet::crate_key("crates/device/src/file.rs").as_deref(),
+        Some("device")
+    );
+    assert_eq!(
+        unwrap_ratchet::crate_key("src/bin/cliodump.rs").as_deref(),
+        Some("clio")
+    );
+    assert_eq!(unwrap_ratchet::crate_key("crates/device/tests/t.rs"), None);
+    assert_eq!(unwrap_ratchet::crate_key("tests/end_to_end.rs"), None);
+    assert_eq!(unwrap_ratchet::crate_key("examples/demo.rs"), None);
+}
+
+#[test]
+fn unwrap_ratchet_compare_reports_all_four_drifts() {
+    let counts: BTreeMap<String, u64> = [
+        ("up".to_string(), 3u64),
+        ("down".to_string(), 1),
+        ("new".to_string(), 0),
+    ]
+    .into_iter()
+    .collect();
+    let baseline = "[unwrap]\nup = 2\ndown = 4\ngone = 1\n";
+    let mut diags = Vec::new();
+    unwrap_ratchet::compare(&counts, baseline, &mut diags);
+    assert_eq!(diags.len(), 4, "{diags:?}");
+    assert!(diags.iter().any(|d| d.msg.contains("regressed: 2 -> 3")));
+    assert!(diags.iter().any(|d| d.msg.contains("improved to 1")));
+    assert!(diags
+        .iter()
+        .any(|d| d.msg.contains("`new` has no baseline")));
+    assert!(diags
+        .iter()
+        .any(|d| d.msg.contains("stale baseline entry `gone`")));
+    // Exact match is silent.
+    let mut ok = Vec::new();
+    unwrap_ratchet::compare(&counts, "[unwrap]\nup = 3\ndown = 1\nnew = 0\n", &mut ok);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+/// The shipped tree is lint-clean and matches its committed ratchet —
+/// the same invariant CI enforces, checked here so `cargo test` alone
+/// catches a violation.
+#[test]
+fn shipped_tree_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let ws = clio_lint::load_workspace(&root).expect("workspace loads");
+    let report = clio_lint::check_workspace(&ws);
+    let mut diags = report.diags;
+    let baseline = std::fs::read_to_string(root.join(unwrap_ratchet::RATCHET_REL))
+        .expect("lint/ratchet.toml is committed");
+    unwrap_ratchet::compare(&report.unwrap_counts, &baseline, &mut diags);
+    assert!(
+        diags.is_empty(),
+        "tree has lint violations:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.rust_files > 100, "walker missed most of the tree");
+}

@@ -1,0 +1,19 @@
+//! The workspace's single source of host wall-clock readings.
+//!
+//! Determinism policy (see DESIGN.md "Static analysis & lockdep"): test
+//! schedules and recovery results must be replayable, so product code
+//! never reads the host clock directly — the `no-wallclock` rule in
+//! `clio-lint` rejects `Instant::now()`/`SystemTime::now()` outside the
+//! approved timing modules. Latency measurement is observability, so it
+//! funnels through here: a span obtained from [`now`] is self-describing
+//! in profiles and grep-able in one place. Semantic time (timestamps
+//! stored in log entries) is a different thing entirely and comes from
+//! `clio_types::time::Clock`, which tests replace with a logical clock.
+
+pub use std::time::Instant;
+
+/// An opaque moment, for measuring elapsed time via `Instant::elapsed`.
+#[must_use]
+pub fn now() -> Instant {
+    Instant::now()
+}

@@ -140,7 +140,7 @@ mod tests {
         assert_eq!(h.get("count").and_then(Value::as_i64), Some(4));
         assert_eq!(h.get("max").and_then(Value::as_i64), Some(100_000));
         let p50 = h.get("p50").and_then(Value::as_i64).unwrap();
-        assert!(p50 >= 200 && p50 <= 400, "p50 = {p50}");
+        assert!((200..=400).contains(&p50), "p50 = {p50}");
     }
 
     #[test]

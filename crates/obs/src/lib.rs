@@ -24,6 +24,7 @@
 //! `clio_core_append_latency_ns`. Counters end in `_total`; histograms
 //! name their unit.
 
+pub mod clock;
 pub mod expo;
 pub mod hist;
 pub mod json;

@@ -74,8 +74,9 @@ pub enum MetricValue {
     Counter(u64),
     /// A gauge reading.
     Gauge(i64),
-    /// A histogram snapshot.
-    Histogram(HistSnapshot),
+    /// A histogram snapshot (boxed: a snapshot is ~500 bytes of buckets,
+    /// which would otherwise bloat every counter sample to match).
+    Histogram(Box<HistSnapshot>),
 }
 
 /// One named sample from [`MetricsRegistry::gather`].
@@ -196,7 +197,7 @@ impl MetricsRegistry {
                 value: match metric {
                     Metric::Counter(c) => MetricValue::Counter(c.get()),
                     Metric::Gauge(g) => MetricValue::Gauge(g.get()),
-                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
                     Metric::CounterFn(f) => MetricValue::Counter(f()),
                     Metric::GaugeFn(f) => MetricValue::Gauge(f()),
                 },

@@ -12,6 +12,11 @@
 //! below `clio-device` in the dependency order, so the device under test
 //! is reached through closures rather than the `LogDevice` trait.
 
+/// A vectored-append closure: `(expected_block_no, block_images)`.
+pub type BatchFn = Box<dyn FnMut(u64, &[Vec<u8>]) -> Result<(), String>>;
+/// A single-append closure: `(expected_block_no, block_image)`.
+pub type AppendFn = Box<dyn FnMut(u64, &[u8]) -> Result<(), String>>;
+
 /// A device under conformance test, abstracted behind closures so the
 /// harness does not need the `LogDevice` trait.
 ///
@@ -22,9 +27,9 @@
 /// error payloads.
 pub struct BatchDevice {
     /// Vectored append at the given expected block number.
-    pub append_batch: Box<dyn FnMut(u64, &[Vec<u8>]) -> Result<(), String>>,
+    pub append_batch: BatchFn,
     /// Single-block append at the given expected block number.
-    pub append_one: Box<dyn FnMut(u64, &[u8]) -> Result<(), String>>,
+    pub append_one: AppendFn,
     /// Read one written block.
     pub read: Box<dyn Fn(u64) -> Result<Vec<u8>, String>>,
     /// Current append point (written-block count).
@@ -147,7 +152,7 @@ mod tests {
 
     /// A minimal in-memory append-only device used to self-test the
     /// harness (the real devices live above this crate).
-    fn toy(block_size: usize, batch_bug: bool) -> BatchDevice {
+    fn toy(batch_bug: bool) -> BatchDevice {
         let blocks: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
         let (b1, b2, b3) = (blocks.clone(), blocks.clone(), blocks.clone());
         BatchDevice {
@@ -185,12 +190,12 @@ mod tests {
 
     #[test]
     fn harness_accepts_a_correct_device() {
-        check_batch_append_conformance(32, || toy(32, false));
+        check_batch_append_conformance(32, || toy(false));
     }
 
     #[test]
     #[should_panic(expected = "diverges")]
     fn harness_catches_a_batch_that_mangles_bytes() {
-        check_batch_append_conformance(32, || toy(32, true));
+        check_batch_append_conformance(32, || toy(true));
     }
 }

@@ -11,7 +11,10 @@
 //! * [`sync`] — API-compatible, poison-transparent wrappers over
 //!   [`std::sync`]'s `Mutex`/`RwLock`/`Condvar` (the guard-returning subset
 //!   the workspace used: `lock()`/`read()`/`write()` return guards
-//!   directly, never a `Result`).
+//!   directly, never a `Result`), instrumented for lock-order validation.
+//! * [`lockdep`] — the validator behind those wrappers: lock classes,
+//!   a per-thread held stack, and a global acquisition-order graph with
+//!   cycle detection, enabled by `CLIO_LOCKDEP=1`.
 //! * [`rng`] — a seeded SplitMix64/xoshiro256++ PRNG replacing `rand`.
 //!   Everything is reproducible from a printed `u64` seed.
 //! * [`prop`] — a small property-testing harness:
@@ -27,6 +30,7 @@
 
 pub mod bench;
 pub mod devcheck;
+pub mod lockdep;
 pub mod prop;
 pub mod rng;
 pub mod sync;

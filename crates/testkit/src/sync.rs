@@ -1,4 +1,5 @@
-//! Poison-transparent wrappers over [`std::sync`] locks.
+//! Poison-transparent wrappers over [`std::sync`] locks, instrumented
+//! for lock-order validation.
 //!
 //! The workspace uses the guard-returning lock calling convention
 //! everywhere:
@@ -10,24 +11,71 @@
 //! which has no poisoning at all). Tests that kill threads mid-operation
 //! rely on this: the crash/recovery storms must be able to re-inspect
 //! state after a deliberate panic.
+//!
+//! Every lock additionally carries a [`crate::lockdep`] class — by
+//! default keyed to its creation site (so the N cache shards built in
+//! one loop share one class), or named explicitly:
+//!
+//! * [`Mutex::with_class`] / [`RwLock::with_class`] — a named class,
+//!   *strict*: holding it across blocking device I/O trips
+//!   [`crate::lockdep::assert_no_locks_held`].
+//! * [`Mutex::with_class_io`] / [`RwLock::with_class_io`] — a named
+//!   class that is allowed to span device writes (e.g. the append-state
+//!   mutex the group-commit leader holds while committing).
+//!
+//! Tracking is entirely inert unless `CLIO_LOCKDEP=1` is set; see the
+//! [`crate::lockdep`] module docs.
 
 use std::fmt;
+use std::panic::Location;
 use std::sync::TryLockError;
+
+use crate::lockdep;
+use crate::lockdep::LockMeta;
 
 /// A mutual-exclusion lock whose `lock()` returns the guard directly.
 pub struct Mutex<T: ?Sized> {
+    meta: LockMeta,
     inner: std::sync::Mutex<T>,
 }
 
 /// RAII guard for [`Mutex`]; releases the lock on drop.
 pub struct MutexGuard<'a, T: ?Sized> {
-    pub(crate) inner: std::sync::MutexGuard<'a, T>,
+    // `Option` so `Condvar::wait` can move the std guard out without
+    // running this guard's release bookkeeping; `None` only transiently
+    // inside `wait` and during drop.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    dep: lockdep::Held,
 }
 
 impl<T> Mutex<T> {
-    /// Creates a new unlocked mutex.
+    /// Creates a new unlocked mutex. Its lockdep class is this call site.
+    #[track_caller]
     pub const fn new(value: T) -> Mutex<T> {
         Mutex {
+            meta: LockMeta::new(Location::caller(), None, false),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a mutex in the named lockdep class.
+    ///
+    /// Strict: holding it across blocking device I/O is reported by
+    /// [`lockdep::assert_no_locks_held`].
+    #[track_caller]
+    pub const fn with_class(value: T, class: &'static str) -> Mutex<T> {
+        Mutex {
+            meta: LockMeta::new(Location::caller(), Some(class), false),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a mutex in the named lockdep class, marked as safe to
+    /// hold across blocking device I/O.
+    #[track_caller]
+    pub const fn with_class_io(value: T, class: &'static str) -> Mutex<T> {
+        Mutex {
+            meta: LockMeta::new(Location::caller(), Some(class), true),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -42,24 +90,33 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        // Record the acquisition first: an acquisition that would close
+        // an ordering cycle panics instead of deadlocking.
+        let dep = lockdep::on_acquire(&self.meta, Location::caller());
         MutexGuard {
-            inner: self
-                .inner
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            inner: Some(
+                self.inner
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            ),
+            dep,
         }
     }
 
     /// Acquires the lock only if it is free right now.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: g }),
-            Err(TryLockError::Poisoned(p)) => Some(MutexGuard {
-                inner: p.into_inner(),
-            }),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            inner: Some(inner),
+            dep: lockdep::on_acquire_try(&self.meta, Location::caller()),
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -71,6 +128,7 @@ impl<T: ?Sized> Mutex<T> {
 }
 
 impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
     fn default() -> Mutex<T> {
         Mutex::new(T::default())
     }
@@ -85,16 +143,30 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before popping the held stack so the
+        // stack never claims this thread is lock-free while it still
+        // holds the std mutex.
+        self.inner = None;
+        lockdep::on_release(&mut self.dep);
+    }
+}
+
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner
+            .as_ref()
+            .expect("invariant: a live MutexGuard always wraps the std guard")
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.inner
+            .as_mut()
+            .expect("invariant: a live MutexGuard always wraps the std guard")
     }
 }
 
@@ -106,23 +178,48 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
 
 /// A reader-writer lock whose `read()`/`write()` return guards directly.
 pub struct RwLock<T: ?Sized> {
+    meta: LockMeta,
     inner: std::sync::RwLock<T>,
 }
 
 /// Shared-access RAII guard for [`RwLock`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockReadGuard<'a, T>,
+    dep: lockdep::Held,
 }
 
 /// Exclusive-access RAII guard for [`RwLock`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockWriteGuard<'a, T>,
+    dep: lockdep::Held,
 }
 
 impl<T> RwLock<T> {
-    /// Creates a new unlocked lock.
+    /// Creates a new unlocked lock. Its lockdep class is this call site.
+    #[track_caller]
     pub const fn new(value: T) -> RwLock<T> {
         RwLock {
+            meta: LockMeta::new(Location::caller(), None, false),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a lock in the named lockdep class (strict; see
+    /// [`Mutex::with_class`]).
+    #[track_caller]
+    pub const fn with_class(value: T, class: &'static str) -> RwLock<T> {
+        RwLock {
+            meta: LockMeta::new(Location::caller(), Some(class), false),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a lock in the named lockdep class, marked as safe to
+    /// hold across blocking device I/O.
+    #[track_caller]
+    pub const fn with_class_io(value: T, class: &'static str) -> RwLock<T> {
+        RwLock {
+            meta: LockMeta::new(Location::caller(), Some(class), true),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -137,45 +234,57 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared access, blocking until available.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let dep = lockdep::on_acquire(&self.meta, Location::caller());
         RwLockReadGuard {
             inner: self
                 .inner
                 .read()
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
+            dep,
         }
     }
 
     /// Acquires exclusive access, blocking until available.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let dep = lockdep::on_acquire(&self.meta, Location::caller());
         RwLockWriteGuard {
             inner: self
                 .inner
                 .write()
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
+            dep,
         }
     }
 
     /// Acquires shared access only if no writer holds the lock.
+    #[track_caller]
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.inner.try_read() {
-            Ok(g) => Some(RwLockReadGuard { inner: g }),
-            Err(TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
-                inner: p.into_inner(),
-            }),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        Some(RwLockReadGuard {
+            inner,
+            dep: lockdep::on_acquire_try(&self.meta, Location::caller()),
+        })
     }
 
     /// Acquires exclusive access only if the lock is free right now.
+    #[track_caller]
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.inner.try_write() {
-            Ok(g) => Some(RwLockWriteGuard { inner: g }),
-            Err(TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
-                inner: p.into_inner(),
-            }),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        Some(RwLockWriteGuard {
+            inner,
+            dep: lockdep::on_acquire_try(&self.meta, Location::caller()),
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -187,6 +296,7 @@ impl<T: ?Sized> RwLock<T> {
 }
 
 impl<T: Default> Default for RwLock<T> {
+    #[track_caller]
     fn default() -> RwLock<T> {
         RwLock::new(T::default())
     }
@@ -198,6 +308,18 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
             Some(g) => f.debug_struct("RwLock").field("data", &&*g).finish(),
             None => f.write_str("RwLock { <locked> }"),
         }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        lockdep::on_release(&mut self.dep);
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        lockdep::on_release(&mut self.dep);
     }
 }
 
@@ -221,8 +343,8 @@ impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
     }
 }
 
-/// An atomically swappable [`Arc`] — a publish/subscribe cell for
-/// immutable snapshots.
+/// An atomically swappable [`Arc`](std::sync::Arc) — a publish/subscribe
+/// cell for immutable snapshots.
 ///
 /// Writers build a fresh `Arc<T>` and [`ArcCell::set`] it; readers
 /// [`ArcCell::get`] the current one. The internal mutex is held only long
@@ -237,7 +359,7 @@ impl<T> ArcCell<T> {
     /// Creates a cell holding `value`.
     pub fn new(value: std::sync::Arc<T>) -> ArcCell<T> {
         ArcCell {
-            inner: Mutex::new(value),
+            inner: Mutex::with_class(value, "testkit.arc_cell"),
         }
     }
 
@@ -278,41 +400,71 @@ impl Condvar {
     }
 
     /// Blocks until notified, releasing the guard while waiting.
-    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    #[track_caller]
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let at = Location::caller();
+        let (inner, class) = Self::part(&mut guard);
+        let inner = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         MutexGuard {
-            inner: self
-                .inner
-                .wait(guard.inner)
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            inner: Some(inner),
+            dep: lockdep::on_wait_reacquire(class, at),
         }
     }
 
     /// Blocks until `cond` returns false, re-checking on every wakeup.
+    #[track_caller]
     pub fn wait_while<'a, T>(
         &self,
-        guard: MutexGuard<'a, T>,
+        mut guard: MutexGuard<'a, T>,
         cond: impl FnMut(&mut T) -> bool,
     ) -> MutexGuard<'a, T> {
+        let at = Location::caller();
+        let (inner, class) = Self::part(&mut guard);
+        let inner = self
+            .inner
+            .wait_while(inner, cond)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         MutexGuard {
-            inner: self
-                .inner
-                .wait_while(guard.inner, cond)
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            inner: Some(inner),
+            dep: lockdep::on_wait_reacquire(class, at),
         }
     }
 
     /// Blocks until notified or `dur` elapses; returns the guard and
     /// whether the wait timed out.
+    #[track_caller]
     pub fn wait_timeout<'a, T>(
         &self,
-        guard: MutexGuard<'a, T>,
+        mut guard: MutexGuard<'a, T>,
         dur: std::time::Duration,
     ) -> (MutexGuard<'a, T>, bool) {
-        let (g, timeout) = self
+        let at = Location::caller();
+        let (inner, class) = Self::part(&mut guard);
+        let (inner, timeout) = self
             .inner
-            .wait_timeout(guard.inner, dur)
+            .wait_timeout(inner, dur)
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        (MutexGuard { inner: g }, timeout.timed_out())
+        (
+            MutexGuard {
+                inner: Some(inner),
+                dep: lockdep::on_wait_reacquire(class, at),
+            },
+            timeout.timed_out(),
+        )
+    }
+
+    /// Takes the std guard out of `guard` and pops its lockdep tracking:
+    /// while blocked in `wait` the thread does not hold the mutex.
+    fn part<'a, T>(guard: &mut MutexGuard<'a, T>) -> (std::sync::MutexGuard<'a, T>, Option<u32>) {
+        let inner = guard
+            .inner
+            .take()
+            .expect("invariant: a live MutexGuard always wraps the std guard");
+        let class = lockdep::on_unlock_for_wait(&mut guard.dep);
+        (inner, class)
     }
 
     /// Wakes one waiter.

@@ -35,7 +35,7 @@ impl MemDevicePool {
         MemDevicePool {
             block_size,
             capacity_blocks,
-            handed_out: Mutex::new(0),
+            handed_out: Mutex::with_class(0, "volume.pool.mem"),
             limit: None,
         }
     }
@@ -88,7 +88,7 @@ impl RecordingPool {
         RecordingPool {
             inner,
             wrap: None,
-            devices: Mutex::new(Vec::new()),
+            devices: Mutex::with_class(Vec::new(), "volume.pool.recording"),
         }
     }
 
@@ -101,7 +101,7 @@ impl RecordingPool {
         RecordingPool {
             inner,
             wrap: Some(Box::new(wrap)),
-            devices: Mutex::new(Vec::new()),
+            devices: Mutex::with_class(Vec::new(), "volume.pool.recording"),
         }
     }
 

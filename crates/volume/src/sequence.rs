@@ -58,7 +58,9 @@ impl VolumeSequence {
             seq,
             cache,
             pool,
-            volumes: RwLock::new(vec![Arc::new(v)]),
+            // io class: extend() formats the next device while holding
+            // the write guard so the chain stays contiguous.
+            volumes: RwLock::with_class_io(vec![Arc::new(v)], "volume.volumes"),
             base_device_id,
             next_device_id: AtomicU32::new(base_device_id + 1),
         })
@@ -116,7 +118,7 @@ impl VolumeSequence {
             seq,
             cache,
             pool,
-            volumes: RwLock::new(vols),
+            volumes: RwLock::with_class_io(vols, "volume.volumes"),
             base_device_id,
             next_device_id: AtomicU32::new(base_device_id + count),
         })

@@ -65,8 +65,9 @@ fn service_runs_on_mirrored_devices_and_survives_replica_rot() {
     // Rot every third block of replica 0 (device-level corruption on one
     // medium).
     {
-        let raws = pool.raws.lock();
-        let replica0 = &raws[0][0];
+        // Clone the handle out rather than invalidating under the
+        // bookkeeping lock (lockdep flags locks held across device writes).
+        let replica0 = pool.raws.lock()[0][0].clone();
         let end = replica0.query_end().unwrap().0;
         for b in (1..end).step_by(3) {
             replica0.invalidate_block(clio::types::BlockNo(b)).unwrap();
