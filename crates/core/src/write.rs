@@ -84,6 +84,20 @@ impl LogService {
     /// records as its first entries (§2.1). Map records that cannot fit are
     /// displaced to following blocks.
     fn open_block_at(&self, st: &mut State) -> Result<()> {
+        let r = self.open_block_at_inner(st);
+        // Opening a boundary block *takes* completed-group notes out of the
+        // pending maps (they now live as map records in the open block) and
+        // propagates them one level up. Readers pair the pending snapshot
+        // with a data end that already covers the open block, so the frozen
+        // clone must advance in lockstep — otherwise the parent level hides
+        // a completed sub-group whose notes the snapshot no longer holds,
+        // and every entry in that sub-group goes unlocatable until the next
+        // seal (found by the whole-system simulator).
+        st.pending_snap = std::sync::Arc::new(st.emap.pending().clone());
+        r
+    }
+
+    fn open_block_at_inner(&self, st: &mut State) -> Result<()> {
         debug_assert!(st.open.is_none(), "open_block_at with a block already open");
         let vol = self.seq.volume(st.active_index)?;
         loop {

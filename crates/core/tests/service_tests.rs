@@ -810,3 +810,37 @@ fn server_admin_requests() {
     assert!(client.append_sync("/adm", b"three").is_err());
     server.shutdown();
 }
+
+/// Opening a level-boundary block moves the completed group's notes out of
+/// the pending maps (they become map records at the start of the open
+/// block) and propagates them one level up. The reader's frozen pending
+/// snapshot must advance at the same moment: the whole-system simulator
+/// (seed 9) caught a window where a view paired a post-open data end with
+/// a pre-open pending clone, so the parent level hid the just-completed
+/// sub-group and every entry in it was unlocatable until the next seal.
+/// Sweeping a sparse log against a busy one checks every open/seal
+/// alignment: the sparse log's entries must stay reachable after each
+/// single append.
+#[test]
+fn regression_entries_locatable_while_boundary_block_open() {
+    let svc = small_service();
+    svc.create_log("/busy").unwrap();
+    svc.create_log("/sparse").unwrap();
+    // ~150-byte payloads pack one entry per 256-byte block, so appends map
+    // to blocks and the 9-vs-4 stride walks all boundary alignments.
+    let fat = vec![0x5A_u8; 150];
+    let mut sparse_written = 0usize;
+    for i in 0..80usize {
+        if i % 9 == 3 {
+            svc.append_path("/sparse", &fat, AppendOpts::standard())
+                .unwrap();
+            sparse_written += 1;
+        } else {
+            svc.append_path("/busy", &fat, AppendOpts::standard())
+                .unwrap();
+        }
+        let mut cur = svc.cursor("/sparse").unwrap();
+        let got = cur.collect_remaining().unwrap().len();
+        assert_eq!(got, sparse_written, "after append {i}: entry unlocatable");
+    }
+}

@@ -33,7 +33,7 @@ pub mod stats;
 pub mod store;
 pub mod traits;
 
-pub use fault::{FaultPlan, FaultyDevice};
+pub use fault::{CrashSwitch, FaultPlan, FaultyDevice};
 pub use file::FileWormDevice;
 pub use mem::MemWormDevice;
 pub use mirror::MirroredDevice;

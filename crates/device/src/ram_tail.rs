@@ -7,6 +7,21 @@
 //! battery backed-up RAM" (§2.3.1). [`RamTailDevice`] models exactly that:
 //! the block at the append point may be rewritten any number of times, and
 //! is burned to the underlying WORM device only when sealed.
+//!
+//! # Torn burns
+//!
+//! A burn that fails midway can leave the WORM slot "written with garbage"
+//! (§2.3.2). A write-once slot can never be re-burned, so if the staged
+//! image were discarded whenever the slot reads as written, a torn burn
+//! would destroy the only good copy of forced-acknowledged data — the
+//! whole-system simulator found exactly that loss. The battery-backed RAM
+//! therefore retires a staged image only after verifying the medium holds
+//! the intended bytes; a garbage burn instead *orphans* the image: it
+//! stays pinned in NV RAM for the volume's lifetime, shadowing the
+//! unusable slot, so reads (and crash recovery) keep seeing the
+//! authoritative content.
+
+use std::collections::BTreeMap;
 
 use clio_testkit::sync::Mutex;
 
@@ -21,7 +36,15 @@ use crate::traits::{check_len, LogDevice, SharedDevice};
 /// it the battery-backed tail buffer) alive, so no forced data is lost.
 pub struct RamTailDevice {
     inner: SharedDevice,
-    tail: Mutex<Option<Tail>>,
+    tail: Mutex<TailState>,
+}
+
+struct TailState {
+    /// The rewriteable block at the append point, if staged.
+    tail: Option<Tail>,
+    /// Images whose WORM burn was torn (the medium slot holds garbage):
+    /// the battery-backed RAM serves them forever, keyed by block number.
+    orphans: BTreeMap<u64, Vec<u8>>,
 }
 
 struct Tail {
@@ -37,7 +60,13 @@ impl RamTailDevice {
             inner,
             // Held across the inner device's appends by design: sealing
             // the staged tail block must be atomic w.r.t. other appenders.
-            tail: Mutex::with_class_io(None, "device.ram_tail"),
+            tail: Mutex::with_class_io(
+                TailState {
+                    tail: None,
+                    orphans: BTreeMap::new(),
+                },
+                "device.ram_tail",
+            ),
         }
     }
 
@@ -52,7 +81,73 @@ impl RamTailDevice {
     /// Whether a tail buffer currently holds an unsealed block. Test hook.
     #[must_use]
     pub fn has_tail(&self) -> bool {
-        self.tail.lock().is_some()
+        self.tail.lock().tail.is_some()
+    }
+
+    /// Blocks pinned in NV RAM because their burn was torn. Test hook.
+    #[must_use]
+    pub fn orphaned_blocks(&self) -> Vec<BlockNo> {
+        self.tail
+            .lock()
+            .orphans
+            .keys()
+            .copied()
+            .map(BlockNo)
+            .collect()
+    }
+
+    /// True if the medium holds exactly `intended` at `block`.
+    fn medium_matches(&self, block: BlockNo, intended: &[u8]) -> bool {
+        let mut buf = vec![0u8; self.inner.block_size()];
+        self.inner
+            .read_block(block, &mut buf)
+            .map(|()| buf == intended)
+            .unwrap_or(false)
+    }
+
+    /// Settles the staged image after a burn of `intended` at its block
+    /// failed. Three cases: nothing landed (keep the image staged for a
+    /// retry), the intended bytes landed despite the error (retire the
+    /// image), or the slot was torn with garbage (orphan the image — the
+    /// slot is unusable, the NV copy is now the authoritative content).
+    fn settle_failed_burn(&self, st: &mut TailState, block: BlockNo, intended: &[u8]) {
+        if !self.inner.is_written(block).unwrap_or(false) {
+            return;
+        }
+        let landed_ok = self.medium_matches(block, intended);
+        if let Some(t) = st.tail.take() {
+            if !landed_ok {
+                st.orphans.insert(t.block.0, t.data);
+            }
+        }
+    }
+
+    /// Burns the staged image through to WORM (the "drain" when an append
+    /// moves past a staged block). On a torn burn the image is orphaned
+    /// and draining counts as done; a burn that wrote nothing keeps the
+    /// image staged and surfaces the error.
+    fn drain_staged(&self, st: &mut TailState) -> Result<()> {
+        let Some(t) = &st.tail else {
+            return Ok(());
+        };
+        let (block, r) = (t.block, self.inner.append_block(t.block, &t.data));
+        match r {
+            Ok(()) => {
+                st.tail = None;
+                Ok(())
+            }
+            Err(e) => {
+                if self.inner.is_written(block).unwrap_or(false) {
+                    let data = st.tail.take().map(|t| t.data).unwrap_or_default();
+                    if !self.medium_matches(block, &data) {
+                        st.orphans.insert(block.0, data);
+                    }
+                    Ok(())
+                } else {
+                    Err(e)
+                }
+            }
+        }
     }
 }
 
@@ -68,38 +163,49 @@ impl LogDevice for RamTailDevice {
     fn query_end(&self) -> Option<BlockNo> {
         let end = self.inner.query_end()?;
         let g = self.tail.lock();
-        Some(match &*g {
+        Some(match &g.tail {
             Some(t) if t.block == end => end.next(),
             _ => end,
         })
     }
 
     fn is_written(&self, block: BlockNo) -> Result<bool> {
-        if let Some(t) = &*self.tail.lock() {
+        let g = self.tail.lock();
+        if let Some(t) = &g.tail {
             if t.block == block {
                 return Ok(true);
             }
         }
+        if g.orphans.contains_key(&block.0) {
+            return Ok(true);
+        }
+        drop(g);
         self.inner.is_written(block)
     }
 
     fn append_block(&self, expected: BlockNo, data: &[u8]) -> Result<()> {
         check_len(self.block_size(), data.len())?;
         let mut g = self.tail.lock();
-        match &*g {
+        match &g.tail {
             // Sealing the staged block: the append burns the *new* (final)
-            // contents through to WORM and retires the buffer.
-            Some(t) if t.block == expected => {
-                self.inner.append_block(expected, data)?;
-                *g = None;
-                Ok(())
-            }
+            // contents through to WORM and retires the buffer — but only
+            // once the burn verifiably landed (see module docs: torn
+            // burns).
+            Some(t) if t.block == expected => match self.inner.append_block(expected, data) {
+                Ok(()) => {
+                    g.tail = None;
+                    Ok(())
+                }
+                Err(e) => {
+                    self.settle_failed_burn(&mut g, expected, data);
+                    Err(e)
+                }
+            },
             // Appending past a staged block (e.g. after a crash recovered
             // the staged tail as-is): flush the buffer to WORM first, then
             // append — the battery-backed RAM drains to the medium.
             Some(t) if t.block.next() == expected => {
-                self.inner.append_block(t.block, &t.data)?;
-                *g = None;
+                self.drain_staged(&mut g)?;
                 self.inner.append_block(expected, data)
             }
             Some(t) => Err(ClioError::NotAppendOnly {
@@ -118,27 +224,24 @@ impl LogDevice for RamTailDevice {
             check_len(self.block_size(), b.len())?;
         }
         let mut g = self.tail.lock();
-        match &*g {
+        match &g.tail {
             // The batch starts at the staged block: its first element is the
             // sealed (final) contents of the tail, so burn the whole batch
             // through and retire the buffer. On failure the buffer is kept
-            // unless the first block actually landed on the medium.
+            // unless the intended first block verifiably landed; a slot
+            // torn with garbage orphans the image instead (module docs).
             Some(t) if t.block == expected => {
                 let r = self.inner.append_blocks(expected, blocks);
-                let first_landed = match &r {
-                    Ok(()) => true,
-                    Err(_) => self.inner.is_written(expected).unwrap_or(false),
-                };
-                if first_landed {
-                    *g = None;
+                match &r {
+                    Ok(()) => g.tail = None,
+                    Err(_) => self.settle_failed_burn(&mut g, expected, blocks[0]),
                 }
                 r
             }
             // Appending past a staged block: drain the battery-backed RAM
             // to the medium first, then write the batch.
             Some(t) if t.block.next() == expected => {
-                self.inner.append_block(t.block, &t.data)?;
-                *g = None;
+                self.drain_staged(&mut g)?;
                 self.inner.append_blocks(expected, blocks)
             }
             Some(t) => Err(ClioError::NotAppendOnly {
@@ -151,23 +254,34 @@ impl LogDevice for RamTailDevice {
 
     fn read_block(&self, block: BlockNo, buf: &mut [u8]) -> Result<()> {
         check_len(self.block_size(), buf.len())?;
-        if let Some(t) = &*self.tail.lock() {
+        let g = self.tail.lock();
+        if let Some(t) = &g.tail {
             if t.block == block {
                 buf.copy_from_slice(&t.data);
                 return Ok(());
             }
         }
+        if let Some(d) = g.orphans.get(&block.0) {
+            buf.copy_from_slice(d);
+            return Ok(());
+        }
+        drop(g);
         self.inner.read_block(block, buf)
     }
 
     fn invalidate_block(&self, block: BlockNo) -> Result<()> {
         let mut g = self.tail.lock();
-        if let Some(t) = &mut *g {
+        if let Some(t) = &mut g.tail {
             if t.block == block {
                 t.data.fill(INVALIDATED_BYTE);
                 return Ok(());
             }
         }
+        if let Some(d) = g.orphans.get_mut(&block.0) {
+            d.fill(INVALIDATED_BYTE);
+            return Ok(());
+        }
+        drop(g);
         self.inner.invalidate_block(block)
     }
 
@@ -180,10 +294,9 @@ impl LogDevice for RamTailDevice {
         // Opening the next tail while the previous one is still staged
         // (e.g. right after a crash recovery) drains the old buffer to the
         // WORM medium first.
-        if let Some(t) = &*g {
+        if let Some(t) = &g.tail {
             if t.block.next() == block {
-                self.inner.append_block(t.block, &t.data)?;
-                *g = None;
+                self.drain_staged(&mut g)?;
             }
         }
         let end = self.inner_end()?;
@@ -193,7 +306,7 @@ impl LogDevice for RamTailDevice {
                 end,
             });
         }
-        *g = Some(Tail {
+        g.tail = Some(Tail {
             block,
             data: data.to_vec(),
         });
@@ -302,6 +415,88 @@ mod seal_tests {
 
     use super::*;
     use crate::mem::MemWormDevice;
+
+    /// The whole-system simulator's first counterexample (seed 1 of the
+    /// initial storm): a forced append staged block N in battery RAM;
+    /// group commit later sealed N and burned it via `append_blocks`; the
+    /// burn was torn, landing garbage on the WORM slot. The old error
+    /// path retired the staged buffer because the slot read as "written",
+    /// destroying the only good copy of forced-acknowledged data —
+    /// recovery then invalidated the garbage and the durable entry was
+    /// gone. The staged image must instead be orphaned into NV RAM and
+    /// keep shadowing the unusable slot.
+    #[test]
+    fn regression_torn_seal_burn_keeps_staged_image() {
+        use crate::fault::{CrashSwitch, FaultPlan, FaultyDevice};
+
+        let worm = Arc::new(MemWormDevice::new(32, 16));
+        let sw = CrashSwitch::new(0xBAD_B02);
+        let faulty = Arc::new(FaultyDevice::with_switch(
+            worm.clone(),
+            FaultPlan::default(),
+            sw.clone(),
+        ));
+        let dev = RamTailDevice::new(faulty);
+
+        // Forced data staged in the battery-backed tail.
+        let staged = vec![0xF0; 32];
+        dev.rewrite_tail(BlockNo(0), &staged).unwrap();
+        // The seal burn is torn: garbage lands on the slot, then the error.
+        sw.arm(1, true);
+        let sealed = vec![0xF1; 32];
+        assert!(dev.append_blocks(BlockNo(0), &[&sealed]).is_err());
+        sw.clear();
+
+        // The slot is burned (with garbage), but the staged image shadows
+        // it: reads — and therefore crash recovery — see the forced data.
+        assert_eq!(dev.orphaned_blocks(), vec![BlockNo(0)]);
+        assert!(!dev.has_tail());
+        let mut buf = vec![0u8; 32];
+        dev.read_block(BlockNo(0), &mut buf).unwrap();
+        assert_eq!(buf, staged, "torn burn must not lose the staged image");
+        // The medium itself really does hold garbage underneath.
+        worm.read_block(BlockNo(0), &mut buf).unwrap();
+        assert_ne!(buf, staged);
+        assert_ne!(buf, sealed);
+
+        // Life goes on: the device keeps appending past the orphaned slot.
+        dev.append_block(BlockNo(1), &[0xF2; 32]).unwrap();
+        dev.rewrite_tail(BlockNo(2), &[0xF3; 32]).unwrap();
+        dev.read_block(BlockNo(0), &mut buf).unwrap();
+        assert_eq!(buf, staged, "orphan survives later appends");
+    }
+
+    /// Companion to the torn-burn regression: when the crash drops the
+    /// seal burn cleanly (nothing lands), the image must stay *staged* —
+    /// not orphaned — so a recovered server can still burn it properly.
+    #[test]
+    fn clean_crash_during_seal_keeps_image_staged() {
+        use crate::fault::{CrashSwitch, FaultPlan, FaultyDevice};
+
+        let worm = Arc::new(MemWormDevice::new(32, 16));
+        let sw = CrashSwitch::new(0xBAD_B03);
+        let faulty = Arc::new(FaultyDevice::with_switch(
+            worm.clone(),
+            FaultPlan::default(),
+            sw.clone(),
+        ));
+        let dev = RamTailDevice::new(faulty);
+
+        let staged = vec![0xA0; 32];
+        dev.rewrite_tail(BlockNo(0), &staged).unwrap();
+        sw.arm(1, false);
+        assert!(dev.append_blocks(BlockNo(0), &[&[0xA1; 32]]).is_err());
+        sw.clear();
+
+        assert!(dev.has_tail());
+        assert!(dev.orphaned_blocks().is_empty());
+        assert_eq!(worm.query_end(), Some(BlockNo(0)), "nothing burned");
+        // A later append past the tail drains the staged image to WORM.
+        dev.append_block(BlockNo(1), &[0xA2; 32]).unwrap();
+        let mut buf = vec![0u8; 32];
+        worm.read_block(BlockNo(0), &mut buf).unwrap();
+        assert_eq!(buf, staged);
+    }
 
     #[test]
     fn appending_past_a_staged_tail_flushes_it() {

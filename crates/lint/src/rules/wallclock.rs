@@ -12,15 +12,17 @@ use crate::{Diag, SourceFile};
 pub const NAME: &str = "no-wallclock";
 
 /// Where direct host-clock reads are the point:
-/// - `crates/sim/` — the simulator owns virtual/real time mapping;
 /// - `crates/obs/src/` — `clio_obs::clock` is the sanctioned funnel, and
 ///   trace timestamps are observability;
 /// - `crates/bench/` — benchmark drivers measure wall time;
 /// - `crates/testkit/src/bench.rs` — the in-tree bench timer;
 /// - `crates/types/src/time.rs` — `SystemClock`, the one production
 ///   implementation of the semantic `Clock` trait.
+///
+/// `crates/sim/` is deliberately NOT approved: the cost models and the
+/// whole-system simulator derive every instant from seeded state, and a
+/// stray host-clock read there would silently break seed replay.
 const APPROVED: &[&str] = &[
-    "crates/sim/",
     "crates/obs/src/",
     "crates/bench/",
     "crates/testkit/src/bench.rs",

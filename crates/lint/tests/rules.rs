@@ -120,7 +120,18 @@ fn wallclock_flags_clock_reads_outside_approved_modules() {
     assert!(diags.iter().any(|d| d.msg.contains("Instant::now")));
     // The same source is fine where measuring wall time is the point.
     assert!(lint("crates/bench/src/bin/x.rs", bad, wallclock::check).is_empty());
-    assert!(lint("crates/sim/src/lib.rs", bad, wallclock::check).is_empty());
+    // The simulator is NOT exempt: virtual time must come from seeded
+    // state, never the host clock, or seed replay silently breaks.
+    assert_eq!(
+        lint("crates/sim/src/lib.rs", bad, wallclock::check).len(),
+        3,
+        "crates/sim must be held to the no-wallclock rule"
+    );
+    assert_eq!(
+        lint("crates/testkit/src/sim.rs", bad, wallclock::check).len(),
+        3,
+        "the virtual-time scheduler must be held to the no-wallclock rule"
+    );
 }
 
 #[test]

@@ -23,6 +23,11 @@
 //!   explicit named regression cases.
 //! * [`bench`] — a wall-clock micro-benchmark timer:
 //!   warmup, fixed-duration samples, median-of-samples reporting.
+//! * [`sim`] — deterministic whole-system simulation: a seeded
+//!   virtual-time scheduler over simulated clients, an operation-history
+//!   recorder, and a linearizability checker specialized to the log
+//!   model. One `u64` seed reproduces an entire multi-client,
+//!   multi-crash run.
 //!
 //! It also hosts shared cross-crate test harnesses, currently
 //! [`devcheck`] — byte-for-byte conformance schedules for vectored
@@ -33,4 +38,5 @@ pub mod devcheck;
 pub mod lockdep;
 pub mod prop;
 pub mod rng;
+pub mod sim;
 pub mod sync;

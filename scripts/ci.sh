@@ -62,6 +62,15 @@ run cargo test -q --release --offline -p clio-core --test recovery_torn_tail
 echo "==> CLIO_GROUP_COMMIT=0 cargo test -q --offline -p clio-core"
 CLIO_GROUP_COMMIT=0 cargo test -q --offline -p clio-core
 
+# Deterministic whole-system simulation storm: 25 seeds of multi-client
+# virtual-time interleaving with seeded mid-run crashes, every history
+# checked against the log model. A failing seed prints its replay line
+# (CLIO_PROP_SEED=<n>); run released so the sweep stays fast. (The
+# default 5-seed storm and single-seed smoke already ran in the
+# workspace debug pass above.)
+echo "==> CLIO_SIM_SEEDS=25 cargo test -q --release --offline -p clio-core --test simulation"
+CLIO_SIM_SEEDS=25 cargo test -q --release --offline -p clio-core --test simulation
+
 # Smoke the machine-readable bench output: one harness with --json must
 # emit a file the in-tree decoder accepts.
 smoke_dir=$(mktemp -d)
