@@ -1,0 +1,79 @@
+//! Compares two `BENCH_<name>.json` reports and exits nonzero on
+//! regressions.
+//!
+//! ```text
+//! bench_diff OLD.json NEW.json [--threshold=20] [--direction=up|down|both]
+//! ```
+//!
+//! Every numeric scalar and numeric table cell present in both reports is
+//! compared as a relative change; moves past the threshold in the bad
+//! direction (default: increases, the right polarity for latency-shaped
+//! numbers) are printed as `REGRESSION` lines and make the exit code 1.
+//! Keys present in only one report are listed as skipped, not failed, so
+//! adding a metric to a bench does not break an older baseline.
+
+use clio_bench::diff::{diff, render, DiffOptions, Direction};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_diff OLD.json NEW.json [--threshold=PCT] [--direction=up|down|both]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut files = Vec::new();
+    let mut opts = DiffOptions::default();
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--threshold=") {
+            match v.parse::<f64>() {
+                Ok(t) if t >= 0.0 => opts.threshold_pct = t,
+                _ => {
+                    eprintln!("bench_diff: bad threshold {v:?}");
+                    usage();
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--direction=") {
+            match Direction::parse(v) {
+                Some(d) => opts.direction = d,
+                None => {
+                    eprintln!("bench_diff: bad direction {v:?} (want up, down or both)");
+                    usage();
+                }
+            }
+        } else if arg.starts_with("--") {
+            eprintln!("bench_diff: unknown flag {arg}");
+            usage();
+        } else {
+            files.push(arg);
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        usage();
+    };
+
+    let read = |path: &str| -> clio_obs::json::Value {
+        let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_diff: read {path}: {e}");
+            std::process::exit(2);
+        });
+        clio_obs::json::parse(&body).unwrap_or_else(|e| {
+            eprintln!("bench_diff: parse {path}: {e:?}");
+            std::process::exit(2);
+        })
+    };
+    let old = read(old_path);
+    let new = read(new_path);
+
+    let (ob, nb) = (
+        old.get("bench").and_then(clio_obs::json::Value::as_str),
+        new.get("bench").and_then(clio_obs::json::Value::as_str),
+    );
+    if ob != nb {
+        eprintln!("bench_diff: comparing different benches: {ob:?} vs {nb:?}");
+    }
+
+    let outcome = diff(&old, &new, &opts);
+    print!("{}", render(&outcome, &opts));
+    if !outcome.regressions.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -9,8 +9,11 @@
 //!   gigabytes;
 //! - [`table`]: plain-text table printing for the harness output;
 //! - [`report`]: the `--json` machine-readable output every binary emits
-//!   alongside its text tables.
+//!   alongside its text tables;
+//! - [`diff`]: regression comparison between two `BENCH_<name>.json`
+//!   reports (the `bench_diff` binary).
 
+pub mod diff;
 pub mod report;
 pub mod synth;
 pub mod table;

@@ -18,8 +18,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use clio_obs::TraceRing;
 use clio_testkit::sync::{Condvar, Mutex};
 
 use clio_types::{BlockNo, Result};
@@ -185,6 +186,9 @@ pub struct BlockCache {
     resident: AtomicUsize,
     duplicate_loads: AtomicU64,
     inflight: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+    /// When attached, single-flight loads record `cache_load` /
+    /// `cache_wait` spans, nesting under the reading operation's span.
+    trace: OnceLock<Arc<TraceRing>>,
 }
 
 impl BlockCache {
@@ -231,7 +235,19 @@ impl BlockCache {
             resident: AtomicUsize::new(0),
             duplicate_loads: AtomicU64::new(0),
             inflight: Mutex::with_class(HashMap::new(), "cache.inflight"),
+            trace: OnceLock::new(),
         }
+    }
+
+    /// Attaches a trace ring so single-flight loads record spans. First
+    /// attach wins; later calls are ignored.
+    pub fn attach_trace(&self, ring: Arc<TraceRing>) {
+        let _ = self.trace.set(ring);
+    }
+
+    /// Opens a span when a trace ring is attached.
+    fn load_span(&self, name: &'static str) -> Option<clio_obs::SpanGuard<'_>> {
+        Some(self.trace.get()?.span(name))
     }
 
     fn shard(&self, key: CacheKey) -> &Shard {
@@ -334,7 +350,14 @@ impl BlockCache {
                 }
             };
             if leader {
+                let mut span = self.load_span("cache_load");
                 let loaded = load();
+                if loaded.is_err() {
+                    if let Some(s) = &mut span {
+                        s.fail("load_error");
+                    }
+                }
+                drop(span);
                 let outcome = loaded.as_ref().ok().cloned().map(Arc::new);
                 if let Some(data) = &outcome {
                     self.put(key, data.clone());
@@ -349,8 +372,11 @@ impl BlockCache {
                 };
             }
             // Loser: without single-flight this would have been a second
-            // load of the same block.
+            // load of the same block. The span drops after `g` releases
+            // the flight lock (reverse declaration order), so the ring
+            // mutex is only ever taken with no other lock held here.
             self.duplicate_loads.fetch_add(1, Ordering::Relaxed);
+            let _span = self.load_span("cache_wait");
             let g = flight
                 .cv
                 .wait_while(flight.state.lock(), |s| matches!(s, FlightState::Pending));
@@ -745,6 +771,29 @@ mod tests {
         // The waiter retried after the leader's failure and loaded itself.
         assert_eq!(waiter.join().unwrap().unwrap()[0], 7);
         assert_eq!(c.get(key(5)).unwrap()[0], 7);
+    }
+
+    #[test]
+    fn attached_trace_records_load_spans_under_parent() {
+        let c = BlockCache::new(4);
+        let ring = Arc::new(TraceRing::new(8));
+        c.attach_trace(ring.clone());
+        {
+            let _read = ring.span("read");
+            let _ = c.get_or_load(key(2), || Ok(vec![2u8; 4])).unwrap();
+        }
+        let spans = ring.snapshot();
+        let load = spans
+            .iter()
+            .find(|s| s.name == "cache_load")
+            .expect("load span");
+        let read = spans.iter().find(|s| s.name == "read").expect("read span");
+        assert_eq!(load.parent, Some(read.id), "load nests under the read");
+        // A failed load keeps its outcome.
+        let _ = c.get_or_load(key(9), || Err(clio_types::ClioError::VolumeFull));
+        let spans = ring.snapshot();
+        let failed = spans.iter().rfind(|s| s.name == "cache_load").unwrap();
+        assert_eq!(failed.outcome, "load_error");
     }
 
     #[test]

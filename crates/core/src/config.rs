@@ -41,6 +41,12 @@ pub struct ServiceConfig {
     /// appends arriving nearly together share its batch. `0` commits
     /// immediately (batching then comes only from genuine concurrency).
     pub commit_wait_us: u64,
+    /// Bind address for the std-only HTTP observability endpoint
+    /// (`/metrics`, `/metrics.json`, `/trace`, `/health`), e.g.
+    /// `"127.0.0.1:0"` for an ephemeral port. `None` (the default) runs
+    /// no endpoint. Only [`crate::LogServer`] honours this; a bare
+    /// [`crate::LogService`] never opens sockets.
+    pub http_addr: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -56,6 +62,7 @@ impl Default for ServiceConfig {
             group_commit: std::env::var("CLIO_GROUP_COMMIT").map_or(true, |v| v != "0"),
             max_batch_blocks: 64,
             commit_wait_us: 0,
+            http_addr: None,
         }
     }
 }
@@ -94,6 +101,14 @@ impl ServiceConfig {
         self.group_commit = on;
         self
     }
+
+    /// Sets the HTTP observability bind address (see
+    /// [`ServiceConfig::http_addr`]).
+    #[must_use]
+    pub fn with_http_addr(mut self, addr: &str) -> ServiceConfig {
+        self.http_addr = Some(addr.to_string());
+        self
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +126,13 @@ mod tests {
         assert_eq!(c.max_batch_blocks, 64);
         assert_eq!(c.commit_wait_us, 0);
         assert!(!ServiceConfig::small().with_group_commit(false).group_commit);
+        assert!(c.http_addr.is_none());
+        assert_eq!(
+            ServiceConfig::small()
+                .with_http_addr("127.0.0.1:0")
+                .http_addr,
+            Some("127.0.0.1:0".to_string())
+        );
         assert!(
             ServiceConfig::small()
                 .with_verified_appends()

@@ -9,22 +9,35 @@
 //! [`crate::LogService::metrics_json`] / [`crate::LogService::trace_dump`],
 //! and over the client/server channel via the `Stats` request.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use clio_device::{DeviceStats, InstrumentedDevice, SharedDevice};
 use clio_entrymap::LocateStats;
-use clio_obs::{Counter, Histogram, MetricsRegistry, TraceRing};
+use clio_obs::{Counter, Histogram, MetricsRegistry, SpanGuard, TraceRing};
+use clio_testkit::sync::Mutex;
 use clio_types::{LogFileId, Result};
 use clio_volume::DevicePool;
 
 use crate::recovery::RecoveryReport;
 use crate::stats::SpaceReport;
 
+/// Per-log-file metric series (labeled `{log="<id>"}` in the registry):
+/// groundwork for sharding, where per-log traffic shapes placement.
+struct PerLog {
+    appends: Arc<Counter>,
+    reads: Arc<Counter>,
+    append_ns: Arc<Histogram>,
+    read_ns: Arc<Histogram>,
+}
+
 /// The observability state of one service instance.
 pub struct ServiceObs {
     registry: Arc<MetricsRegistry>,
-    trace: TraceRing,
+    trace: Arc<TraceRing>,
+    /// Per-log-file series, created lazily at first touch of each log id.
+    per_log: Mutex<BTreeMap<u16, Arc<PerLog>>>,
     /// Counters shared by every device the service touches (the volume
     /// sequence wraps each pool device in an [`InstrumentedDevice`]).
     pub device_stats: Arc<DeviceStats>,
@@ -59,8 +72,13 @@ impl ServiceObs {
         let registry = Arc::new(MetricsRegistry::new());
         let device_stats = DeviceStats::new();
         device_stats.register_into(&registry);
+        let trace = Arc::new(TraceRing::new(trace_events));
+        if trace.capacity() > 0 {
+            device_stats.attach_trace(trace.clone());
+        }
         Arc::new(ServiceObs {
-            trace: TraceRing::new(trace_events),
+            trace,
+            per_log: Mutex::new(BTreeMap::new()),
             device_stats,
             append_latency: registry.histogram("clio_core_append_latency_ns"),
             read_latency: registry.histogram("clio_core_read_latency_ns"),
@@ -87,45 +105,73 @@ impl ServiceObs {
         &self.registry
     }
 
-    /// The op trace ring.
+    /// The op trace ring (shared with the device layer and block cache).
     #[must_use]
-    pub fn trace(&self) -> &TraceRing {
+    pub fn trace(&self) -> &Arc<TraceRing> {
         &self.trace
     }
 
-    /// Records an `append` span: latency, counters, and a trace event with
-    /// the physical blocks the op touched.
-    pub fn note_append(&self, id: LogFileId, blocks: u64, dur: Duration, ok: bool) {
+    /// Opens a causal span in the service's trace ring. The span becomes a
+    /// child of whatever span is already open on the calling thread, and
+    /// records itself when dropped.
+    #[must_use]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.trace.span(name)
+    }
+
+    /// The per-log metric series for `id`, created on first touch. The
+    /// series mutex is a leaf: held only for the map lookup, never across
+    /// I/O or other locks.
+    fn per_log(&self, id: LogFileId) -> Arc<PerLog> {
+        let mut map = self.per_log.lock();
+        map.entry(id.0)
+            .or_insert_with(|| {
+                let label = id.0.to_string();
+                let labels: &[(&str, &str)] = &[("log", &label)];
+                Arc::new(PerLog {
+                    appends: self.registry.counter_with("clio_log_appends_total", labels),
+                    reads: self.registry.counter_with("clio_log_reads_total", labels),
+                    append_ns: self
+                        .registry
+                        .histogram_with("clio_log_append_latency_ns", labels),
+                    read_ns: self
+                        .registry
+                        .histogram_with("clio_log_read_latency_ns", labels),
+                })
+            })
+            .clone()
+    }
+
+    /// Records an `append`'s latency and counters (service-wide and
+    /// per-log). The trace side is the caller's root `append` span — see
+    /// [`crate::LogService::append`] — so phases nest under one tree
+    /// instead of landing as a second flat event.
+    pub fn note_append(&self, id: LogFileId, dur: Duration, ok: bool) {
         if ok {
             self.appends.inc();
             self.append_latency.record_duration(dur);
+            let per_log = self.per_log(id);
+            per_log.appends.inc();
+            per_log.append_ns.record_duration(dur);
         } else {
             self.append_errors.inc();
         }
-        self.trace.record(
-            "append",
-            Some(u64::from(id.0)),
-            blocks,
-            dur,
-            if ok { "ok" } else { "error" },
-        );
     }
 
-    /// Records a `read_entry` span.
-    pub fn note_read(&self, target: Option<LogFileId>, blocks: u64, dur: Duration, ok: bool) {
+    /// Records a `read_entry`'s latency and counters; the trace side is
+    /// the caller's root `read` span.
+    pub fn note_read(&self, target: Option<LogFileId>, dur: Duration, ok: bool) {
         if ok {
             self.reads.inc();
             self.read_latency.record_duration(dur);
+            if let Some(id) = target {
+                let per_log = self.per_log(id);
+                per_log.reads.inc();
+                per_log.read_ns.record_duration(dur);
+            }
         } else {
             self.read_errors.inc();
         }
-        self.trace.record(
-            "read",
-            target.map(|id| u64::from(id.0)),
-            blocks,
-            dur,
-            if ok { "ok" } else { "error" },
-        );
     }
 
     /// Records one entrymap locate search from its [`LocateStats`].
@@ -177,9 +223,13 @@ impl ServiceObs {
         }
     }
 
-    /// Registers the shared block cache's counters.
+    /// Registers the shared block cache's counters and, when tracing is
+    /// enabled, hooks the cache's single-flight loads into the trace ring.
     pub fn attach_cache(&self, cache: &Arc<clio_cache::BlockCache>) {
         cache.register_into(&self.registry);
+        if self.trace.capacity() > 0 {
+            cache.attach_trace(self.trace.clone());
+        }
     }
 
     /// Publishes the space-overhead report as gauges (called at exposition
@@ -215,13 +265,6 @@ impl ServiceObs {
         set("clio_recovery_rebuild_us", r.rebuild_us);
         set("clio_recovery_catalog_us", r.catalog_us);
         set("clio_recovery_total_us", r.total_us);
-        self.trace.record(
-            "recover",
-            None,
-            r.rebuild_blocks_read,
-            Duration::from_micros(r.total_us),
-            "ok",
-        );
     }
 
     /// Wraps a device so its ops land in this service's shared counters.
@@ -267,9 +310,9 @@ mod tests {
     #[test]
     fn spans_feed_counters_histograms_and_trace() {
         let obs = ServiceObs::new(16);
-        obs.note_append(LogFileId(8), 1, Duration::from_micros(10), true);
-        obs.note_append(LogFileId(8), 0, Duration::from_micros(5), false);
-        obs.note_read(Some(LogFileId(8)), 2, Duration::from_micros(3), true);
+        obs.note_append(LogFileId(8), Duration::from_micros(10), true);
+        obs.note_append(LogFileId(8), Duration::from_micros(5), false);
+        obs.note_read(Some(LogFileId(8)), Duration::from_micros(3), true);
         let stats = LocateStats {
             blocks_read: 4,
             map_entries_examined: 3,
@@ -283,10 +326,26 @@ mod tests {
         assert!(text.contains("clio_core_reads_total 1"));
         assert!(text.contains("clio_core_locates_total 1"));
         assert!(text.contains("clio_core_locate_blocks_count 1"));
+        // Per-log labeled series appear alongside the service-wide ones.
+        assert!(text.contains("clio_log_appends_total{log=\"8\"} 1"));
+        assert!(text.contains("clio_log_reads_total{log=\"8\"} 1"));
+        assert!(text.contains("clio_log_append_latency_ns_count{log=\"8\"} 1"));
         let dump = obs.trace().dump();
-        assert!(dump.contains("append"));
         assert!(dump.contains("locate"));
-        assert!(dump.contains("error"));
+    }
+
+    #[test]
+    fn spans_nest_through_the_service_helper() {
+        let obs = ServiceObs::new(16);
+        {
+            let mut root = obs.span("append");
+            root.set_target(3);
+            let _stage = obs.span("stage");
+        }
+        let trees = obs.trace().traces();
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].roots[0].span.name, "append");
+        assert_eq!(trees[0].roots[0].children[0].span.name, "stage");
     }
 
     #[test]

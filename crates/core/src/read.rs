@@ -151,6 +151,7 @@ impl LogService {
     pub fn read_entry(&self, addr: EntryAddr) -> Result<Entry> {
         let start = clio_obs::clock::now();
         let before = self.obs.device_stats.snapshot().reads;
+        let mut span = self.obs.span("read");
         let view = self.read_view();
         let r = self.read_entry_in(&view, addr);
         let blocks = self
@@ -159,12 +160,16 @@ impl LogService {
             .snapshot()
             .reads
             .saturating_sub(before);
-        self.obs.note_read(
-            r.as_ref().ok().map(|e| e.id),
-            blocks,
-            start.elapsed(),
-            r.is_ok(),
-        );
+        if let Ok(e) = r.as_ref() {
+            span.set_target(u64::from(e.id.0));
+        }
+        span.attr("blocks", blocks);
+        if r.is_err() {
+            span.fail("error");
+        }
+        drop(span);
+        self.obs
+            .note_read(r.as_ref().ok().map(|e| e.id), start.elapsed(), r.is_ok());
         r
     }
 
@@ -556,6 +561,7 @@ impl LogCursor<'_> {
     ) -> Result<Option<Entry>> {
         let start = clio_obs::clock::now();
         let before = self.svc.obs.device_stats.snapshot().reads;
+        let mut span = self.svc.obs.span("read");
         let r = op(self);
         let blocks = self
             .svc
@@ -565,9 +571,15 @@ impl LogCursor<'_> {
             .reads
             .saturating_sub(before);
         let target = r.as_ref().ok().and_then(|e| e.as_ref().map(|e| e.id));
-        self.svc
-            .obs
-            .note_read(target, blocks, start.elapsed(), r.is_ok());
+        if let Some(id) = target {
+            span.set_target(u64::from(id.0));
+        }
+        span.attr("blocks", blocks);
+        if r.is_err() {
+            span.fail("error");
+        }
+        drop(span);
+        self.svc.obs.note_read(target, start.elapsed(), r.is_ok());
         r
     }
 

@@ -82,13 +82,16 @@ impl LogService {
     ) -> Result<(LogService, RecoveryReport)> {
         let recover_start = clio_obs::clock::now();
         let obs = crate::obs::ServiceObs::new(cfg.trace_events);
+        let mut recover_span = obs.span("recover");
         let devices: Vec<SharedDevice> = devices
             .into_iter()
             .map(|d| obs.instrument_device(d))
             .collect();
         let pool = Arc::new(crate::obs::InstrumentingPool::new(pool, obs.clone()));
         let cache = Arc::new(BlockCache::with_shards(cfg.cache_blocks, cfg.cache_shards));
+        let locate_span = obs.span("end_locate");
         let seq = Arc::new(VolumeSequence::open(devices, cache, pool, 0)?);
+        drop(locate_span);
         let end_locate_us = elapsed_us(recover_start);
         // Geometry is defined by the volume labels, not the passed config.
         let mut cfg = cfg;
@@ -105,6 +108,7 @@ impl LogService {
         // Step 2: rebuild entrymap pending state per volume, invalidating
         // corrupt blocks as they are discovered.
         let rebuild_start = clio_obs::clock::now();
+        let rebuild_span = obs.span("rebuild");
         let mut pendings: Vec<PendingMaps> = Vec::new();
         for v in 0..seq.volume_count() {
             let vol = seq.volume(v)?;
@@ -121,11 +125,13 @@ impl LogService {
             }
             pendings.push(pending);
         }
+        drop(rebuild_span);
         report.rebuild_us = elapsed_us(rebuild_start);
 
         // Step 3: rebuild the catalog. Find the newest volume whose catalog
         // entries include a checkpoint and replay from there.
         let catalog_start = clio_obs::clock::now();
+        let catalog_span = obs.span("catalog");
         let mut per_volume: Vec<Vec<CatalogRecord>> = Vec::new();
         for v in 0..seq.volume_count() {
             let vol = seq.volume(v)?;
@@ -149,10 +155,19 @@ impl LogService {
                 catalog.apply(rec)?;
             }
         }
+        drop(catalog_span);
         report.catalog_us = elapsed_us(catalog_start);
 
         let active_pending = pendings.pop();
-        let svc = LogService::assemble(seq, cfg, clock, obs, catalog, pendings, active_pending);
+        let svc = LogService::assemble(
+            seq,
+            cfg,
+            clock,
+            obs.clone(),
+            catalog,
+            pendings,
+            active_pending,
+        );
         // Queue bad-block records for invalidated blocks on the active
         // volume; older volumes are closed and their losses only reported.
         {
@@ -168,6 +183,9 @@ impl LogService {
         // invariant even when the clock granularity swallows a phase.
         report.total_us = elapsed_us(recover_start)
             .max(report.end_locate_us + report.rebuild_us + report.catalog_us);
+        recover_span.attr("volumes", u64::from(report.volumes));
+        recover_span.attr("blocks_read", report.rebuild_blocks_read);
+        drop(recover_span);
         svc.obs.publish_recovery(&report);
         Ok((svc, report))
     }

@@ -8,12 +8,14 @@
 //! requests, counting round trips so the `clio-sim` cost model can charge
 //! the paper's measured per-IPC latency.
 
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use std::sync::mpsc::{channel, Sender};
 
+use clio_obs::{Counter, ObsHttpServer, ObsProvider};
 use clio_types::{ClioError, LogFileId, Result, SeqNo, Timestamp};
 
 use crate::read::Entry;
@@ -168,17 +170,61 @@ impl Response {
 
 type Envelope = (Request, Sender<Response>);
 
-/// The server: a [`LogService`] owned by a dedicated thread.
+/// The server: a [`LogService`] owned by a dedicated thread, plus (when
+/// [`crate::ServiceConfig::http_addr`] is set) the HTTP observability
+/// endpoint serving the service's metrics and trace ring.
 pub struct LogServer {
     tx: Sender<Envelope>,
     handle: Option<JoinHandle<()>>,
     ipc_round_trips: Arc<AtomicU64>,
+    http: Option<ObsHttpServer>,
+}
+
+/// Serves the observability endpoint from the live service: metrics and
+/// traces are snapshotted per request (all lock-free or short-lock reads),
+/// and every scrape counts itself in the registry it is scraping.
+struct ServiceObsProvider {
+    svc: Arc<LogService>,
+    scrapes: Arc<Counter>,
+}
+
+impl ObsProvider for ServiceObsProvider {
+    fn metrics_text(&self) -> String {
+        self.scrapes.inc();
+        self.svc.metrics_text()
+    }
+    fn metrics_json(&self) -> String {
+        self.scrapes.inc();
+        self.svc.metrics_json()
+    }
+    fn trace_json(&self) -> String {
+        self.scrapes.inc();
+        self.svc.trace_json()
+    }
 }
 
 impl LogServer {
-    /// Spawns the server thread around `svc`.
+    /// Spawns the server thread around `svc`. When the config carries an
+    /// `http_addr`, also starts the observability endpoint; a bind failure
+    /// is reported on stderr and the server runs without it (the store
+    /// must not fail to serve because a diagnostics port is taken).
     #[must_use]
     pub fn spawn(svc: LogService) -> LogServer {
+        let http_addr = svc.cfg.http_addr.clone();
+        let svc = Arc::new(svc);
+        let http = http_addr.and_then(|bind| {
+            let provider = Arc::new(ServiceObsProvider {
+                svc: svc.clone(),
+                scrapes: svc.obs.registry().counter("clio_http_scrapes_total"),
+            });
+            match ObsHttpServer::start(&bind, provider) {
+                Ok(server) => Some(server),
+                Err(e) => {
+                    eprintln!("clio: observability endpoint bind {bind} failed: {e}");
+                    None
+                }
+            }
+        });
         let (tx, rx) = channel::<Envelope>();
         let handle = std::thread::spawn(move || {
             while let Ok((req, reply)) = rx.recv() {
@@ -194,7 +240,15 @@ impl LogServer {
             tx,
             handle: Some(handle),
             ipc_round_trips: Arc::new(AtomicU64::new(0)),
+            http,
         }
+    }
+
+    /// The bound address of the observability endpoint, when one is
+    /// running (the real port, when configured on `:0`).
+    #[must_use]
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http.as_ref().map(ObsHttpServer::local_addr)
     }
 
     /// A client handle for this server.

@@ -535,6 +535,9 @@ impl LogService {
 
     /// Appends `data` as one log entry of log file `id`.
     pub fn append(&self, id: LogFileId, data: &[u8], opts: AppendOpts) -> Result<Receipt> {
+        let mut span = self.obs.span("append");
+        span.set_target(u64::from(id.0));
+        span.attr("bytes", data.len() as u64);
         let start = clio_obs::clock::now();
         let before = self.obs.device_stats.snapshot().accesses();
         let r = self.append_inner(id, data, opts);
@@ -544,7 +547,12 @@ impl LogService {
             .snapshot()
             .accesses()
             .saturating_sub(before);
-        self.obs.note_append(id, blocks, start.elapsed(), r.is_ok());
+        span.attr("blocks", blocks);
+        if r.is_err() {
+            span.fail("error");
+        }
+        drop(span);
+        self.obs.note_append(id, start.elapsed(), r.is_ok());
         r
     }
 
@@ -554,6 +562,9 @@ impl LogService {
         // state lock. A group-mode forced append defers both the device
         // write and the snapshot republish to the commit leader.
         let (r, my_seq) = {
+            // Declared before the lock guard: the stage span covers lock
+            // acquisition and records only after the lock is released.
+            let _stage = self.obs.span("stage");
             let mut st = self.state.lock();
             let r = self.append_locked(&mut st, id, data, opts);
             let seq = st.forced_seq;
@@ -580,10 +591,15 @@ impl LogService {
     /// committed watermark to the staging sequence it observed, and wakes
     /// all followers it covered.
     fn commit_wait(&self, my_seq: u64) -> Result<()> {
-        loop {
+        // One commit_gate span per forced append, leader or follower: its
+        // duration is the full time spent waiting for durability, and its
+        // role attribute says which side of the gate this thread took.
+        let mut gate_span = self.obs.span("commit_gate");
+        let mut led = false;
+        let result = loop {
             let mut gate = self.commit.m.lock();
             if gate.committed >= my_seq {
-                return Ok(());
+                break Ok(());
             }
             if gate.committing {
                 // Follow: a leader is writing; its batch may cover us.
@@ -592,6 +608,7 @@ impl LogService {
             }
             gate.committing = true;
             drop(gate);
+            led = true;
             // Lead. Dally (with no lock held) so forced appends arriving
             // nearly together can join this batch.
             if self.cfg.commit_wait_us > 0 {
@@ -600,9 +617,11 @@ impl LogService {
             let (result, target) = {
                 let mut st = self.state.lock();
                 let target = st.forced_seq;
+                gate_span.attr("batch_forced", st.staged_forced);
                 let r = self.commit_locked(&mut st);
                 // Publish once per batch: every follower's entries become
                 // visible (and durable) with this single republish.
+                let _publish = self.obs.span("publish");
                 self.publish_view(&st);
                 (r, target)
             };
@@ -613,8 +632,15 @@ impl LogService {
             gate.committing = false;
             drop(gate);
             self.commit.cv.notify_all();
-            result?;
+            if let Err(e) = result {
+                break Err(e);
+            }
+        };
+        gate_span.attr_str("role", if led { "leader" } else { "follower" });
+        if result.is_err() {
+            gate_span.fail("error");
         }
+        result
     }
 
     fn append_locked(
@@ -689,6 +715,7 @@ impl LogService {
     /// empty: draining queued sealed blocks advances the device watermark,
     /// which the snapshot must reflect.
     pub fn flush(&self) -> Result<()> {
+        let _span = self.obs.span("flush");
         let mut st = self.state.lock();
         let r = (|| {
             self.persist_all(&mut st)?;
@@ -729,10 +756,13 @@ impl LogService {
         if items.is_empty() {
             return Ok(Vec::new());
         }
+        let mut span = self.obs.span("append_batch");
+        span.attr("entries", items.len() as u64);
         let start = clio_obs::clock::now();
         let group_forced = self.group_commit_on() && matches!(opts.durability, Durability::Forced);
         let mut noted: Vec<LogFileId> = Vec::with_capacity(items.len());
         let (r, my_seq) = {
+            let _stage = self.obs.span("stage");
             let mut st = self.state.lock();
             let r: Result<Vec<Receipt>> = (|| {
                 let mut receipts = Vec::with_capacity(items.len());
@@ -762,7 +792,10 @@ impl LogService {
             (r, seq)
         };
         for id in &noted {
-            self.obs.note_append(*id, 0, start.elapsed(), r.is_ok());
+            self.obs.note_append(*id, start.elapsed(), r.is_ok());
+        }
+        if r.is_err() {
+            span.fail("error");
         }
         let receipts = r?;
         if group_forced {
@@ -814,6 +847,13 @@ impl LogService {
     #[must_use]
     pub fn trace_dump(&self) -> String {
         self.obs.trace().dump()
+    }
+
+    /// The trace ring's surviving spans as compact JSON trees (the body
+    /// of the HTTP endpoint's `GET /trace`).
+    #[must_use]
+    pub fn trace_json(&self) -> String {
+        self.obs.trace().trace_json().encode()
     }
 
     /// Writes a catalog record durably (forced, timestamped).

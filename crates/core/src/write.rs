@@ -293,7 +293,15 @@ impl LogService {
     /// Seals the open block onto the medium, verifying and re-placing it on
     /// corruption (§2.3.2). Returns the data block it finally landed on.
     pub(crate) fn seal_open(&self, st: &mut State) -> Result<u64> {
+        // Span guard declared inside the function: the state lock is already
+        // held by the caller, and the trace ring is a leaf lock, so recording
+        // on drop here adds only the benign state -> ring edge.
+        let mut span = self.obs.span("seal");
         let r = self.seal_open_inner(st);
+        if r.is_err() {
+            span.fail("error");
+        }
+        drop(span);
         // The seal noted blocks in the entrymap writer; refresh the frozen
         // pending clone that read snapshots share.
         st.pending_snap = std::sync::Arc::new(st.emap.pending().clone());

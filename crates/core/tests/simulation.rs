@@ -315,6 +315,13 @@ fn scan_all(svc: &LogService) -> Vec<LogScan> {
 
 /// Runs one fully seeded simulation and returns its recorded history.
 fn run_sim(seed: u64) -> History {
+    run_sim_traced(seed).0
+}
+
+/// [`run_sim`], also returning the final service's flight-recorder dump.
+/// The sim clock is installed as the span time source, so span start
+/// times are virtual microseconds, not host time.
+fn run_sim_traced(seed: u64) -> (History, String) {
     let mut s = seed;
     let sched_seed = splitmix64(&mut s);
     let fault_seed = splitmix64(&mut s);
@@ -322,6 +329,12 @@ fn run_sim(seed: u64) -> History {
     let ram_tail = splitmix64(&mut s) & 1 == 1;
 
     let clock = Arc::new(SimClock::starting_at(1_000_000));
+    // Trace spans read the sim's virtual time instead of the host clock;
+    // the guard restores the host source when the run ends.
+    let _vclock = {
+        let c = clock.clone();
+        clio_obs::clock::install_virtual_us(Arc::new(move || c.now_us()))
+    };
     let svc_clock: Arc<dyn Clock> = Arc::new(SimServiceClock(clock.clone()));
     let sw = CrashSwitch::new(fault_seed);
     let inner = Arc::new(MemDevicePool::new(512, 96));
@@ -398,7 +411,8 @@ fn run_sim(seed: u64) -> History {
     let scans = scan_all(&svc);
     drv.history
         .push(sched.now_us(), SYSTEM, EventKind::FinalScan { scans });
-    drv.history
+    let trace = svc.trace_dump();
+    (drv.history, trace)
 }
 
 fn replay_seed() -> Option<u64> {
@@ -462,6 +476,47 @@ fn sim_replays_byte_identically() {
     assert_eq!(a, b, "same seed must replay byte-identically");
     let c = run_sim(43).render();
     assert_ne!(a, c, "different seeds must differ");
+}
+
+/// Span tracing rides along without perturbing the simulation: with the
+/// default trace ring enabled and the sim clock installed as the span
+/// time source, the history still replays byte-identically, and the
+/// surviving span trees have the same shape run to run. (Span durations
+/// are stripped before comparing: `note_locate`-style spans measure with
+/// a host timer, so only their structure is deterministic.)
+#[test]
+fn sim_replays_byte_identically_with_tracing() {
+    fn strip_timings(dump: &str) -> String {
+        dump.lines()
+            .map(|l| {
+                l.split_whitespace()
+                    .filter(|t| {
+                        let timing = t.strip_prefix('+').unwrap_or(t);
+                        !(timing.ends_with("us")
+                            && timing[..timing.len() - 2]
+                                .chars()
+                                .all(|c| c.is_ascii_digit()))
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+    let (ha, ta) = run_sim_traced(0xC110_5EED);
+    let (hb, tb) = run_sim_traced(0xC110_5EED);
+    assert_eq!(
+        ha.render(),
+        hb.render(),
+        "tracing must not perturb the interleaving"
+    );
+    assert!(!ta.contains("0 span(s)"), "the sim must record spans");
+    assert!(ta.contains("append"), "the sim must trace appends");
+    assert_eq!(
+        strip_timings(&ta),
+        strip_timings(&tb),
+        "span trees must replay structurally identically"
+    );
 }
 
 /// A deliberately broken test double: the "service" loses a forced entry

@@ -9,9 +9,9 @@
 //! each op kind feeds a wall-clock latency [`Histogram`].
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use clio_obs::{Histogram, MetricsRegistry};
+use clio_obs::{Histogram, MetricsRegistry, TraceRing};
 use clio_types::{BlockNo, Result};
 
 use crate::traits::{LogDevice, SharedDevice};
@@ -19,6 +19,11 @@ use crate::traits::{LogDevice, SharedDevice};
 /// Shared operation counters for one device.
 #[derive(Debug, Default)]
 pub struct DeviceStats {
+    /// When attached, device writes (single-block and vectored) record
+    /// `device_write` spans here, nesting under whatever operation span is
+    /// open on the writing thread. Write-once only; reads are traced at
+    /// the service layer (per-block read spans would flood the ring).
+    trace: OnceLock<Arc<TraceRing>>,
     reads: AtomicU64,
     appends: AtomicU64,
     invalidations: AtomicU64,
@@ -139,6 +144,21 @@ impl DeviceStats {
             last_pos: AtomicI64::new(-1),
             ..DeviceStats::default()
         })
+    }
+
+    /// Attaches the service's trace ring so device writes record
+    /// `device_write` spans. First attach wins; later calls are ignored
+    /// (the stats block is shared across every device of one service).
+    pub fn attach_trace(&self, ring: Arc<TraceRing>) {
+        let _ = self.trace.set(ring);
+    }
+
+    /// Opens a `device_write` span when a trace ring is attached.
+    fn write_span(&self, blocks: u64) -> Option<clio_obs::SpanGuard<'_>> {
+        let ring = self.trace.get()?;
+        let mut span = ring.span("device_write");
+        span.attr("blocks", blocks);
+        Some(span)
     }
 
     fn touch(&self, block: BlockNo) {
@@ -298,6 +318,7 @@ impl LogDevice for InstrumentedDevice {
     }
 
     fn append_block(&self, expected: BlockNo, data: &[u8]) -> Result<()> {
+        let mut span = self.stats.write_span(1);
         let start = clio_obs::clock::now();
         match self.inner.append_block(expected, data) {
             Ok(()) => {
@@ -309,6 +330,9 @@ impl LogDevice for InstrumentedDevice {
                 Ok(())
             }
             Err(e) => {
+                if let Some(s) = &mut span {
+                    s.fail("io_error");
+                }
                 self.stats.append_errors.fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
@@ -320,6 +344,7 @@ impl LogDevice for InstrumentedDevice {
             return Ok(());
         }
         let n = blocks.len() as u64;
+        let mut span = self.stats.write_span(n);
         let start = clio_obs::clock::now();
         match self.inner.append_blocks(expected, blocks) {
             Ok(()) => {
@@ -337,6 +362,9 @@ impl LogDevice for InstrumentedDevice {
                 Ok(())
             }
             Err(e) => {
+                if let Some(s) = &mut span {
+                    s.fail("io_error");
+                }
                 self.stats.append_errors.fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
@@ -485,6 +513,25 @@ mod tests {
         assert!(text.contains("clio_device_reads_total 1"));
         assert!(text.contains("clio_device_appends_total 1"));
         assert!(text.contains("clio_device_read_latency_ns_count 1"));
+    }
+
+    #[test]
+    fn attached_trace_records_device_write_spans() {
+        let (dev, stats) = instrumented();
+        let ring = Arc::new(TraceRing::new(8));
+        stats.attach_trace(ring.clone());
+        dev.append_block(BlockNo(0), &[0u8; 32]).unwrap();
+        dev.append_blocks(BlockNo(1), &[&[0u8; 32], &[0u8; 32]])
+            .unwrap();
+        assert!(dev.append_block(BlockNo(9), &[0u8; 32]).is_err());
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|s| s.name == "device_write"));
+        assert_eq!(
+            spans[1].attrs,
+            vec![("blocks", clio_obs::AttrValue::U64(2))]
+        );
+        assert_eq!(spans[2].outcome, "io_error");
     }
 
     #[test]

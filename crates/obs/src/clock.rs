@@ -9,6 +9,17 @@
 //! in profiles and grep-able in one place. Semantic time (timestamps
 //! stored in log entries) is a different thing entirely and comes from
 //! `clio_types::time::Clock`, which tests replace with a logical clock.
+//!
+//! Span timestamps additionally support **virtual time**: the
+//! whole-system simulator runs every client on one thread against a
+//! seeded virtual clock, and span trees recorded during a simulated run
+//! must be a pure function of the seed. [`install_virtual_us`] overrides
+//! [`now_us`] for the current thread (and only that thread) until the
+//! returned guard drops, so a simulation's spans carry virtual
+//! microseconds while concurrent real-time tests are unaffected.
+
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
 
 pub use std::time::Instant;
 
@@ -16,4 +27,89 @@ pub use std::time::Instant;
 #[must_use]
 pub fn now() -> Instant {
     Instant::now()
+}
+
+/// The process epoch all [`now_us`] readings are relative to (first use
+/// wins; only differences are meaningful).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    /// Stack of thread-local virtual-time sources; the innermost override
+    /// wins. A stack (rather than a slot) lets nested scopes restore the
+    /// outer source on drop.
+    static VIRTUAL_US: RefCell<Vec<Arc<dyn Fn() -> u64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Microseconds for span timestamps: virtual when the current thread has
+/// an installed source (see [`install_virtual_us`]), otherwise host
+/// microseconds since the process epoch.
+#[must_use]
+pub fn now_us() -> u64 {
+    let v = VIRTUAL_US.with(|s| s.borrow().last().cloned());
+    match v {
+        Some(f) => f(),
+        None => u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX),
+    }
+}
+
+/// Uninstalls its virtual-time source when dropped.
+pub struct VirtualClockGuard {
+    _private: (),
+}
+
+impl Drop for VirtualClockGuard {
+    fn drop(&mut self) {
+        VIRTUAL_US.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Makes [`now_us`] on the *current thread* read `source` until the
+/// returned guard drops. Used by the deterministic simulator so spans
+/// recorded during a simulated run carry virtual microseconds.
+#[must_use]
+pub fn install_virtual_us(source: Arc<dyn Fn() -> u64>) -> VirtualClockGuard {
+    VIRTUAL_US.with(|s| s.borrow_mut().push(source));
+    VirtualClockGuard { _private: () }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn host_time_is_monotonic_nondecreasing() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_override_is_thread_local_and_nests() {
+        let tick = Arc::new(AtomicU64::new(500));
+        let t2 = tick.clone();
+        let g = install_virtual_us(Arc::new(move || t2.load(Ordering::Relaxed)));
+        assert_eq!(now_us(), 500);
+        tick.store(900, Ordering::Relaxed);
+        assert_eq!(now_us(), 900);
+        {
+            let _inner = install_virtual_us(Arc::new(|| 7));
+            assert_eq!(now_us(), 7);
+        }
+        assert_eq!(now_us(), 900, "outer source restored after inner drop");
+        // Another thread's override is independent of this thread's.
+        std::thread::spawn(|| {
+            let _g = install_virtual_us(Arc::new(|| 123));
+            assert_eq!(now_us(), 123);
+        })
+        .join()
+        .expect("probe thread");
+        assert_eq!(now_us(), 900, "peer thread override must not leak here");
+        drop(g);
+    }
 }

@@ -11,24 +11,43 @@ use std::fmt::Write as _;
 
 use crate::hist::{bucket_upper_bound, HistSnapshot, BUCKETS};
 use crate::json::Value;
-use crate::registry::{MetricValue, MetricsRegistry};
+use crate::registry::{label_suffix, MetricValue, MetricsRegistry};
 
-/// Renders the registry in a Prometheus-style text format.
+/// Renders the registry in a Prometheus-style text format. Labeled series
+/// of one family share a single `# TYPE` line (gather order keeps them
+/// adjacent); histogram labels merge with the `le` bucket label.
 #[must_use]
 pub fn render_prometheus(reg: &MetricsRegistry) -> String {
     let mut out = String::new();
+    let mut last_family: Option<(String, &'static str)> = None;
     for sample in reg.gather() {
+        let kind = match &sample.value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        };
+        if last_family.as_ref() != Some(&(sample.name.clone(), kind)) {
+            let _ = writeln!(out, "# TYPE {} {}", sample.name, kind);
+            last_family = Some((sample.name.clone(), kind));
+        }
+        let labels = label_suffix(&sample.labels);
         match &sample.value {
             MetricValue::Counter(v) => {
-                let _ = writeln!(out, "# TYPE {} counter", sample.name);
-                let _ = writeln!(out, "{} {}", sample.name, v);
+                let _ = writeln!(out, "{}{} {}", sample.name, labels, v);
             }
             MetricValue::Gauge(v) => {
-                let _ = writeln!(out, "# TYPE {} gauge", sample.name);
-                let _ = writeln!(out, "{} {}", sample.name, v);
+                let _ = writeln!(out, "{}{} {}", sample.name, labels, v);
             }
             MetricValue::Histogram(h) => {
-                let _ = writeln!(out, "# TYPE {} histogram", sample.name);
+                // `le` joins the series' own labels inside one brace set.
+                let open = if sample.labels.is_empty() {
+                    "{".to_owned()
+                } else {
+                    let mut o = labels.clone();
+                    o.pop();
+                    o.push(',');
+                    o
+                };
                 let mut cumulative = 0u64;
                 for i in 0..BUCKETS {
                     if h.buckets[i] == 0 {
@@ -37,15 +56,20 @@ pub fn render_prometheus(reg: &MetricsRegistry) -> String {
                     cumulative += h.buckets[i];
                     let _ = writeln!(
                         out,
-                        "{}_bucket{{le=\"{}\"}} {}",
+                        "{}_bucket{}le=\"{}\"}} {}",
                         sample.name,
+                        open,
                         bucket_upper_bound(i),
                         cumulative
                     );
                 }
-                let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", sample.name, h.count);
-                let _ = writeln!(out, "{}_sum {}", sample.name, h.sum);
-                let _ = writeln!(out, "{}_count {}", sample.name, h.count);
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{}le=\"+Inf\"}} {}",
+                    sample.name, open, h.count
+                );
+                let _ = writeln!(out, "{}_sum{} {}", sample.name, labels, h.sum);
+                let _ = writeln!(out, "{}_count{} {}", sample.name, labels, h.count);
             }
         }
     }
@@ -72,9 +96,9 @@ fn hist_to_json(h: &HistSnapshot) -> Value {
     ])
 }
 
-/// Renders the registry as a JSON [`Value`]: one object keyed by metric
-/// name, with counters/gauges as integers and histograms as summary
-/// objects.
+/// Renders the registry as a JSON [`Value`]: one object keyed by series
+/// identity (`name` or `name{k="v"}` for labeled series), with
+/// counters/gauges as integers and histograms as summary objects.
 #[must_use]
 pub fn to_json(reg: &MetricsRegistry) -> Value {
     Value::Obj(
@@ -86,7 +110,7 @@ pub fn to_json(reg: &MetricsRegistry) -> Value {
                     MetricValue::Gauge(v) => Value::Int(*v),
                     MetricValue::Histogram(h) => hist_to_json(h),
                 };
-                (sample.name, v)
+                (sample.identity(), v)
             })
             .collect(),
     )
@@ -148,5 +172,43 @@ mod tests {
         let reg = MetricsRegistry::new();
         assert_eq!(render_prometheus(&reg), "");
         assert_eq!(to_json(&reg), Value::Obj(vec![]));
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_line() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("clio_log_appends_total", &[("log", "1")])
+            .add(3);
+        reg.counter_with("clio_log_appends_total", &[("log", "2")])
+            .add(4);
+        let h = reg.histogram_with("clio_log_append_ns", &[("log", "1")]);
+        h.record(100);
+        h.record(300);
+        let text = render_prometheus(&reg);
+        assert_eq!(
+            text.matches("# TYPE clio_log_appends_total counter")
+                .count(),
+            1,
+            "one TYPE line for the whole family:\n{text}"
+        );
+        assert!(text.contains("clio_log_appends_total{log=\"1\"} 3"));
+        assert!(text.contains("clio_log_appends_total{log=\"2\"} 4"));
+        // Histogram labels merge with `le` in one brace set.
+        assert!(text.contains("clio_log_append_ns_bucket{log=\"1\",le=\"+Inf\"} 2"));
+        assert!(text.contains("clio_log_append_ns_sum{log=\"1\"} 400"));
+        assert!(text.contains("clio_log_append_ns_count{log=\"1\"} 2"));
+
+        let v = json::parse(&render_json(&reg)).unwrap();
+        assert_eq!(
+            v.get("clio_log_appends_total{log=\"2\"}")
+                .and_then(Value::as_i64),
+            Some(4)
+        );
+        assert_eq!(
+            v.get("clio_log_append_ns{log=\"1\"}")
+                .and_then(|h| h.get("count"))
+                .and_then(Value::as_i64),
+            Some(2)
+        );
     }
 }

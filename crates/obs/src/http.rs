@@ -1,0 +1,268 @@
+//! A std-only HTTP/1.1 observability endpoint.
+//!
+//! The workspace carries zero registry dependencies, so this is a
+//! hand-rolled server over `std::net::TcpListener`: one accept thread, a
+//! short-lived thread per connection, GET-only routing over four fixed
+//! routes. It serves operators and scrapers, not application traffic —
+//! the request grammar it accepts is deliberately minimal (request line +
+//! headers, no bodies, `Connection: close` on every response).
+//!
+//! Routes:
+//! - `GET /metrics` — Prometheus text exposition (`text/plain; version=0.0.4`)
+//! - `GET /metrics.json` — the same registry as a JSON object
+//! - `GET /trace` — recent spans from the flight recorder as JSON trees
+//! - `GET /health` — liveness JSON
+//!
+//! The server binds in [`ObsHttpServer::start`] (so an ephemeral `:0`
+//! port is readable immediately via [`ObsHttpServer::local_addr`]) and
+//! shuts down when dropped: the accept loop checks a stop flag after
+//! every accept, and `Drop` unblocks it with a loopback connection.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What the endpoint serves: a snapshot getter per route. Implemented by
+/// the service layer (which owns the registry and trace ring); the HTTP
+/// plumbing stays ignorant of both.
+pub trait ObsProvider: Send + Sync {
+    /// Body for `GET /metrics` (Prometheus text exposition).
+    fn metrics_text(&self) -> String;
+    /// Body for `GET /metrics.json` (a JSON object).
+    fn metrics_json(&self) -> String;
+    /// Body for `GET /trace` (recent spans as JSON trees).
+    fn trace_json(&self) -> String;
+    /// Body for `GET /health`. The default reports liveness only.
+    fn health_json(&self) -> String {
+        "{\"status\":\"ok\"}".to_owned()
+    }
+}
+
+/// A running observability endpoint; stops (and joins its accept thread)
+/// on drop.
+pub struct ObsHttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Longest request head (request line + headers) we accept.
+const MAX_HEAD: usize = 8 * 1024;
+/// Per-connection socket timeout: an idle or trickling scraper cannot pin
+/// a handler thread longer than this.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+impl ObsHttpServer {
+    /// Binds `bind` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `provider`.
+    ///
+    /// # Errors
+    /// Returns the bind error if the address is unavailable.
+    pub fn start(bind: &str, provider: Arc<dyn ObsProvider>) -> std::io::Result<ObsHttpServer> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let accept = std::thread::Builder::new()
+            .name("clio-obs-http".to_owned())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let provider = provider.clone();
+                    // Fire-and-forget per connection: handlers only read a
+                    // bounded head and write one response, and the socket
+                    // timeout bounds their lifetime.
+                    let _ = std::thread::Builder::new()
+                        .name("clio-obs-conn".to_owned())
+                        .spawn(move || handle_connection(stream, &*provider));
+                }
+            })?;
+        Ok(ObsHttpServer {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (the real port, when started on `:0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ObsHttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, provider: &dyn ObsProvider) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let Some(head) = read_head(&mut stream) else {
+        return;
+    };
+    let response = match parse_request_line(&head) {
+        Some(("GET", path)) => match path {
+            "/metrics" => ok(
+                "text/plain; version=0.0.4; charset=utf-8",
+                provider.metrics_text(),
+            ),
+            "/metrics.json" => ok("application/json", provider.metrics_json()),
+            "/trace" => ok("application/json", provider.trace_json()),
+            "/health" => ok("application/json", provider.health_json()),
+            _ => error_response("404 Not Found", "not found\n"),
+        },
+        Some(_) => error_response("405 Method Not Allowed", "GET only\n"),
+        None => error_response("400 Bad Request", "malformed request\n"),
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Reads up to the end of the request head (`\r\n\r\n`); `None` on
+/// timeout, oversized head, or early close.
+fn read_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 1024];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        if buf.len() > MAX_HEAD {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    String::from_utf8(buf).ok()
+}
+
+/// Splits `"GET /path HTTP/1.1\r\n..."` into method and path. Query
+/// strings are ignored (routes take no parameters).
+fn parse_request_line(head: &str) -> Option<(&str, &str)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split(' ');
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    Some((method, path))
+}
+
+fn ok(content_type: &str, body: String) -> String {
+    format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn error_response(status: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakeProvider;
+
+    impl ObsProvider for FakeProvider {
+        fn metrics_text(&self) -> String {
+            "# TYPE clio_up gauge\nclio_up 1\n".to_owned()
+        }
+        fn metrics_json(&self) -> String {
+            "{\"clio_up\":1}".to_owned()
+        }
+        fn trace_json(&self) -> String {
+            "{\"traces\":[]}".to_owned()
+        }
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
+        let mut response = String::new();
+        s.read_to_string(&mut response).expect("read");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("header/body separator");
+        (head.to_owned(), body.to_owned())
+    }
+
+    #[test]
+    fn serves_all_routes_and_404() {
+        let server =
+            ObsHttpServer::start("127.0.0.1:0", Arc::new(FakeProvider)).expect("bind ephemeral");
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("clio_up 1"));
+
+        let (_, body) = get(addr, "/metrics.json");
+        assert_eq!(body, "{\"clio_up\":1}");
+
+        let (_, body) = get(addr, "/trace");
+        assert_eq!(body, "{\"traces\":[]}");
+
+        let (head, body) = get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(body.contains("\"status\":\"ok\""));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        // Query strings are tolerated.
+        let (head, _) = get(addr, "/health?verbose=1");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    }
+
+    #[test]
+    fn rejects_non_get_and_garbage() {
+        let server =
+            ObsHttpServer::start("127.0.0.1:0", Arc::new(FakeProvider)).expect("bind ephemeral");
+        let addr = server.local_addr();
+
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+        let mut response = String::new();
+        s.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "??\r\n\r\n").expect("send");
+        let mut response = String::new();
+        s.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    }
+
+    #[test]
+    fn drop_stops_the_listener() {
+        let server =
+            ObsHttpServer::start("127.0.0.1:0", Arc::new(FakeProvider)).expect("bind ephemeral");
+        let addr = server.local_addr();
+        drop(server);
+        // The port is released: either connect fails or the connection is
+        // not served. Re-binding the same port must succeed eventually.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port should be released after drop");
+    }
+}

@@ -10,11 +10,14 @@
 //!   components that keep their own counters;
 //! - [`Histogram`]: lock-free log₂-bucketed latency/size distributions with
 //!   `p50/p90/p99/max` quantile estimates, snapshot and merge;
-//! - [`TraceRing`]: a fixed-capacity ring of per-operation trace events
-//!   (op kind, log-file id, block count, outcome, duration) with a text
-//!   dump for test-failure forensics;
+//! - [`TraceRing`]: a fixed-capacity ring of causally linked [`Span`]s
+//!   (trace id, parent id, per-phase timestamps, key/value attributes)
+//!   with per-trace tree rendering, a crash-readable flight-recorder text
+//!   dump, and a JSON form for the `/trace` endpoint;
 //! - [`expo`]: exposition of a registry in a Prometheus-style text format
-//!   and in JSON;
+//!   and in JSON, including per-series labels (`name{log="3"}`);
+//! - [`http`]: a std-only HTTP/1.1 observability endpoint
+//!   (`/metrics`, `/metrics.json`, `/trace`, `/health`);
 //! - [`json`]: a minimal in-tree JSON encoder/decoder (the workspace is
 //!   std-only by policy — see DESIGN.md — so the bench `--json` output and
 //!   its CI validation both use this).
@@ -27,10 +30,12 @@
 pub mod clock;
 pub mod expo;
 pub mod hist;
+pub mod http;
 pub mod json;
 pub mod registry;
 pub mod trace;
 
 pub use hist::{HistSnapshot, Histogram};
+pub use http::{ObsHttpServer, ObsProvider};
 pub use registry::{Counter, Gauge, MetricValue, MetricsRegistry, Sample};
-pub use trace::{TraceEvent, TraceRing};
+pub use trace::{AttrValue, Span, SpanGuard, SpanNode, TraceRing, TraceTree};

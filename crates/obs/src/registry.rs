@@ -67,6 +67,47 @@ enum Metric {
     GaugeFn(Box<dyn Fn() -> i64 + Send + Sync>),
 }
 
+/// A registered metric plus the label set it was created with. The map
+/// key is the full series identity (`name{k="v",...}`), so differently
+/// labeled series of one family are distinct entries that sort together.
+struct Entry {
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+/// Renders `{k="v",...}` with Prometheus escaping, or `""` when empty.
+#[must_use]
+pub fn label_suffix(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+fn identity(name: &str, labels: &[(String, String)]) -> String {
+    let mut id = name.to_owned();
+    id.push_str(&label_suffix(labels));
+    id
+}
+
 /// One gathered metric value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MetricValue {
@@ -82,10 +123,22 @@ pub enum MetricValue {
 /// One named sample from [`MetricsRegistry::gather`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
-    /// The metric name (see the crate docs for the naming scheme).
+    /// The metric family name (see the crate docs for the naming scheme).
     pub name: String,
+    /// Label pairs distinguishing this series within its family
+    /// (empty for unlabeled metrics).
+    pub labels: Vec<(String, String)>,
     /// The value at gather time.
     pub value: MetricValue,
+}
+
+impl Sample {
+    /// The full series identity: `name{k="v",...}` (or just the name when
+    /// unlabeled). Used as the JSON exposition key.
+    #[must_use]
+    pub fn identity(&self) -> String {
+        identity(&self.name, &self.labels)
+    }
 }
 
 /// A registry of named metrics.
@@ -103,7 +156,14 @@ pub struct Sample {
 /// ```
 #[derive(Default)]
 pub struct MetricsRegistry {
-    metrics: Mutex<BTreeMap<String, Metric>>,
+    metrics: Mutex<BTreeMap<String, Entry>>,
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect()
 }
 
 impl MetricsRegistry {
@@ -120,13 +180,29 @@ impl MetricsRegistry {
     /// that is a wiring bug, not a runtime condition.
     #[must_use]
     pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// The counter series `name{labels…}`, creating it if absent. Series
+    /// of one family with different label values are independent counters.
+    ///
+    /// # Panics
+    /// Panics if the series is already registered as a different kind.
+    #[must_use]
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let labels = owned_labels(labels);
+        let key = identity(name, &labels);
         let mut m = self.metrics.lock();
-        match m
-            .entry(name.to_owned())
-            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        match &m
+            .entry(key.clone())
+            .or_insert_with(|| Entry {
+                labels,
+                metric: Metric::Counter(Arc::new(Counter::default())),
+            })
+            .metric
         {
             Metric::Counter(c) => c.clone(),
-            _ => panic!("metric {name} is not a counter"),
+            _ => panic!("metric {key} is not a counter"),
         }
     }
 
@@ -137,9 +213,13 @@ impl MetricsRegistry {
     #[must_use]
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         let mut m = self.metrics.lock();
-        match m
+        match &m
             .entry(name.to_owned())
-            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+            .or_insert_with(|| Entry {
+                labels: Vec::new(),
+                metric: Metric::Gauge(Arc::new(Gauge::default())),
+            })
+            .metric
         {
             Metric::Gauge(g) => g.clone(),
             _ => panic!("metric {name} is not a gauge"),
@@ -152,13 +232,28 @@ impl MetricsRegistry {
     /// Panics if `name` is already registered as a different metric kind.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// The histogram series `name{labels…}`, creating it if absent.
+    ///
+    /// # Panics
+    /// Panics if the series is already registered as a different kind.
+    #[must_use]
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let labels = owned_labels(labels);
+        let key = identity(name, &labels);
         let mut m = self.metrics.lock();
-        match m
-            .entry(name.to_owned())
-            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        match &m
+            .entry(key.clone())
+            .or_insert_with(|| Entry {
+                labels,
+                metric: Metric::Histogram(Arc::new(Histogram::new())),
+            })
+            .metric
         {
             Metric::Histogram(h) => h.clone(),
-            _ => panic!("metric {name} is not a histogram"),
+            _ => panic!("metric {key} is not a histogram"),
         }
     }
 
@@ -166,35 +261,52 @@ impl MetricsRegistry {
     /// that embed their histograms, like `DeviceStats`). Replaces any
     /// previous registration of the name.
     pub fn register_histogram(&self, name: &str, hist: Arc<Histogram>) {
-        self.metrics
-            .lock()
-            .insert(name.to_owned(), Metric::Histogram(hist));
+        self.metrics.lock().insert(
+            name.to_owned(),
+            Entry {
+                labels: Vec::new(),
+                metric: Metric::Histogram(hist),
+            },
+        );
     }
 
     /// Registers a counter collector polled at gather time. Replaces any
     /// previous registration of the name.
     pub fn register_counter_fn(&self, name: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
-        self.metrics
-            .lock()
-            .insert(name.to_owned(), Metric::CounterFn(Box::new(f)));
+        self.metrics.lock().insert(
+            name.to_owned(),
+            Entry {
+                labels: Vec::new(),
+                metric: Metric::CounterFn(Box::new(f)),
+            },
+        );
     }
 
     /// Registers a gauge collector polled at gather time. Replaces any
     /// previous registration of the name.
     pub fn register_gauge_fn(&self, name: &str, f: impl Fn() -> i64 + Send + Sync + 'static) {
-        self.metrics
-            .lock()
-            .insert(name.to_owned(), Metric::GaugeFn(Box::new(f)));
+        self.metrics.lock().insert(
+            name.to_owned(),
+            Entry {
+                labels: Vec::new(),
+                metric: Metric::GaugeFn(Box::new(f)),
+            },
+        );
     }
 
-    /// Reads every metric, sorted by name.
+    /// Reads every metric, sorted by series identity (labeled series of
+    /// one family sort together, after the unlabeled series if any).
     #[must_use]
     pub fn gather(&self) -> Vec<Sample> {
         let m = self.metrics.lock();
         m.iter()
-            .map(|(name, metric)| Sample {
-                name: name.clone(),
-                value: match metric {
+            .map(|(key, entry)| Sample {
+                name: match key.find('{') {
+                    Some(brace) => key[..brace].to_owned(),
+                    None => key.clone(),
+                },
+                labels: entry.labels.clone(),
+                value: match &entry.metric {
                     Metric::Counter(c) => MetricValue::Counter(c.get()),
                     Metric::Gauge(g) => MetricValue::Gauge(g.get()),
                     Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
@@ -272,5 +384,40 @@ mod tests {
         let reg = MetricsRegistry::new();
         let _ = reg.gauge("clio_test_x");
         let _ = reg.counter("clio_test_x");
+    }
+
+    #[test]
+    fn labeled_series_are_independent_and_identified() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("clio_log_appends_total", &[("log", "1")])
+            .add(2);
+        reg.counter_with("clio_log_appends_total", &[("log", "2")])
+            .add(5);
+        // Re-asking with the same labels returns the same series.
+        assert_eq!(
+            reg.counter_with("clio_log_appends_total", &[("log", "1")])
+                .get(),
+            2
+        );
+        reg.histogram_with("clio_log_append_ns", &[("log", "1")])
+            .record(100);
+        let samples = reg.gather();
+        assert_eq!(samples.len(), 3);
+        let appends: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "clio_log_appends_total")
+            .collect();
+        assert_eq!(appends.len(), 2);
+        assert_eq!(appends[0].labels, vec![("log".to_owned(), "1".to_owned())]);
+        assert_eq!(appends[0].identity(), "clio_log_appends_total{log=\"1\"}");
+        assert_eq!(appends[0].value, MetricValue::Counter(2));
+        assert_eq!(appends[1].value, MetricValue::Counter(5));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let labels = vec![("k".to_owned(), "a\"b\\c\n".to_owned())];
+        assert_eq!(label_suffix(&labels), "{k=\"a\\\"b\\\\c\\n\"}");
+        assert_eq!(label_suffix(&[]), "");
     }
 }

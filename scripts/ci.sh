@@ -104,4 +104,28 @@ run cargo build --release --offline -p clio-bench --bin group_commit
 }
 run ./target/release/clio_json_check "$smoke_dir/BENCH_group_commit.json"
 
+# Smoke the ops plane: the scrape-latency harness starts a real server
+# with the HTTP endpoint on an ephemeral port and scrapes every route
+# over a plain TcpStream (no curl), so this exercises bind, routing,
+# Prometheus/JSON rendering and clean shutdown end to end.
+run cargo build --release --offline -p clio-bench --bin obs_http
+(cd "$smoke_dir" && run "$OLDPWD"/target/release/obs_http --json --quick > /dev/null)
+[ -f "$smoke_dir/BENCH_obs_http.json" ] || {
+    echo "error: obs_http --json did not write BENCH_obs_http.json" >&2
+    exit 1
+}
+run ./target/release/clio_json_check "$smoke_dir/BENCH_obs_http.json"
+
+# bench_diff must pass a report against itself (exit 0) and catch a
+# doctored regression (exit 1).
+run cargo build --release --offline -p clio-bench --bin bench_diff
+run ./target/release/bench_diff "$smoke_dir/BENCH_obs_http.json" "$smoke_dir/BENCH_obs_http.json"
+sed 's/"background_appends": \([0-9]*\)/"background_appends": 99999999/' \
+    "$smoke_dir/BENCH_obs_http.json" > "$smoke_dir/BENCH_obs_http.doctored.json"
+if ./target/release/bench_diff "$smoke_dir/BENCH_obs_http.json" \
+        "$smoke_dir/BENCH_obs_http.doctored.json" > /dev/null; then
+    echo "error: bench_diff missed a doctored regression" >&2
+    exit 1
+fi
+
 echo "ci: all green"
