@@ -76,7 +76,7 @@ fn bench_service(c: &mut Bench) {
         let svc = LogService::create(
             VolumeSeqId(1),
             Arc::new(MemDevicePool::new(1024, 1 << 22)),
-            ServiceConfig::default(),
+            ServiceConfig::default().with_shards(1),
             Arc::new(ManualClock::starting_at(Timestamp::from_secs(1))),
         )
         .expect("fresh service");

@@ -23,6 +23,7 @@ fn main() {
     for n in [4u16, 8, 16, 32, 64] {
         let cfg = ServiceConfig {
             fanout: n,
+            shards: 1,
             ..ServiceConfig::default()
         };
         let pool = Arc::new(RecordingPool::new(Arc::new(MemDevicePool::new(

@@ -32,7 +32,7 @@ impl DevicePool for RamTailPool {
 }
 
 fn run(ram_tail: bool, txns: usize) -> (u64, u64, u64) {
-    let cfg = ServiceConfig::default();
+    let cfg = ServiceConfig::default().with_shards(1);
     let pool: Arc<dyn DevicePool> = if ram_tail {
         Arc::new(RamTailPool(MemDevicePool::new(cfg.block_size, 1 << 20)))
     } else {

@@ -23,6 +23,7 @@ fn main() {
         "sec4_hbfs",
         "conc_read",
         "group_commit",
+        "multi_shard",
     ];
     let mut failures = 0;
     for bin in bins {

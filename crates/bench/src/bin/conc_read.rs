@@ -104,6 +104,7 @@ fn main() {
     let cfg = ServiceConfig {
         cache_shards: shards,
         trace_events: 0, // the trace ring is a mutex; keep the hot path atomic-only
+        shards: 1,
         ..ServiceConfig::default()
     };
     let svc = Arc::new(

@@ -50,6 +50,7 @@ fn run_round(threads: usize, ops: u64, group: bool) -> RoundResult {
     let cfg = ServiceConfig {
         trace_events: 0, // the trace ring is a mutex; keep the hot path atomic-only
         commit_wait_us: 300,
+        shards: 1,
         ..ServiceConfig::default()
     }
     .with_group_commit(group);

@@ -110,6 +110,7 @@ fn log_file_comparison(report: &mut Report) {
     // appends per entry (always amortized-one, no metadata).
     let cfg = ServiceConfig {
         block_size: 512,
+        shards: 1,
         ..ServiceConfig::default()
     };
     let svc = LogService::create(

@@ -29,7 +29,7 @@ fn main() {
     let svc = LogService::create(
         VolumeSeqId(1),
         Arc::new(MemDevicePool::new(1024, 1 << 20)),
-        ServiceConfig::default(), // 1 KiB blocks, N = 16, as in §3.2
+        ServiceConfig::default().with_shards(1), // 1 KiB blocks, N = 16, as in §3.2
         clock,
     )
     .expect("fresh in-memory service");

@@ -53,7 +53,7 @@ fn main() {
     let svc = LogService::create(
         VolumeSeqId(1),
         pool,
-        ServiceConfig::default(),
+        ServiceConfig::default().with_shards(1),
         clock.clone(),
     )
     .expect("service");

@@ -26,7 +26,7 @@ fn main() {
         "sec35_space",
         "§3.5 — space overhead on the login/logout audit workload",
     );
-    let cfg = ServiceConfig::default(); // 1 KiB, N = 16
+    let cfg = ServiceConfig::default().with_shards(1); // 1 KiB, N = 16
     let n = cfg.fanout as f64;
     let block_size = cfg.block_size as f64;
     let svc = LogService::create(

@@ -249,6 +249,43 @@ impl Catalog {
         }
     }
 
+    /// Which of `mask + 1` append-domain shards entries of `id` route to:
+    /// its *top-level* ancestor's id masked down (so a log file and all
+    /// its sublogs land on one shard, keeping closures single-domain), and
+    /// every reserved service file on shard 0 alongside the catalog log.
+    /// Unknown ids also answer 0, the coordination shard.
+    #[must_use]
+    pub fn route(&self, id: LogFileId, mask: usize) -> usize {
+        if mask == 0 || id.is_reserved() {
+            return 0;
+        }
+        let mut cur = id;
+        loop {
+            match self.attrs(cur) {
+                Ok(a) if a.parent == LogFileId::VOLUME_SEQUENCE => {
+                    return usize::from(a.id.0) & mask
+                }
+                Ok(a) => cur = a.parent,
+                Err(_) => return 0,
+            }
+        }
+    }
+
+    /// The sub-catalog shard `shard` maintains: the reserved service files
+    /// plus every client file routing to it. Whole top-level subtrees
+    /// route together, so the slice is closed under parents.
+    #[must_use]
+    pub fn slice(&self, shard: usize, mask: usize) -> Catalog {
+        let mut out = Catalog::new();
+        for a in self.client_files() {
+            if self.route(a.id, mask) == shard {
+                out.files.insert(a.id, a.clone());
+            }
+        }
+        out.next_id = self.next_id;
+        out
+    }
+
     /// A checkpoint record capturing all client log files, written at the
     /// start of each successor volume so recovery never needs predecessor
     /// volumes to rebuild the catalog.
@@ -381,6 +418,32 @@ mod tests {
         b.apply(&rec).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.next_id(), b.next_id());
+    }
+
+    #[test]
+    fn routing_is_by_top_level_ancestor() {
+        let mut cat = Catalog::new();
+        let mail = create(&mut cat, LogFileId::VOLUME_SEQUENCE, "mail"); // id 8
+        let smith = create(&mut cat, mail, "smith"); // id 9
+        let news = create(&mut cat, LogFileId::VOLUME_SEQUENCE, "news"); // id 10
+        let deep = create(&mut cat, smith, "inbox"); // id 11
+        let mask = 3; // 4 shards
+        assert_eq!(cat.route(mail, mask), usize::from(mail.0) & mask);
+        // Sublogs follow their top-level ancestor, not their own id.
+        assert_eq!(cat.route(smith, mask), cat.route(mail, mask));
+        assert_eq!(cat.route(deep, mask), cat.route(mail, mask));
+        assert_eq!(cat.route(news, mask), usize::from(news.0) & mask);
+        // Reserved files and single-shard mode pin to shard 0.
+        assert_eq!(cat.route(LogFileId::CATALOG, mask), 0);
+        assert_eq!(cat.route(news, 0), 0);
+        // Slices partition the client files and keep subtrees whole.
+        let s0 = cat.slice(cat.route(mail, mask), mask);
+        assert!(s0.exists(mail) && s0.exists(smith) && s0.exists(deep));
+        assert!(!s0.exists(news));
+        assert_eq!(s0.next_id(), cat.next_id());
+        let s2 = cat.slice(cat.route(news, mask), mask);
+        assert!(s2.exists(news) && !s2.exists(mail));
+        assert!(s2.exists(LogFileId::CATALOG));
     }
 
     #[test]

@@ -1,6 +1,11 @@
 //! Service configuration.
 
-use clio_types::{DEFAULT_BLOCK_SIZE, DEFAULT_FANOUT};
+use clio_types::{ClioError, Result, DEFAULT_BLOCK_SIZE, DEFAULT_FANOUT};
+
+/// Largest supported shard count: shard indexes share the 32-bit volume
+/// coordinate of an `EntryAddr` with the per-shard volume index (8 bits of
+/// shard, 24 bits of volume).
+pub const MAX_SHARDS: usize = 256;
 
 /// Tunables for a [`crate::LogService`].
 #[derive(Debug, Clone)]
@@ -41,6 +46,13 @@ pub struct ServiceConfig {
     /// appends arriving nearly together share its batch. `0` commits
     /// immediately (batching then comes only from genuine concurrency).
     pub commit_wait_us: u64,
+    /// Independent append domains the service is partitioned into (power
+    /// of two, hash-picked by top-level log file id like the block cache's
+    /// shards). Each shard owns its own state lock, commit gate, read
+    /// snapshot and volume sequence, so forced appends to different shards
+    /// never contend; `1` restores the single-domain behaviour the paper
+    /// experiments measure. The catalog log lives on shard 0.
+    pub shards: usize,
     /// Bind address for the std-only HTTP observability endpoint
     /// (`/metrics`, `/metrics.json`, `/trace`, `/health`), e.g.
     /// `"127.0.0.1:0"` for an ephemeral port. `None` (the default) runs
@@ -62,21 +74,53 @@ impl Default for ServiceConfig {
             group_commit: std::env::var("CLIO_GROUP_COMMIT").map_or(true, |v| v != "0"),
             max_batch_blocks: 64,
             commit_wait_us: 0,
+            shards: 4,
             http_addr: None,
         }
     }
 }
 
 impl ServiceConfig {
-    /// A small-block configuration convenient for tests.
+    /// A small-block configuration convenient for tests. Single-domain
+    /// (`shards: 1`): most service tests reason about one append stream
+    /// and one volume sequence.
     #[must_use]
     pub fn small() -> ServiceConfig {
         ServiceConfig {
             block_size: 256,
             fanout: 4,
             cache_blocks: 64,
+            shards: 1,
             ..ServiceConfig::default()
         }
+    }
+
+    /// Sets the append-domain shard count (see [`ServiceConfig::shards`]).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> ServiceConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// Validates the configuration, returning a typed error instead of
+    /// letting a bad shard count panic deep inside create/recover.
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(ClioError::BadConfig("shards must be at least 1".into()));
+        }
+        if !self.shards.is_power_of_two() {
+            return Err(ClioError::BadConfig(format!(
+                "shards must be a power of two, got {}",
+                self.shards
+            )));
+        }
+        if self.shards > MAX_SHARDS {
+            return Err(ClioError::BadConfig(format!(
+                "shards must be at most {MAX_SHARDS}, got {}",
+                self.shards
+            )));
+        }
+        Ok(())
     }
 
     /// Enables append verification (see [`ServiceConfig::verify_appends`]).
@@ -125,6 +169,9 @@ mod tests {
         assert_eq!(ServiceConfig::small().with_cache_shards(1).cache_shards, 1);
         assert_eq!(c.max_batch_blocks, 64);
         assert_eq!(c.commit_wait_us, 0);
+        assert_eq!(c.shards, 4);
+        assert_eq!(ServiceConfig::small().shards, 1);
+        assert_eq!(ServiceConfig::small().with_shards(8).shards, 8);
         assert!(!ServiceConfig::small().with_group_commit(false).group_commit);
         assert!(c.http_addr.is_none());
         assert_eq!(
@@ -138,5 +185,22 @@ mod tests {
                 .with_verified_appends()
                 .verify_appends
         );
+    }
+
+    #[test]
+    fn shard_count_is_validated() {
+        assert!(ServiceConfig::small().validate().is_ok());
+        assert!(ServiceConfig::default().validate().is_ok());
+        for bad in [0usize, 3, 6, MAX_SHARDS * 2] {
+            let e = ServiceConfig::small().with_shards(bad).validate();
+            assert!(
+                matches!(e, Err(ClioError::BadConfig(_))),
+                "shards={bad} should be rejected, got {e:?}"
+            );
+        }
+        assert!(ServiceConfig::small()
+            .with_shards(MAX_SHARDS)
+            .validate()
+            .is_ok());
     }
 }

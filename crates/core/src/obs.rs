@@ -32,12 +32,28 @@ struct PerLog {
     read_ns: Arc<Histogram>,
 }
 
+/// Per-shard metric series (labeled `{shard="<i>"}`): one set per append
+/// domain, cached in the owning shard so the hot path never takes the
+/// lazy-creation map lock.
+pub(crate) struct PerShard {
+    /// Successful appends routed to this shard.
+    pub appends: Arc<Counter>,
+    /// Commit batches this shard's gate wrote.
+    pub commits: Arc<Counter>,
+    /// Times a forced appender on this shard became the commit leader.
+    pub leader_elections: Arc<Counter>,
+    /// Blocks written per commit batch on this shard.
+    pub commit_batch_blocks: Arc<Histogram>,
+}
+
 /// The observability state of one service instance.
 pub struct ServiceObs {
     registry: Arc<MetricsRegistry>,
     trace: Arc<TraceRing>,
     /// Per-log-file series, created lazily at first touch of each log id.
     per_log: Mutex<BTreeMap<u16, Arc<PerLog>>>,
+    /// Per-shard series, created lazily at shard construction.
+    per_shard: Mutex<BTreeMap<u32, Arc<PerShard>>>,
     /// Counters shared by every device the service touches (the volume
     /// sequence wraps each pool device in an [`InstrumentedDevice`]).
     pub device_stats: Arc<DeviceStats>,
@@ -79,6 +95,7 @@ impl ServiceObs {
         Arc::new(ServiceObs {
             trace,
             per_log: Mutex::new(BTreeMap::new()),
+            per_shard: Mutex::new(BTreeMap::new()),
             device_stats,
             append_latency: registry.histogram("clio_core_append_latency_ns"),
             read_latency: registry.histogram("clio_core_read_latency_ns"),
@@ -137,6 +154,33 @@ impl ServiceObs {
                     read_ns: self
                         .registry
                         .histogram_with("clio_log_read_latency_ns", labels),
+                })
+            })
+            .clone()
+    }
+
+    /// The per-shard metric series for append domain `idx`, created on
+    /// first touch. Shards fetch this once at construction and cache the
+    /// `Arc`, so the map mutex stays off the append path.
+    pub(crate) fn per_shard(&self, idx: u32) -> Arc<PerShard> {
+        let mut map = self.per_shard.lock();
+        map.entry(idx)
+            .or_insert_with(|| {
+                let label = idx.to_string();
+                let labels: &[(&str, &str)] = &[("shard", &label)];
+                Arc::new(PerShard {
+                    appends: self
+                        .registry
+                        .counter_with("clio_shard_appends_total", labels),
+                    commits: self
+                        .registry
+                        .counter_with("clio_shard_commits_total", labels),
+                    leader_elections: self
+                        .registry
+                        .counter_with("clio_shard_leader_elections_total", labels),
+                    commit_batch_blocks: self
+                        .registry
+                        .histogram_with("clio_shard_commit_batch_blocks", labels),
                 })
             })
             .clone()
@@ -300,6 +344,10 @@ impl InstrumentingPool {
 impl DevicePool for InstrumentingPool {
     fn next_device(&self) -> Result<SharedDevice> {
         Ok(self.obs.instrument_device(self.inner.next_device()?))
+    }
+
+    fn capacity_hint(&self) -> Option<u64> {
+        self.inner.capacity_hint()
     }
 }
 

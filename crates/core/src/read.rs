@@ -13,9 +13,18 @@
 //! reads need no coordination with the appender at all. Every operation
 //! here runs against an immutable [`ReadView`] snapshot published by the
 //! append path — the append-side state mutex is **never** acquired, and no
-//! lock is held across device I/O. [`LogCursor`] pins its snapshot at
-//! creation and refreshes it only on crossing the snapshot's watermark
-//! (reaching the end), which is also what lets cursors tail a growing log.
+//! lock is held across device I/O. Cursors pin their snapshots at creation
+//! and refresh only on crossing a snapshot's watermark (reaching the end),
+//! which is also what lets cursors tail a growing log.
+//!
+//! # Sharding
+//!
+//! A log file's entries all live on one shard (routing is by top-level
+//! ancestor, and a sublog closure never crosses shards), so most cursors
+//! have a single shard-level part. A cursor over a path whose closure
+//! *does* span shards — only the root `/` can — walks its parts in
+//! ascending shard order: entries come back shard by shard, in log order
+//! within each shard, with no global time ordering across shards.
 
 use std::sync::Arc;
 
@@ -25,7 +34,7 @@ use clio_format::{BlockView, FragKind};
 use clio_types::{BlockNo, ClioError, EntryAddr, LogFileId, Result, SeqNo, Timestamp};
 use clio_volume::Volume;
 
-use crate::service::{LogService, ReadView};
+use crate::service::{globalize_addr, LogService, ReadView, Shard};
 
 /// A fully reassembled log entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,7 +118,7 @@ impl BlockSource for VolSource {
     }
 }
 
-impl LogService {
+impl Shard {
     /// A block source over one volume of the snapshot, including the open
     /// block when the volume is active.
     pub(crate) fn source_for(&self, view: &ReadView, vol_idx: u32) -> Result<VolSource> {
@@ -146,9 +155,10 @@ impl LogService {
         }
     }
 
-    /// Reads and reassembles the entry at `addr` (public, lock-free:
-    /// operates on the current read snapshot).
-    pub fn read_entry(&self, addr: EntryAddr) -> Result<Entry> {
+    /// Reads and reassembles the entry at the shard-local `addr` (lock-free:
+    /// operates on the current read snapshot). Records the read span and
+    /// metrics.
+    pub(crate) fn read_entry(&self, addr: EntryAddr) -> Result<Entry> {
         let start = clio_obs::clock::now();
         let before = self.obs.device_stats.snapshot().reads;
         let mut span = self.obs.span("read");
@@ -414,41 +424,38 @@ impl LogService {
     }
 
     // ------------------------------------------------------------------
-    // Cursors.
+    // Shard-level cursors (over already-resolved id sets).
     // ------------------------------------------------------------------
 
-    /// A cursor over `path` (and all its sublogs) positioned before the
-    /// first entry.
-    pub fn cursor(&self, path: &str) -> Result<LogCursor<'_>> {
-        let view = self.read_view();
-        let ids = self.closure_of(&view, path)?;
-        Ok(LogCursor {
+    /// A cursor over `ids` positioned before this shard's first entry.
+    pub(crate) fn cursor_ids(&self, ids: Vec<LogFileId>) -> ShardCursor<'_> {
+        ShardCursor {
             svc: self,
-            view,
+            view: self.read_view(),
             ids,
             anchor: Anchor::Start,
             floor: None,
-        })
+        }
     }
 
-    /// A cursor positioned after the last entry (for backward reading).
-    pub fn cursor_from_end(&self, path: &str) -> Result<LogCursor<'_>> {
-        let view = self.read_view();
-        let ids = self.closure_of(&view, path)?;
-        Ok(LogCursor {
+    /// A cursor over `ids` positioned after this shard's last entry.
+    pub(crate) fn cursor_ids_from_end(&self, ids: Vec<LogFileId>) -> ShardCursor<'_> {
+        ShardCursor {
             svc: self,
-            view,
+            view: self.read_view(),
             ids,
             anchor: Anchor::End,
             floor: None,
-        })
+        }
     }
 
-    /// A cursor positioned at `ts`: `next()` yields entries written at or
-    /// after `ts`, `prev()` yields those before it (§2).
-    pub fn cursor_from_time(&self, path: &str, ts: Timestamp) -> Result<LogCursor<'_>> {
+    /// A cursor over `ids` positioned at `ts` within this shard.
+    pub(crate) fn cursor_ids_from_time(
+        &self,
+        ids: Vec<LogFileId>,
+        ts: Timestamp,
+    ) -> Result<ShardCursor<'_>> {
         let view = self.read_view();
-        let ids = self.closure_of(&view, path)?;
         // Volumes are created in time order; start in the last volume whose
         // label predates ts, then refine with the in-volume timestamp
         // search (§2.1).
@@ -468,13 +475,88 @@ impl LogService {
             Some(e) => Anchor::BeforeEntry(e.addr),
             None => Anchor::End,
         };
-        Ok(LogCursor {
+        Ok(ShardCursor {
             svc: self,
             view,
             ids,
             anchor,
             floor: None,
         })
+    }
+}
+
+impl LogService {
+    /// Reads and reassembles the entry at `addr` (lock-free: operates on
+    /// the entry's shard's current read snapshot).
+    pub fn read_entry(&self, addr: EntryAddr) -> Result<Entry> {
+        let (shard, local) = self.localize_addr(addr)?;
+        let mut e = self.shards[shard].read_entry(local)?;
+        e.addr = globalize_addr(shard as u32, e.addr);
+        Ok(e)
+    }
+
+    /// The id closure (log file + sublogs) for a path, from the catalog
+    /// shard's snapshot, with the read-permission check applied.
+    fn closure_of(&self, path: &str) -> Result<Vec<LogFileId>> {
+        let view = self.shards[0].read_view();
+        let id = view.catalog.resolve(path)?;
+        let attrs = view.catalog.attrs(id)?;
+        if attrs.perms & clio_format::records::PERM_READ == 0 {
+            return Err(ClioError::PermissionDenied(path.to_owned()));
+        }
+        Ok(view.catalog.closure(id))
+    }
+
+    /// Partitions a closure by shard (ascending shard order). A path below
+    /// a top-level log file always lands in exactly one group.
+    fn parts_for(&self, ids: Vec<LogFileId>) -> Vec<(u32, Vec<LogFileId>)> {
+        if self.shards.len() == 1 {
+            return vec![(0, ids)];
+        }
+        let view = self.shards[0].read_view();
+        let mask = self.route_mask();
+        let mut groups: std::collections::BTreeMap<u32, Vec<LogFileId>> =
+            std::collections::BTreeMap::new();
+        for id in ids {
+            let shard = view.catalog.route(id, mask) as u32;
+            groups.entry(shard).or_default().push(id);
+        }
+        groups.into_iter().collect()
+    }
+
+    /// A cursor over `path` (and all its sublogs) positioned before the
+    /// first entry.
+    pub fn cursor(&self, path: &str) -> Result<LogCursor<'_>> {
+        let parts = self
+            .parts_for(self.closure_of(path)?)
+            .into_iter()
+            .map(|(shard, ids)| (shard, self.shards[shard as usize].cursor_ids(ids)))
+            .collect::<Vec<_>>();
+        Ok(LogCursor { parts, active: 0 })
+    }
+
+    /// A cursor positioned after the last entry (for backward reading).
+    pub fn cursor_from_end(&self, path: &str) -> Result<LogCursor<'_>> {
+        let parts = self
+            .parts_for(self.closure_of(path)?)
+            .into_iter()
+            .map(|(shard, ids)| (shard, self.shards[shard as usize].cursor_ids_from_end(ids)))
+            .collect::<Vec<_>>();
+        let active = parts.len().saturating_sub(1);
+        Ok(LogCursor { parts, active })
+    }
+
+    /// A cursor positioned at `ts`: `next()` yields entries written at or
+    /// after `ts`, `prev()` yields those before it (§2).
+    pub fn cursor_from_time(&self, path: &str, ts: Timestamp) -> Result<LogCursor<'_>> {
+        let mut parts = Vec::new();
+        for (shard, ids) in self.parts_for(self.closure_of(path)?) {
+            parts.push((
+                shard,
+                self.shards[shard as usize].cursor_ids_from_time(ids, ts)?,
+            ));
+        }
+        Ok(LogCursor { parts, active: 0 })
     }
 
     /// Resolves an asynchronously written entry by its client-generated
@@ -489,26 +571,21 @@ impl LogService {
         let skew = self.cfg.unique_id_skew_us;
         let from = Timestamp(approx_ts.0.saturating_sub(skew));
         let limit = approx_ts.saturating_add_micros(skew);
-        let mut cur = self.cursor_from_time(path, from)?;
-        while let Some(e) = cur.next()? {
-            if e.effective_ts() > limit {
-                break;
-            }
-            if e.seqno == Some(seqno) {
-                return Ok(Some(e));
+        // Search every shard of the closure: the window is per shard, so a
+        // miss on one shard must not end the search on the others.
+        for (shard, ids) in self.parts_for(self.closure_of(path)?) {
+            let mut cur = self.shards[shard as usize].cursor_ids_from_time(ids, from)?;
+            while let Some(mut e) = cur.next()? {
+                if e.effective_ts() > limit {
+                    break;
+                }
+                if e.seqno == Some(seqno) {
+                    e.addr = globalize_addr(shard, e.addr);
+                    return Ok(Some(e));
+                }
             }
         }
         Ok(None)
-    }
-
-    /// The id closure (log file + sublogs) for a path, from the snapshot.
-    fn closure_of(&self, view: &ReadView, path: &str) -> Result<Vec<LogFileId>> {
-        let id = view.catalog.resolve(path)?;
-        let attrs = view.catalog.attrs(id)?;
-        if attrs.perms & clio_format::records::PERM_READ == 0 {
-            return Err(ClioError::PermissionDenied(path.to_owned()));
-        }
-        Ok(view.catalog.closure(id))
     }
 }
 
@@ -525,31 +602,26 @@ enum Anchor {
     BeforeEntry(EntryAddr),
 }
 
-/// A bidirectional cursor over the entries of a log file and its sublogs.
-///
-/// The sublog set is captured at creation; log files created afterwards are
-/// not included. The cursor pins a read snapshot at creation and walks it
-/// without ever locking the appender; when `next()` exhausts the pinned
-/// snapshot it refreshes to the current one, so `next()` after the end
-/// simply returns `None` and may return new entries later — cursors can
-/// tail a growing log.
-pub struct LogCursor<'a> {
-    svc: &'a LogService,
+/// A bidirectional cursor over one shard's slice of an id closure.
+/// Entry addresses are shard-local; the public [`LogCursor`] globalizes
+/// them. The read span and metrics are recorded here (once per advance)
+/// so the multi-part wrapper never double-counts.
+pub(crate) struct ShardCursor<'a> {
+    svc: &'a Shard,
     view: Arc<ReadView>,
     ids: Vec<LogFileId>,
     anchor: Anchor,
     floor: Option<Timestamp>,
 }
 
-#[allow(clippy::should_implement_trait)] // fallible: `Iterator::next` cannot return `Result`
-impl LogCursor<'_> {
+impl ShardCursor<'_> {
     /// The next entry at or after the cursor, advancing it.
-    pub fn next(&mut self) -> Result<Option<Entry>> {
+    pub(crate) fn next(&mut self) -> Result<Option<Entry>> {
         self.spanned(Self::next_inner)
     }
 
     /// The entry before the cursor, moving it backward.
-    pub fn prev(&mut self) -> Result<Option<Entry>> {
+    pub(crate) fn prev(&mut self) -> Result<Option<Entry>> {
         self.spanned(Self::prev_inner)
     }
 
@@ -637,6 +709,64 @@ impl LogCursor<'_> {
                 self.anchor = Anchor::Start;
                 Ok(None)
             }
+        }
+    }
+}
+
+/// A bidirectional cursor over the entries of a log file and its sublogs.
+///
+/// The sublog set is captured at creation; log files created afterwards are
+/// not included. The cursor pins a read snapshot (per shard) at creation
+/// and walks it without ever locking the appender; when `next()` exhausts
+/// the pinned snapshot it refreshes to the current one, so `next()` after
+/// the end simply returns `None` and may return new entries later —
+/// cursors can tail a growing log.
+///
+/// When the closure spans several shards (only a cursor over `/` can), the
+/// parts are walked in ascending shard order, and once the cursor has moved
+/// past a shard it does not revisit it: tailing observes new entries only
+/// on the final shard.
+pub struct LogCursor<'a> {
+    /// One shard-level cursor per shard of the closure, ascending.
+    parts: Vec<(u32, ShardCursor<'a>)>,
+    /// The part the cursor currently stands in.
+    active: usize,
+}
+
+#[allow(clippy::should_implement_trait)] // fallible: `Iterator::next` cannot return `Result`
+impl LogCursor<'_> {
+    /// The next entry at or after the cursor, advancing it.
+    pub fn next(&mut self) -> Result<Option<Entry>> {
+        loop {
+            let Some((shard, part)) = self.parts.get_mut(self.active) else {
+                return Ok(None);
+            };
+            if let Some(mut e) = part.next()? {
+                e.addr = globalize_addr(*shard, e.addr);
+                return Ok(Some(e));
+            }
+            if self.active + 1 >= self.parts.len() {
+                // Stay on the last part so tailing keeps working.
+                return Ok(None);
+            }
+            self.active += 1;
+        }
+    }
+
+    /// The entry before the cursor, moving it backward.
+    pub fn prev(&mut self) -> Result<Option<Entry>> {
+        loop {
+            let Some((shard, part)) = self.parts.get_mut(self.active) else {
+                return Ok(None);
+            };
+            if let Some(mut e) = part.prev()? {
+                e.addr = globalize_addr(*shard, e.addr);
+                return Ok(Some(e));
+            }
+            if self.active == 0 {
+                return Ok(None);
+            }
+            self.active -= 1;
         }
     }
 

@@ -13,33 +13,52 @@
 //! 3. read the catalog log file to rebuild the log-file descriptors —
 //!    each successor volume starts with a catalog checkpoint, so replay is
 //!    bounded to the newest volume that has one.
+//!
+//! # Sharding
+//!
+//! The surviving devices are regrouped into their append domains by the
+//! volume labels: every device of one shard's volume sequence carries that
+//! sequence's id, and the service created shard `i` on sequence `base + i`,
+//! so grouping by sequence id and sorting ascending reproduces the shard
+//! layout with no external metadata. Steps 1 and 2 then run per shard.
+//! Step 3 runs only on shard 0 — the catalog shard holds the only durable
+//! catalog log (slices are applied, never logged, on the other shards) —
+//! and each non-zero shard's catalog slice is re-derived from the replayed
+//! full catalog. The per-shard findings are joined into one
+//! [`RecoveryReport`] with shard-globalized volume indexes.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use clio_cache::BlockCache;
 use clio_device::SharedDevice;
 use clio_entrymap::{rebuild_pending_with_findings, BlockSource, Locator, PendingMaps};
 use clio_format::records::CatalogRecord;
-use clio_format::{BlockView, FragKind};
-use clio_types::{Clock, LogFileId, Result};
+use clio_format::{BlockView, FragKind, VolumeLabel};
+use clio_types::{BlockNo, Clock, LogFileId, Result};
 use clio_volume::{DevicePool, Volume, VolumeSequence};
 
 use crate::catalog::Catalog;
 use crate::config::ServiceConfig;
-use crate::service::LogService;
+use crate::service::{
+    LogService, Shard, ShardSeed, DEVICE_ID_SHIFT, LOCAL_VOLUME_MASK, SHARD_SHIFT,
+};
 
-/// What recovery did, for reporting and the Figure 4 harness.
+/// What recovery did, for reporting and the Figure 4 harness. Joined
+/// across shards: counters and phase timings are sums, volume indexes in
+/// `invalidated` are shard-globalized (shard in the high bits, like
+/// `EntryAddr`).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
-    /// Volumes mounted.
+    /// Volumes mounted, across all shards.
     pub volumes: u32,
     /// `is_written` probes spent locating ends (0 with direct end query).
     pub end_probes: u64,
     /// Blocks examined to reconstruct entrymap information (§3.4 step 2).
     pub rebuild_blocks_read: u64,
-    /// Corrupt blocks invalidated, as (volume index, data block).
+    /// Corrupt blocks invalidated, as (globalized volume index, data block).
     pub invalidated: Vec<(u32, u64)>,
-    /// Catalog records replayed (§3.4 step 3).
+    /// Catalog records replayed (§3.4 step 3; catalog shard only).
     pub catalog_records: u64,
     /// Wall-clock µs spent mounting volumes and locating written ends
     /// (§3.4 step 1).
@@ -73,7 +92,9 @@ impl BlockSource for RawSource {
 }
 
 impl LogService {
-    /// Recovers a service from the devices of an existing volume sequence.
+    /// Recovers a service from the surviving devices of its volume
+    /// sequences (any order, any mix of shards). The shard count is read
+    /// back from the media — `cfg.shards` is ignored here.
     pub fn recover(
         devices: Vec<SharedDevice>,
         pool: Arc<dyn DevicePool>,
@@ -89,54 +110,85 @@ impl LogService {
             .collect();
         let pool = Arc::new(crate::obs::InstrumentingPool::new(pool, obs.clone()));
         let cache = Arc::new(BlockCache::with_shards(cfg.cache_blocks, cfg.cache_shards));
+        obs.attach_cache(&cache);
+
+        // Step 1: regroup the devices into their shards' volume sequences
+        // by label, then mount each sequence (which locates written ends).
         let locate_span = obs.span("end_locate");
-        let seq = Arc::new(VolumeSequence::open(devices, cache, pool, 0)?);
+        let mut groups: BTreeMap<u64, Vec<SharedDevice>> = BTreeMap::new();
+        for dev in devices {
+            let mut buf = vec![0u8; dev.block_size()];
+            dev.read_block(BlockNo(0), &mut buf)?;
+            let label = VolumeLabel::decode(&buf)?;
+            groups.entry(label.sequence.0).or_default().push(dev);
+        }
+        let mut cfg = cfg;
+        cfg.shards = groups.len().max(1);
+        cfg.validate()?;
+        let mut seqs: Vec<Arc<VolumeSequence>> = Vec::with_capacity(groups.len());
+        for (i, devs) in groups.into_values().enumerate() {
+            seqs.push(Arc::new(VolumeSequence::open(
+                devs,
+                cache.clone(),
+                pool.clone(),
+                (i as u32) << DEVICE_ID_SHIFT,
+            )?));
+        }
         drop(locate_span);
         let end_locate_us = elapsed_us(recover_start);
         // Geometry is defined by the volume labels, not the passed config.
-        let mut cfg = cfg;
-        cfg.block_size = seq.block_size();
-        cfg.fanout = seq.fanout();
+        cfg.block_size = seqs[0].block_size();
+        cfg.fanout = seqs[0].fanout();
         let fanout = usize::from(cfg.fanout);
 
         let mut report = RecoveryReport {
-            volumes: seq.volume_count(),
+            volumes: seqs.iter().map(|s| s.volume_count()).sum(),
             end_locate_us,
             ..RecoveryReport::default()
         };
 
-        // Step 2: rebuild entrymap pending state per volume, invalidating
-        // corrupt blocks as they are discovered.
+        // Step 2: rebuild entrymap pending state per volume of every
+        // shard, invalidating corrupt blocks as they are discovered.
         let rebuild_start = clio_obs::clock::now();
         let rebuild_span = obs.span("rebuild");
-        let mut pendings: Vec<PendingMaps> = Vec::new();
-        for v in 0..seq.volume_count() {
-            let vol = seq.volume(v)?;
-            report.end_probes += vol.end_probes();
-            let src = RawSource {
-                vol: vol.clone(),
-                fanout,
-            };
-            let (pending, stats, findings) = rebuild_pending_with_findings(&src)?;
-            report.rebuild_blocks_read += stats.blocks_read;
-            for db in findings.corrupt {
-                vol.invalidate_data_block(db)?;
-                report.invalidated.push((v, db));
+        let mut shard_pendings: Vec<Vec<PendingMaps>> = Vec::with_capacity(seqs.len());
+        for (idx, seq) in seqs.iter().enumerate() {
+            let mut pendings: Vec<PendingMaps> = Vec::new();
+            for v in 0..seq.volume_count() {
+                let vol = seq.volume(v)?;
+                report.end_probes += vol.end_probes();
+                let src = RawSource {
+                    vol: vol.clone(),
+                    fanout,
+                };
+                let (pending, stats, findings) = rebuild_pending_with_findings(&src)?;
+                report.rebuild_blocks_read += stats.blocks_read;
+                for db in findings.corrupt {
+                    vol.invalidate_data_block(db)?;
+                    report
+                        .invalidated
+                        .push((((idx as u32) << SHARD_SHIFT) | v, db));
+                }
+                pendings.push(pending);
             }
-            pendings.push(pending);
+            shard_pendings.push(pendings);
         }
         drop(rebuild_span);
         report.rebuild_us = elapsed_us(rebuild_start);
 
-        // Step 3: rebuild the catalog. Find the newest volume whose catalog
+        // Step 3: rebuild the catalog from the catalog shard (the only
+        // durable catalog log). Find the newest volume whose catalog
         // entries include a checkpoint and replay from there.
         let catalog_start = clio_obs::clock::now();
         let catalog_span = obs.span("catalog");
         let mut per_volume: Vec<Vec<CatalogRecord>> = Vec::new();
-        for v in 0..seq.volume_count() {
-            let vol = seq.volume(v)?;
+        for v in 0..seqs[0].volume_count() {
+            let vol = seqs[0].volume(v)?;
             let src = RawSource { vol, fanout };
-            per_volume.push(collect_catalog_records(&src, pendings.get(v as usize))?);
+            per_volume.push(collect_catalog_records(
+                &src,
+                shard_pendings[0].get(v as usize),
+            )?);
         }
         let mut start = 0usize;
         for (v, recs) in per_volume.iter().enumerate().rev() {
@@ -158,35 +210,56 @@ impl LogService {
         drop(catalog_span);
         report.catalog_us = elapsed_us(catalog_start);
 
-        let active_pending = pendings.pop();
-        let svc = LogService::assemble(
-            seq,
-            cfg,
-            clock,
-            obs.clone(),
-            catalog,
-            pendings,
-            active_pending,
-        );
-        // Queue bad-block records for invalidated blocks on the active
-        // volume; older volumes are closed and their losses only reported.
-        {
-            let mut st = svc.state.lock();
-            let active = st.active_index;
-            for (v, db) in &report.invalidated {
-                if *v == active {
-                    st.pending_badblocks.push(*db);
+        // Join: assemble every shard — the catalog shard with the replayed
+        // full catalog, the others with their slice of it (their own
+        // catalog logs hold only checkpoints of older slices).
+        let mask = seqs.len() - 1;
+        let mut shards: Vec<Arc<Shard>> = Vec::with_capacity(seqs.len());
+        for (idx, seq) in seqs.iter().enumerate() {
+            let shard_catalog = if idx == 0 {
+                catalog.clone()
+            } else {
+                catalog.slice(idx, mask)
+            };
+            let mut pendings = std::mem::take(&mut shard_pendings[idx]);
+            let active_pending = pendings.pop();
+            let shard = Arc::new(Shard::assemble(
+                idx as u32,
+                seq.clone(),
+                cfg.clone(),
+                clock.clone(),
+                obs.clone(),
+                ShardSeed {
+                    catalog: shard_catalog,
+                    sealed_pendings: pendings,
+                    active_pending,
+                },
+            ));
+            // Queue bad-block records for invalidated blocks on this
+            // shard's active volume; older volumes are closed and their
+            // losses only reported.
+            {
+                let mut st = shard.state.lock();
+                let active = st.active_index;
+                for (gv, db) in &report.invalidated {
+                    if (gv >> SHARD_SHIFT) as usize == idx && gv & LOCAL_VOLUME_MASK == active {
+                        st.pending_badblocks.push(*db);
+                    }
                 }
             }
+            shards.push(shard);
         }
+
         // Phases are floored to 1µs each; keep `sum of phases <= total`
         // invariant even when the clock granularity swallows a phase.
         report.total_us = elapsed_us(recover_start)
             .max(report.end_locate_us + report.rebuild_us + report.catalog_us);
         recover_span.attr("volumes", u64::from(report.volumes));
+        recover_span.attr("shards", shards.len() as u64);
         recover_span.attr("blocks_read", report.rebuild_blocks_read);
         drop(recover_span);
-        svc.obs.publish_recovery(&report);
+        obs.publish_recovery(&report);
+        let svc = LogService { shards, cfg, obs };
         Ok((svc, report))
     }
 }

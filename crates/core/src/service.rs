@@ -1,6 +1,19 @@
-//! The log service: state, lifecycle, and the public catalog/append API.
+//! The log service: sharded append domains, lifecycle, and the public
+//! catalog/append API.
+//!
+//! The service is partitioned into `ServiceConfig::shards` independent
+//! append domains. Each [`Shard`] owns its own state lock, entrymap
+//! writer, open block, sealed queue, commit gate and volume sequence, so
+//! forced appends to different shards never contend on a lock or
+//! serialize on one device write stream. The public [`LogService`] is a
+//! thin router: log files are assigned to shards by their *top-level*
+//! ancestor's id (hash-picked like the block cache's shards), which keeps
+//! every sublog closure on a single shard. Shard 0 is the coordination
+//! point: it holds the authoritative catalog and the only durable catalog
+//! log; the other shards maintain catalog *slices* covering just the
+//! subtrees routed to them.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use clio_testkit::sync::{ArcCell, Condvar, Mutex};
@@ -14,8 +27,48 @@ use clio_volume::{DevicePool, VolumeSequence};
 
 use crate::catalog::Catalog;
 use crate::config::ServiceConfig;
-use crate::obs::{InstrumentingPool, ServiceObs};
+use crate::obs::{InstrumentingPool, PerShard, ServiceObs};
 use crate::stats::{SpaceReport, SpaceStats};
+
+/// Bits of an `EntryAddr`'s 32-bit volume coordinate carrying the
+/// per-shard volume index; the high bits carry the shard. Shard 0
+/// addresses are identical to the single-domain addresses of old.
+pub(crate) const SHARD_SHIFT: u32 = 24;
+
+/// Mask selecting the per-shard volume index out of the global coordinate.
+pub(crate) const LOCAL_VOLUME_MASK: u32 = (1 << SHARD_SHIFT) - 1;
+
+/// Each shard's volume sequence gets its own block-cache device-id range.
+pub(crate) const DEVICE_ID_SHIFT: u32 = 20;
+
+/// Stamps a shard-local address with its shard, producing the global
+/// address clients see.
+pub(crate) fn globalize_addr(shard: u32, mut addr: EntryAddr) -> EntryAddr {
+    addr.volume_index |= shard << SHARD_SHIFT;
+    addr
+}
+
+/// One distinct lockdep class per shard state lock (class names must be
+/// `&'static str`, so they come from a table); shards past the table
+/// share a fallback class — ordering between them is still ascending by
+/// construction, just not lockdep-distinguished.
+const STATE_CLASSES: [&str; 8] = [
+    "core.state.shard0",
+    "core.state.shard1",
+    "core.state.shard2",
+    "core.state.shard3",
+    "core.state.shard4",
+    "core.state.shard5",
+    "core.state.shard6",
+    "core.state.shard7",
+];
+
+fn state_class(idx: u32) -> &'static str {
+    STATE_CLASSES
+        .get(idx as usize)
+        .copied()
+        .unwrap_or("core.state.shard8plus")
+}
 
 /// When an append must be durable (§2.3.1: "log entries are written
 /// synchronously to the log device when forced (such as on a transaction
@@ -120,8 +173,8 @@ pub(crate) struct SealedBlock {
     pub image: Arc<Vec<u8>>,
 }
 
-/// All append-side service state, guarded by one lock. Reads never touch
-/// this — they run against the published [`ReadView`] snapshot.
+/// All append-side state of one shard, guarded by one lock. Reads never
+/// touch this — they run against the published [`ReadView`] snapshot.
 ///
 /// The shareable pieces (`catalog`, `sealed_pendings`) live behind `Arc`s
 /// so publishing a snapshot is a refcount bump; mutations go through
@@ -161,7 +214,8 @@ pub(crate) struct State {
 /// at worst it lags by the contents of the open block until the next
 /// publish (bounded staleness; a forced append or flush republishes).
 pub(crate) struct ReadView {
-    /// The catalog as of the snapshot.
+    /// The shard's catalog (full on shard 0, a slice elsewhere) as of the
+    /// snapshot.
     pub catalog: Arc<Catalog>,
     /// Final pending maps of sealed (non-active) volumes, by volume index.
     pub sealed_pendings: Arc<Vec<PendingMaps>>,
@@ -197,41 +251,19 @@ pub(crate) struct CommitClock {
     pub committing: bool,
 }
 
-/// The Clio log service.
-///
-/// See the crate docs for the architecture; constructors are
-/// [`LogService::create`] (fresh volume sequence) and
-/// [`LogService::recover`] (in [`crate::recovery`]).
-///
-/// # Examples
-///
-/// ```
-/// use std::sync::Arc;
-/// use clio_core::service::{AppendOpts, LogService};
-/// use clio_core::ServiceConfig;
-/// use clio_types::{SystemClock, VolumeSeqId};
-/// use clio_volume::MemDevicePool;
-///
-/// let svc = LogService::create(
-///     VolumeSeqId(1),
-///     Arc::new(MemDevicePool::new(1024, 1 << 12)),
-///     ServiceConfig::default(),
-///     Arc::new(SystemClock),
-/// )?;
-/// svc.create_log("/events")?;
-/// let receipt = svc.append_path("/events", b"hello", AppendOpts::forced())?;
-/// let entry = svc.read_entry(receipt.addr)?;
-/// assert_eq!(entry.data, b"hello");
-///
-/// let mut cursor = svc.cursor("/events")?;
-/// assert_eq!(cursor.collect_remaining()?.len(), 1);
-/// # Ok::<(), clio_types::ClioError>(())
-/// ```
-pub struct LogService {
+/// One independent append domain: a full single-writer log engine — state
+/// lock, entrymap writer, open block, sealed queue, commit gate, read
+/// snapshot and volume sequence. The pre-sharding `LogService` *was* this
+/// struct; the public [`LogService`] now routes between several of them.
+pub(crate) struct Shard {
+    /// This shard's index within the service (0 = catalog shard).
+    pub(crate) idx: u32,
     pub(crate) seq: Arc<VolumeSequence>,
     pub(crate) clock: Arc<dyn Clock>,
     pub(crate) cfg: ServiceConfig,
     pub(crate) obs: Arc<ServiceObs>,
+    /// Cached per-shard metric series (counter map lock paid once here).
+    pub(crate) pshard: Arc<PerShard>,
     pub(crate) state: Mutex<State>,
     /// The current read snapshot; reads `get` it and never lock `state`.
     pub(crate) view: ArcCell<ReadView>,
@@ -239,48 +271,41 @@ pub struct LogService {
     pub(crate) commit: CommitGate,
 }
 
-impl LogService {
-    /// Creates a service on a fresh volume sequence.
-    pub fn create(
-        seq_id: VolumeSeqId,
-        pool: Arc<dyn DevicePool>,
-        cfg: ServiceConfig,
-        clock: Arc<dyn Clock>,
-    ) -> Result<LogService> {
-        let obs = ServiceObs::new(cfg.trace_events);
-        let pool = Arc::new(InstrumentingPool::new(pool, obs.clone()));
-        let cache = Arc::new(BlockCache::with_shards(cfg.cache_blocks, cfg.cache_shards));
-        let seq = Arc::new(VolumeSequence::create(
-            seq_id,
-            cache,
-            pool,
-            0,
-            cfg.block_size,
-            cfg.fanout,
-            clock.now(),
-        )?);
-        Ok(Self::assemble(
-            seq,
-            cfg,
-            clock,
-            obs,
-            Catalog::new(),
-            Vec::new(),
-            None,
-        ))
-    }
+/// The replayed state a shard is assembled around: empty for a fresh
+/// `create`, read back from the media during recovery.
+pub(crate) struct ShardSeed {
+    pub catalog: Catalog,
+    pub sealed_pendings: Vec<PendingMaps>,
+    pub active_pending: Option<PendingMaps>,
+}
 
-    /// Stitches a service together from its parts (used by `create` and by
+impl ShardSeed {
+    /// The seed for a brand-new shard: nothing replayed.
+    pub(crate) fn empty() -> ShardSeed {
+        ShardSeed {
+            catalog: Catalog::new(),
+            sealed_pendings: Vec::new(),
+            active_pending: None,
+        }
+    }
+}
+
+impl Shard {
+    /// Stitches a shard together from its parts (used by `create` and by
     /// recovery).
     pub(crate) fn assemble(
+        idx: u32,
         seq: Arc<VolumeSequence>,
         cfg: ServiceConfig,
         clock: Arc<dyn Clock>,
         obs: Arc<ServiceObs>,
-        catalog: Catalog,
-        sealed_pendings: Vec<PendingMaps>,
-        active_pending: Option<PendingMaps>,
-    ) -> LogService {
+        seed: ShardSeed,
+    ) -> Shard {
+        let ShardSeed {
+            catalog,
+            sealed_pendings,
+            active_pending,
+        } = seed;
         let geo = Geometry::new(usize::from(cfg.fanout));
         let active = seq.active();
         let active_index = active.label().volume_index;
@@ -288,7 +313,6 @@ impl LogService {
             Some(p) => EntrymapWriter::from_pending(p, active.data_end()),
             None => EntrymapWriter::new(geo),
         };
-        obs.attach_cache(seq.cache());
         let catalog = Arc::new(catalog);
         let sealed_pendings = Arc::new(sealed_pendings);
         let pending_snap = Arc::new(emap.pending().clone());
@@ -301,14 +325,18 @@ impl LogService {
             open: None,
             queued: Vec::new(),
         }));
-        LogService {
+        let pshard = obs.per_shard(idx);
+        Shard {
+            idx,
             seq,
             clock,
             cfg,
             obs,
+            pshard,
             // Held across device writes by design: the appender (or the
             // group-commit leader committing on behalf of followers)
-            // owns the append point end to end.
+            // owns the append point end to end. One lockdep class per
+            // shard proves cross-shard acquisition stays ascending.
             state: Mutex::with_class_io(
                 State {
                     catalog,
@@ -324,7 +352,7 @@ impl LogService {
                     staged_forced: 0,
                     forced_seq: 0,
                 },
-                "core.state",
+                state_class(idx),
             ),
             view,
             commit: CommitGate {
@@ -384,61 +412,13 @@ impl LogService {
         self.view.get()
     }
 
-    /// Test hook: runs `f` while the append-side state mutex is held.
-    /// The concurrency tests use this to prove the read path never
-    /// acquires the append lock — readers must make progress inside `f`.
-    #[doc(hidden)]
-    pub fn while_append_locked<R>(&self, f: impl FnOnce() -> R) -> R {
-        let _st = self.state.lock();
-        f()
-    }
-
-    /// The service configuration.
-    #[must_use]
-    pub fn config(&self) -> &ServiceConfig {
-        &self.cfg
-    }
-
-    /// The volume sequence backing this service.
-    #[must_use]
-    pub fn volumes(&self) -> &Arc<VolumeSequence> {
-        &self.seq
-    }
-
-    /// The shared block cache (exposed for cache-behaviour experiments).
-    #[must_use]
-    pub fn cache(&self) -> Arc<BlockCache> {
-        self.seq.cache().clone()
-    }
-
-    // ------------------------------------------------------------------
-    // Catalog operations (§2.2).
-    // ------------------------------------------------------------------
-
-    /// Creates a log file at `path`; every ancestor component must already
-    /// exist (`create_log("/mail/smith")` needs `/mail`). The new log file
-    /// is a sublog of its parent (§2.1).
-    pub fn create_log(&self, path: &str) -> Result<LogFileId> {
-        let start = clio_obs::clock::now();
-        let r = self.create_log_inner(path);
-        self.obs
-            .note_create(r.as_ref().ok().copied(), start.elapsed(), r.is_ok());
-        r
-    }
-
-    fn create_log_inner(&self, path: &str) -> Result<LogFileId> {
-        // Validate the whole path up front so aliases like "//x" are
-        // rejected rather than silently creating "/x".
-        let trimmed = path
-            .strip_prefix('/')
-            .ok_or_else(|| ClioError::BadPath(path.to_owned()))?;
-        if trimmed.is_empty() || trimmed.split('/').any(str::is_empty) {
-            return Err(ClioError::BadPath(path.to_owned()));
-        }
-        let (parent_path, name) = match path.rfind('/') {
-            Some(i) => (&path[..i], &path[i + 1..]),
-            None => ("", path),
-        };
+    /// Prepares, durably logs, and applies a creation on the catalog
+    /// shard, returning the new id and the record for slice propagation.
+    pub(crate) fn create_local(
+        &self,
+        parent_path: &str,
+        name: &str,
+    ) -> Result<(LogFileId, CatalogRecord)> {
         let mut st = self.state.lock();
         let r = (|| {
             let parent = st.catalog.resolve(parent_path)?;
@@ -451,93 +431,47 @@ impl LogService {
             // before the creation is acknowledged.
             self.append_catalog_record(&mut st, &rec)?;
             Arc::make_mut(&mut st.catalog).apply(&rec)?;
-            Ok(id)
+            Ok((id, rec))
         })();
         self.publish_view(&st);
         r
     }
 
-    /// Resolves a path to a log file id (snapshot read; lock-free).
-    pub fn resolve(&self, path: &str) -> Result<LogFileId> {
-        self.read_view().catalog.resolve(path)
-    }
-
-    /// The display path of a log file (snapshot read).
-    pub fn path_of(&self, id: LogFileId) -> Result<String> {
-        self.read_view().catalog.path_of(id)
-    }
-
-    /// Names of the direct sublogs of `path` (snapshot read).
-    pub fn list(&self, path: &str) -> Result<Vec<String>> {
-        let view = self.read_view();
-        let id = view.catalog.resolve(path)?;
-        let mut names: Vec<String> = view.catalog.children(id).map(|a| a.name.clone()).collect();
-        names.retain(|n| !n.starts_with('.') && !n.is_empty());
-        names.sort();
-        Ok(names)
-    }
-
-    /// A snapshot of the attributes of `id`.
-    pub fn attrs(&self, id: LogFileId) -> Result<clio_format::LogFileAttrs> {
-        Ok(self.read_view().catalog.attrs(id)?.clone())
-    }
-
-    /// Seals a log file against further appends.
-    pub fn seal_log(&self, id: LogFileId) -> Result<()> {
-        self.apply_catalog_change(|cat| {
-            cat.attrs(id)?;
-            Ok(CatalogRecord::Seal { id })
-        })
-    }
-
-    /// Changes a log file's permissions.
-    pub fn set_perms(&self, id: LogFileId, perms: u16) -> Result<()> {
-        self.apply_catalog_change(|cat| {
-            cat.attrs(id)?;
-            Ok(CatalogRecord::SetPerms { id, perms })
-        })
-    }
-
-    /// Renames a log file (its place in the hierarchy is unchanged).
-    pub fn rename(&self, id: LogFileId, name: &str) -> Result<()> {
-        self.apply_catalog_change(|cat| {
-            cat.attrs(id)?;
-            let rec = CatalogRecord::Rename {
-                id,
-                name: name.to_owned(),
-            };
-            // Validate against a probe copy before logging.
-            let mut probe = cat.clone();
-            probe.apply(&rec)?;
-            Ok(rec)
-        })
-    }
-
-    /// Prepares a catalog record against the live catalog, logs it
-    /// durably, applies it, and republishes the read snapshot.
-    fn apply_catalog_change(
+    /// Prepares a catalog record against this shard's live catalog, logs
+    /// it durably, applies it, republishes the read snapshot, and returns
+    /// the record so the router can propagate it to the routed shard's
+    /// slice. Catalog-shard only.
+    pub(crate) fn apply_catalog_change(
         &self,
         prepare: impl FnOnce(&Catalog) -> Result<CatalogRecord>,
-    ) -> Result<()> {
+    ) -> Result<CatalogRecord> {
         let mut st = self.state.lock();
         let r = (|| {
             let rec = prepare(&st.catalog)?;
             self.append_catalog_record(&mut st, &rec)?;
-            Arc::make_mut(&mut st.catalog).apply(&rec)
+            Arc::make_mut(&mut st.catalog).apply(&rec)?;
+            Ok(rec)
         })();
         self.publish_view(&st);
         r
     }
 
-    // ------------------------------------------------------------------
-    // Appending.
-    // ------------------------------------------------------------------
+    /// Applies an already-durable catalog record to this shard's slice
+    /// (no logging — the catalog shard holds the only durable catalog
+    /// log; slices are rebuilt from it at recovery).
+    pub(crate) fn apply_replica(&self, rec: &CatalogRecord) -> Result<()> {
+        let mut st = self.state.lock();
+        let r = Arc::make_mut(&mut st.catalog).apply(rec);
+        self.publish_view(&st);
+        r
+    }
 
-    /// Appends `data` as one log entry of log file `id`.
-    pub fn append(&self, id: LogFileId, data: &[u8], opts: AppendOpts) -> Result<Receipt> {
+    /// Appends `data` as one entry of log file `id` on this shard.
+    pub(crate) fn append(&self, id: LogFileId, data: &[u8], opts: AppendOpts) -> Result<Receipt> {
         let mut span = self.obs.span("append");
         span.set_target(u64::from(id.0));
         span.attr("bytes", data.len() as u64);
+        span.attr("shard", u64::from(self.idx));
         let start = clio_obs::clock::now();
         let before = self.obs.device_stats.snapshot().accesses();
         let r = self.append_inner(id, data, opts);
@@ -553,6 +487,9 @@ impl LogService {
         }
         drop(span);
         self.obs.note_append(id, start.elapsed(), r.is_ok());
+        if r.is_ok() {
+            self.pshard.appends.inc();
+        }
         r
     }
 
@@ -590,11 +527,12 @@ impl LogService {
     /// the current partial block in one batched device write, advances the
     /// committed watermark to the staging sequence it observed, and wakes
     /// all followers it covered.
-    fn commit_wait(&self, my_seq: u64) -> Result<()> {
+    pub(crate) fn commit_wait(&self, my_seq: u64) -> Result<()> {
         // One commit_gate span per forced append, leader or follower: its
         // duration is the full time spent waiting for durability, and its
         // role attribute says which side of the gate this thread took.
         let mut gate_span = self.obs.span("commit_gate");
+        gate_span.attr("shard", u64::from(self.idx));
         let mut led = false;
         let result = loop {
             let mut gate = self.commit.m.lock();
@@ -609,6 +547,7 @@ impl LogService {
             gate.committing = true;
             drop(gate);
             led = true;
+            self.pshard.leader_elections.inc();
             // Lead. Dally (with no lock held) so forced appends arriving
             // nearly together can join this batch.
             if self.cfg.commit_wait_us > 0 {
@@ -643,7 +582,7 @@ impl LogService {
         result
     }
 
-    fn append_locked(
+    pub(crate) fn append_locked(
         &self,
         st: &mut State,
         id: LogFileId,
@@ -703,18 +642,8 @@ impl LogService {
         })
     }
 
-    /// Appends to the log file named by `path`.
-    pub fn append_path(&self, path: &str, data: &[u8], opts: AppendOpts) -> Result<Receipt> {
-        let id = self.resolve(path)?;
-        self.append(id, data, opts)
-    }
-
-    /// Forces any buffered entries to stable storage (§2.3.1).
-    ///
-    /// Always republishes the read snapshot, even when the open block is
-    /// empty: draining queued sealed blocks advances the device watermark,
-    /// which the snapshot must reflect.
-    pub fn flush(&self) -> Result<()> {
+    /// Forces any buffered entries on this shard to stable storage.
+    pub(crate) fn flush(&self) -> Result<()> {
         let _span = self.obs.span("flush");
         let mut st = self.state.lock();
         let r = (|| {
@@ -727,7 +656,7 @@ impl LogService {
 
     /// Seals the open block outright (used by tests and volume hygiene).
     /// Also drains the sealed queue so the seal lands on the device.
-    pub fn seal_current_block(&self) -> Result<()> {
+    pub(crate) fn seal_current_block(&self) -> Result<()> {
         let mut st = self.state.lock();
         let r = (|| {
             if st.open.is_some() {
@@ -740,15 +669,11 @@ impl LogService {
         r
     }
 
-    /// Appends one entry per `(path, payload)` item, replying with all
-    /// receipts. Entries are staged under a single state-lock hold, and a
-    /// forced batch pays for **one** durability point covering every item
-    /// (one commit in group mode, one `persist_open` on the legacy path)
-    /// instead of one per entry.
-    ///
-    /// On error, entries staged before the failing item remain buffered
-    /// (they are not rolled back); none of them have been forced.
-    pub fn append_batch(
+    /// Appends one entry per `(path, payload)` item on this shard (every
+    /// path must route here). Entries are staged under a single state-lock
+    /// hold, and a forced batch pays for **one** durability point covering
+    /// every item.
+    pub(crate) fn append_batch(
         &self,
         items: &[(String, Vec<u8>)],
         opts: AppendOpts,
@@ -758,6 +683,7 @@ impl LogService {
         }
         let mut span = self.obs.span("append_batch");
         span.attr("entries", items.len() as u64);
+        span.attr("shard", u64::from(self.idx));
         let start = clio_obs::clock::now();
         let group_forced = self.group_commit_on() && matches!(opts.durability, Durability::Forced);
         let mut noted: Vec<LogFileId> = Vec::with_capacity(items.len());
@@ -794,6 +720,9 @@ impl LogService {
         for id in &noted {
             self.obs.note_append(*id, start.elapsed(), r.is_ok());
         }
+        if r.is_ok() {
+            self.pshard.appends.add(noted.len() as u64);
+        }
         if r.is_err() {
             span.fail("error");
         }
@@ -804,10 +733,415 @@ impl LogService {
         Ok(receipts)
     }
 
-    /// The space-overhead report (§3.5).
+    /// A clone of this shard's space accounting (merged by the router).
+    pub(crate) fn space_stats(&self) -> SpaceStats {
+        self.state.lock().stats.clone()
+    }
+
+    /// Writes a catalog record durably (forced, timestamped).
+    fn append_catalog_record(&self, st: &mut State, rec: &CatalogRecord) -> Result<()> {
+        let now = self.clock.now();
+        let header = EntryHeader::new(LogFileId::CATALOG, EntryForm::Timestamped, Some(now), None);
+        self.push_record(st, header, &rec.encode(), false)?;
+        // Committed directly under the state lock (not through the gate):
+        // catalog changes are rare and already serialized with any commit
+        // leader by the lock itself.
+        self.persist_all(st)?;
+        Ok(())
+    }
+}
+
+/// The Clio log service.
+///
+/// See the crate docs for the architecture; constructors are
+/// [`LogService::create`] (fresh volume sequences, one per shard) and
+/// [`LogService::recover`] (in [`crate::recovery`]).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use clio_core::service::{AppendOpts, LogService};
+/// use clio_core::ServiceConfig;
+/// use clio_types::{SystemClock, VolumeSeqId};
+/// use clio_volume::MemDevicePool;
+///
+/// let svc = LogService::create(
+///     VolumeSeqId(1),
+///     Arc::new(MemDevicePool::new(1024, 1 << 12)),
+///     ServiceConfig::default(),
+///     Arc::new(SystemClock),
+/// )?;
+/// svc.create_log("/events")?;
+/// let receipt = svc.append_path("/events", b"hello", AppendOpts::forced())?;
+/// let entry = svc.read_entry(receipt.addr)?;
+/// assert_eq!(entry.data, b"hello");
+///
+/// let mut cursor = svc.cursor("/events")?;
+/// assert_eq!(cursor.collect_remaining()?.len(), 1);
+/// # Ok::<(), clio_types::ClioError>(())
+/// ```
+pub struct LogService {
+    /// The append domains, shard 0 first (the catalog shard).
+    pub(crate) shards: Vec<Arc<Shard>>,
+    pub(crate) cfg: ServiceConfig,
+    pub(crate) obs: Arc<ServiceObs>,
+}
+
+impl LogService {
+    /// Creates a service on fresh volume sequences — one per configured
+    /// shard, carved from the same device pool. Shard `i` uses sequence id
+    /// `seq_id + i`.
+    pub fn create(
+        seq_id: VolumeSeqId,
+        pool: Arc<dyn DevicePool>,
+        cfg: ServiceConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<LogService> {
+        cfg.validate()?;
+        if let Some(avail) = pool.capacity_hint() {
+            if cfg.shards as u64 > avail {
+                return Err(ClioError::BadConfig(format!(
+                    "{} shards need {} fresh volumes but the pool can supply only {avail}",
+                    cfg.shards, cfg.shards
+                )));
+            }
+        }
+        let obs = ServiceObs::new(cfg.trace_events);
+        let pool: Arc<dyn DevicePool> = Arc::new(InstrumentingPool::new(pool, obs.clone()));
+        let cache = Arc::new(BlockCache::with_shards(cfg.cache_blocks, cfg.cache_shards));
+        obs.attach_cache(&cache);
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for i in 0..cfg.shards {
+            let seq = Arc::new(VolumeSequence::create(
+                VolumeSeqId(seq_id.0 + i as u64),
+                cache.clone(),
+                pool.clone(),
+                (i as u32) << DEVICE_ID_SHIFT,
+                cfg.block_size,
+                cfg.fanout,
+                clock.now(),
+            )?);
+            shards.push(Arc::new(Shard::assemble(
+                i as u32,
+                seq,
+                cfg.clone(),
+                clock.clone(),
+                obs.clone(),
+                ShardSeed::empty(),
+            )));
+        }
+        Ok(LogService { shards, cfg, obs })
+    }
+
+    /// The routing mask (`shards - 1`; shard counts are powers of two).
+    pub(crate) fn route_mask(&self) -> usize {
+        self.shards.len() - 1
+    }
+
+    /// The shard `id`'s entries route to, from the catalog shard's
+    /// current snapshot (reserved and unknown ids answer shard 0).
+    pub(crate) fn route_id(&self, id: LogFileId) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        self.shards[0]
+            .read_view()
+            .catalog
+            .route(id, self.route_mask())
+    }
+
+    /// The append domain `id`'s entries route to. Stable for a given id:
+    /// routing follows the top-level ancestor, assigned at creation.
+    #[must_use]
+    pub fn shard_of(&self, id: LogFileId) -> u32 {
+        self.route_id(id) as u32
+    }
+
+    /// Splits a global address into (shard index, shard-local address).
+    pub(crate) fn localize_addr(&self, addr: EntryAddr) -> Result<(usize, EntryAddr)> {
+        let shard = (addr.volume_index >> SHARD_SHIFT) as usize;
+        if shard >= self.shards.len() {
+            return Err(ClioError::NotFound(format!(
+                "entry {addr}: no shard {shard}"
+            )));
+        }
+        let mut local = addr;
+        local.volume_index &= LOCAL_VOLUME_MASK;
+        Ok((shard, local))
+    }
+
+    fn globalize_receipt(shard: usize, mut r: Receipt) -> Receipt {
+        r.addr = globalize_addr(shard as u32, r.addr);
+        r
+    }
+
+    /// Test hook: runs `f` while every shard's append-side state mutex is
+    /// held (acquired in ascending shard order — the service-wide lock
+    /// order). The concurrency tests use this to prove the read path never
+    /// acquires an append lock — readers must make progress inside `f`.
+    #[doc(hidden)]
+    pub fn while_append_locked<R>(&self, f: impl FnOnce() -> R) -> R {
+        fn lock_all<R>(shards: &[Arc<Shard>], f: impl FnOnce() -> R) -> R {
+            match shards.split_first() {
+                None => f(),
+                Some((s, rest)) => {
+                    let _g = s.state.lock();
+                    lock_all(rest, f)
+                }
+            }
+        }
+        lock_all(&self.shards, f)
+    }
+
+    /// The service configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Number of independent append domains.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The volume sequence backing shard 0 (the catalog shard) — with a
+    /// single-shard configuration, the service's only sequence. See
+    /// [`LogService::shard_volumes`] for the others.
+    #[must_use]
+    pub fn volumes(&self) -> &Arc<VolumeSequence> {
+        &self.shards[0].seq
+    }
+
+    /// The volume sequence backing shard `shard`, if it exists.
+    #[must_use]
+    pub fn shard_volumes(&self, shard: usize) -> Option<&Arc<VolumeSequence>> {
+        self.shards.get(shard).map(|s| &s.seq)
+    }
+
+    /// The shared block cache (exposed for cache-behaviour experiments).
+    #[must_use]
+    pub fn cache(&self) -> Arc<BlockCache> {
+        self.shards[0].seq.cache().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Catalog operations (§2.2).
+    // ------------------------------------------------------------------
+
+    /// Creates a log file at `path`; every ancestor component must already
+    /// exist (`create_log("/mail/smith")` needs `/mail`). The new log file
+    /// is a sublog of its parent (§2.1). The creation is durably logged on
+    /// the catalog shard, then propagated to the routed shard's slice.
+    pub fn create_log(&self, path: &str) -> Result<LogFileId> {
+        let start = clio_obs::clock::now();
+        let r = self.create_log_inner(path);
+        self.obs
+            .note_create(r.as_ref().ok().copied(), start.elapsed(), r.is_ok());
+        r
+    }
+
+    fn create_log_inner(&self, path: &str) -> Result<LogFileId> {
+        // Validate the whole path up front so aliases like "//x" are
+        // rejected rather than silently creating "/x".
+        let trimmed = path
+            .strip_prefix('/')
+            .ok_or_else(|| ClioError::BadPath(path.to_owned()))?;
+        if trimmed.is_empty() || trimmed.split('/').any(str::is_empty) {
+            return Err(ClioError::BadPath(path.to_owned()));
+        }
+        let (parent_path, name) = match path.rfind('/') {
+            Some(i) => (&path[..i], &path[i + 1..]),
+            None => ("", path),
+        };
+        // Catalog-shard lock first, released before any other shard's is
+        // taken: the service-wide order is ascending by shard index.
+        let (id, rec) = self.shards[0].create_local(parent_path, name)?;
+        let target = self.route_id(id);
+        if target != 0 {
+            self.shards[target].apply_replica(&rec)?;
+        }
+        Ok(id)
+    }
+
+    /// Resolves a path to a log file id (snapshot read; lock-free).
+    pub fn resolve(&self, path: &str) -> Result<LogFileId> {
+        self.shards[0].read_view().catalog.resolve(path)
+    }
+
+    /// The display path of a log file (snapshot read).
+    pub fn path_of(&self, id: LogFileId) -> Result<String> {
+        self.shards[0].read_view().catalog.path_of(id)
+    }
+
+    /// Names of the direct sublogs of `path` (snapshot read).
+    pub fn list(&self, path: &str) -> Result<Vec<String>> {
+        let view = self.shards[0].read_view();
+        let id = view.catalog.resolve(path)?;
+        let mut names: Vec<String> = view.catalog.children(id).map(|a| a.name.clone()).collect();
+        names.retain(|n| !n.starts_with('.') && !n.is_empty());
+        names.sort();
+        Ok(names)
+    }
+
+    /// A snapshot of the attributes of `id`.
+    pub fn attrs(&self, id: LogFileId) -> Result<clio_format::LogFileAttrs> {
+        Ok(self.shards[0].read_view().catalog.attrs(id)?.clone())
+    }
+
+    /// Seals a log file against further appends.
+    pub fn seal_log(&self, id: LogFileId) -> Result<()> {
+        self.catalog_change(id, |cat| {
+            cat.attrs(id)?;
+            Ok(CatalogRecord::Seal { id })
+        })
+    }
+
+    /// Changes a log file's permissions.
+    pub fn set_perms(&self, id: LogFileId, perms: u16) -> Result<()> {
+        self.catalog_change(id, |cat| {
+            cat.attrs(id)?;
+            Ok(CatalogRecord::SetPerms { id, perms })
+        })
+    }
+
+    /// Renames a log file (its place in the hierarchy is unchanged).
+    pub fn rename(&self, id: LogFileId, name: &str) -> Result<()> {
+        self.catalog_change(id, |cat| {
+            cat.attrs(id)?;
+            let rec = CatalogRecord::Rename {
+                id,
+                name: name.to_owned(),
+            };
+            // Validate against a probe copy before logging.
+            let mut probe = cat.clone();
+            probe.apply(&rec)?;
+            Ok(rec)
+        })
+    }
+
+    /// Prepares a catalog record on the catalog shard (durably logged
+    /// there), then propagates it to the shard `id` routes to. The two
+    /// state locks are taken one at a time, catalog shard first.
+    fn catalog_change(
+        &self,
+        id: LogFileId,
+        prepare: impl FnOnce(&Catalog) -> Result<CatalogRecord>,
+    ) -> Result<()> {
+        let rec = self.shards[0].apply_catalog_change(prepare)?;
+        let target = self.route_id(id);
+        if target != 0 {
+            self.shards[target].apply_replica(&rec)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Appending.
+    // ------------------------------------------------------------------
+
+    /// Appends `data` as one log entry of log file `id`, routed to the
+    /// log file's shard.
+    pub fn append(&self, id: LogFileId, data: &[u8], opts: AppendOpts) -> Result<Receipt> {
+        let shard = self.route_id(id);
+        self.shards[shard]
+            .append(id, data, opts)
+            .map(|r| Self::globalize_receipt(shard, r))
+    }
+
+    /// Appends to the log file named by `path`.
+    pub fn append_path(&self, path: &str, data: &[u8], opts: AppendOpts) -> Result<Receipt> {
+        let id = self.resolve(path)?;
+        self.append(id, data, opts)
+    }
+
+    /// Forces any buffered entries to stable storage (§2.3.1), on every
+    /// shard.
+    pub fn flush(&self) -> Result<()> {
+        for s in &self.shards {
+            s.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Seals every shard's open block outright (used by tests and volume
+    /// hygiene), draining the sealed queues so the seals land on the
+    /// devices.
+    pub fn seal_current_block(&self) -> Result<()> {
+        for s in &self.shards {
+            s.seal_current_block()?;
+        }
+        Ok(())
+    }
+
+    /// Appends one entry per `(path, payload)` item, replying with all
+    /// receipts in item order.
+    ///
+    /// Within one shard the items are staged under a single state-lock
+    /// hold and a forced batch pays for **one** durability point covering
+    /// every item. A batch spanning shards is *per-shard atomic*: each
+    /// shard's sub-batch commits as one unit, shards are processed in
+    /// ascending index order (catalog shard first), and an error leaves
+    /// sub-batches on lower-indexed shards durable while later shards were
+    /// never touched — there is no cross-shard rollback.
+    pub fn append_batch(
+        &self,
+        items: &[(String, Vec<u8>)],
+        opts: AppendOpts,
+    ) -> Result<Vec<Receipt>> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.shards.len() == 1 {
+            return self.shards[0].append_batch(items, opts);
+        }
+        let view = self.shards[0].read_view();
+        let mask = self.route_mask();
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, (path, _)) in items.iter().enumerate() {
+            let id = view.catalog.resolve(path)?;
+            groups
+                .entry(view.catalog.route(id, mask))
+                .or_default()
+                .push(i);
+        }
+        if groups.len() == 1 {
+            let (&shard, _) = groups
+                .iter()
+                .next()
+                .expect("invariant: a non-empty batch routes somewhere");
+            let receipts = self.shards[shard].append_batch(items, opts)?;
+            return Ok(receipts
+                .into_iter()
+                .map(|r| Self::globalize_receipt(shard, r))
+                .collect());
+        }
+        let mut out: Vec<Option<Receipt>> = vec![None; items.len()];
+        // BTreeMap iteration gives ascending shard order — the service-wide
+        // cross-shard order. Each shard's lock is released before the next
+        // shard's is taken.
+        for (shard, idxs) in groups {
+            let sub: Vec<(String, Vec<u8>)> = idxs.iter().map(|&i| items[i].clone()).collect();
+            let receipts = self.shards[shard].append_batch(&sub, opts)?;
+            for (r, &i) in receipts.into_iter().zip(&idxs) {
+                out[i] = Some(Self::globalize_receipt(shard, r));
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("invariant: every batch item was routed to exactly one shard"))
+            .collect())
+    }
+
+    /// The space-overhead report (§3.5), merged across shards.
     #[must_use]
     pub fn report(&self) -> SpaceReport {
-        self.state.lock().stats.report()
+        let mut stats = SpaceStats::default();
+        for s in &self.shards {
+            stats.merge(&s.space_stats());
+        }
+        stats.report()
     }
 
     // ------------------------------------------------------------------
@@ -815,7 +1149,7 @@ impl LogService {
     // ------------------------------------------------------------------
 
     /// The service's observability state (registry, trace ring, shared
-    /// device counters).
+    /// device counters) — one instance shared by every shard.
     #[must_use]
     pub fn obs(&self) -> &Arc<ServiceObs> {
         &self.obs
@@ -854,17 +1188,5 @@ impl LogService {
     #[must_use]
     pub fn trace_json(&self) -> String {
         self.obs.trace().trace_json().encode()
-    }
-
-    /// Writes a catalog record durably (forced, timestamped).
-    fn append_catalog_record(&self, st: &mut State, rec: &CatalogRecord) -> Result<()> {
-        let now = self.clock.now();
-        let header = EntryHeader::new(LogFileId::CATALOG, EntryForm::Timestamped, Some(now), None);
-        self.push_record(st, header, &rec.encode(), false)?;
-        // Committed directly under the state lock (not through the gate):
-        // catalog changes are rare and already serialized with any commit
-        // leader by the lock itself.
-        self.persist_all(st)?;
-        Ok(())
     }
 }

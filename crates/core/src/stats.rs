@@ -79,6 +79,27 @@ impl SpaceStats {
         self.trailer_bytes += trailer as u64;
     }
 
+    /// Folds another accounting into this one — how the sharded service
+    /// derives whole-service totals from its per-shard accountants.
+    pub fn merge(&mut self, other: &SpaceStats) {
+        for (id, f) in &other.per_file {
+            let e = self.per_file.entry(*id).or_default();
+            e.entries += f.entries;
+            e.client_bytes += f.client_bytes;
+            e.overhead_bytes += f.overhead_bytes;
+        }
+        self.entries += other.entries;
+        self.client_bytes += other.client_bytes;
+        self.header_bytes += other.header_bytes;
+        self.entrymap_entries += other.entrymap_entries;
+        self.entrymap_bytes += other.entrymap_bytes;
+        self.catalog_bytes += other.catalog_bytes;
+        self.badblock_bytes += other.badblock_bytes;
+        self.blocks_sealed += other.blocks_sealed;
+        self.padding_bytes += other.padding_bytes;
+        self.trailer_bytes += other.trailer_bytes;
+    }
+
     /// Derives the §3.5 report.
     #[must_use]
     pub fn report(&self) -> SpaceReport {
@@ -204,6 +225,31 @@ mod tests {
             s.note_client_entry(LogFileId(8), 37, 4);
         }
         assert!(s.report().header_overhead_pct() < 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = SpaceStats::default();
+        a.note_client_entry(LogFileId(8), 50, 4);
+        a.note_service_entry(LogFileId::ENTRYMAP, 40);
+        a.note_sealed_block(10, 18);
+        let mut b = SpaceStats::default();
+        b.note_client_entry(LogFileId(8), 30, 4);
+        b.note_client_entry(LogFileId(9), 20, 4);
+        b.note_service_entry(LogFileId::CATALOG, 25);
+        b.note_sealed_block(5, 18);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.entries, 3);
+        assert_eq!(m.client_bytes, 100);
+        assert_eq!(m.header_bytes, 12);
+        assert_eq!(m.per_file[&LogFileId(8)].entries, 2);
+        assert_eq!(m.per_file[&LogFileId(9)].entries, 1);
+        assert_eq!(m.blocks_sealed, 2);
+        assert_eq!(
+            m.report().device_bytes,
+            a.report().device_bytes + b.report().device_bytes
+        );
     }
 
     #[test]

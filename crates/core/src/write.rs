@@ -10,7 +10,7 @@ use clio_format::{
 };
 use clio_types::{BlockNo, ClioError, LogFileId, Result};
 
-use crate::service::{LogService, OpenBlock, SealedBlock, State};
+use crate::service::{OpenBlock, SealedBlock, Shard, State};
 use crate::stats::SpaceStats;
 
 /// Bound on seal retries after append-verification failures; repeated
@@ -22,7 +22,7 @@ const MAX_SEAL_ATTEMPTS: u32 = 8;
 /// before this).
 const MAX_FRAG_BLOCKS: u32 = 100_000;
 
-impl LogService {
+impl Shard {
     /// Opens a block if none is open.
     pub(crate) fn ensure_open(&self, st: &mut State) -> Result<()> {
         if st.open.is_none() {
@@ -474,6 +474,8 @@ impl LogService {
         if writes + tail_writes > 0 || covered > 0 {
             self.obs
                 .note_group_commit(blocks, covered, writes + tail_writes);
+            self.pshard.commits.inc();
+            self.pshard.commit_batch_blocks.record(blocks);
         }
         Ok(())
     }

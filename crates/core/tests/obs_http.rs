@@ -17,8 +17,10 @@ use clio_volume::MemDevicePool;
 fn spawn_server() -> LogServer {
     // Group commit pinned on (not left to the CLIO_GROUP_COMMIT A/B
     // env): the span-tree acceptance below is about the commit-gate
-    // pipeline, which the legacy path doesn't have.
+    // pipeline, which the legacy path doesn't have. Two append domains,
+    // so the per-shard series carry both labels.
     let cfg = ServiceConfig::small()
+        .with_shards(2)
         .with_group_commit(true)
         .with_http_addr("127.0.0.1:0");
     let svc = LogService::create(
@@ -105,16 +107,25 @@ fn forced_append_span_tree_is_served_over_http() {
         attrs.get("bytes").and_then(Value::as_i64),
         Some(b"traced payload".len() as i64)
     );
+    let shard = attrs
+        .get("shard")
+        .and_then(Value::as_i64)
+        .expect("append span carries its shard");
 
     let kids = children(root);
     let stage = child(kids, "stage").expect("stage phase");
     let gate = child(kids, "commit_gate").expect("commit gate phase");
-    let role = gate
-        .get("attrs")
-        .and_then(|a| a.get("role"))
+    let gate_attrs = gate.get("attrs").expect("gate attrs");
+    let role = gate_attrs
+        .get("role")
         .and_then(Value::as_str)
         .expect("role attribution");
     assert_eq!(role, "leader", "a lone forced append leads its own batch");
+    assert_eq!(
+        gate_attrs.get("shard").and_then(Value::as_i64),
+        Some(shard),
+        "commit gate span carries the same shard as its append"
+    );
 
     let gate_kids = children(gate);
     let seal = child(gate_kids, "seal").expect("seal phase");
@@ -148,6 +159,15 @@ fn metrics_exposition_is_valid_prometheus_with_per_log_labels() {
     };
     client.append_sync("/t", b"one").expect("append");
     client.append_sync("/t", b"two").expect("append");
+    // A second top-level log: consecutive ids route to the *other* of
+    // the two append domains, so both shard labels carry appends.
+    let id2 = match client.call(Request::CreateLog {
+        path: "/u".to_owned(),
+    }) {
+        Response::Created(id) => id,
+        other => panic!("create failed: {other:?}"),
+    };
+    client.append_sync("/u", b"three").expect("append");
 
     let (head, body) = get(addr, "/metrics");
     assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
@@ -193,10 +213,30 @@ fn metrics_exposition_is_valid_prometheus_with_per_log_labels() {
     // The scrape counted itself (this is the first scrape, so 1).
     assert!(body.contains("clio_http_scrapes_total 1"), "{body}");
 
+    // Per-shard series: top-level routing is id & (shards-1), so the two
+    // logs hit different append domains with their own counters.
+    let (s_t, s_u) = (id.0 & 1, id2.0 & 1);
+    assert_ne!(s_t, s_u, "consecutive top-level logs must split shards");
+    let shard_t = format!("clio_shard_appends_total{{shard=\"{s_t}\"}} 2");
+    assert!(body.contains(&shard_t), "missing {shard_t} in:\n{body}");
+    let shard_u = format!("clio_shard_appends_total{{shard=\"{s_u}\"}} 1");
+    assert!(body.contains(&shard_u), "missing {shard_u} in:\n{body}");
+    for s in [s_t, s_u] {
+        for series in [
+            format!("clio_shard_commits_total{{shard=\"{s}\"}}"),
+            format!("clio_shard_leader_elections_total{{shard=\"{s}\"}}"),
+            format!("clio_shard_commit_batch_blocks_bucket{{shard=\"{s}\""),
+        ] {
+            assert!(body.contains(&series), "missing {series} in:\n{body}");
+        }
+    }
+
     // The JSON form serves the same labeled series.
     let (_, body) = get(addr, "/metrics.json");
     let doc = json::parse(&body).expect("metrics.json parses");
     let key = format!("clio_log_appends_total{{log=\"{}\"}}", id.0);
+    assert_eq!(doc.get(&key).and_then(Value::as_i64), Some(2));
+    let key = format!("clio_shard_appends_total{{shard=\"{s_t}\"}}");
     assert_eq!(doc.get(&key).and_then(Value::as_i64), Some(2));
 }
 

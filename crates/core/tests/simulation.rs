@@ -11,9 +11,13 @@
 //! ```
 //!
 //! Each run records a history of log-API operations (append receipts,
-//! reads, cursor tailing, unique-id lookups, crash/recover events) and
-//! `sim::check_history` verifies it against the log model. The seed-sweep
-//! width is `CLIO_SIM_SEEDS` (default 5; CI's storm pass uses 25).
+//! reads, cursor tailing, unique-id lookups, cross-shard batch appends,
+//! crash/recover events) and `sim::check_history_with_shards` verifies it
+//! against the log model with per-append-domain durability: the service
+//! runs with two shards and the two top-level logs route to different
+//! domains, so per-shard recovery and cross-shard batch atomicity are
+//! both under test. The seed-sweep width is `CLIO_SIM_SEEDS` (default 5;
+//! CI's storm pass uses 25).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -24,15 +28,33 @@ use clio_device::{CrashSwitch, FaultPlan, FaultyDevice, RamTailDevice, SharedDev
 use clio_sim::CostModel;
 use clio_testkit::rng::splitmix64;
 use clio_testkit::sim::{
-    check_history, Addr, EventKind, History, LogScan, Op, Outcome, Scheduler, SimClock, SYSTEM,
+    check_history, check_history_with_shards, Addr, EventKind, History, LogScan, Op, Outcome,
+    Scheduler, SimClock, SYSTEM,
 };
 use clio_types::{Clock, EntryAddr, SeqNo, Timestamp, VolumeSeqId};
 use clio_volume::{MemDevicePool, RecordingPool};
 
 const CLIENTS: usize = 4;
-const LOG_PATHS: [&str; 2] = ["/sim/alpha", "/sim/beta"];
+/// Top-level logs so each is its own routing root: with `shards: 2` the
+/// two consecutive ids land on *different* append domains, exercising
+/// cross-shard routing, per-shard recovery, and cross-shard batches.
+const LOG_PATHS: [&str; 2] = ["/alpha", "/beta"];
+/// Simulated append domains (asserted to really split the logs).
+const SHARDS: usize = 2;
 /// Segments per run; every segment but the last ends in a crash+recovery.
 const SEGMENTS: usize = 3;
+
+/// Log index → shard map for the checker, from the service's own routing.
+fn shard_map(svc: &LogService) -> std::collections::BTreeMap<u32, u32> {
+    LOG_PATHS
+        .iter()
+        .enumerate()
+        .map(|(log, path)| {
+            let id = svc.resolve(path).expect("resolve log");
+            (log as u32, svc.shard_of(id))
+        })
+        .collect()
+}
 
 /// Bridges the testkit's virtual clock to the service's semantic clock:
 /// every timestamp consumes one unique virtual microsecond.
@@ -128,7 +150,7 @@ fn run_segment(
         let now = sched.now_us();
         // Weighted op choice: appends dominate, as in the paper's traces.
         let roll = sched.rng().gen_range(0..100u32);
-        if roll < 50 {
+        if roll < 45 {
             // ---- Append ----
             let log = sched.rng().gen_range(0..LOG_PATHS.len() as u32);
             let forced = sched.rng().gen_bool(0.3);
@@ -168,6 +190,77 @@ fn run_segment(
             drv.history
                 .push(now, client, EventKind::Call { op, result });
             sched.charge(client, cost.sync_write_us(len));
+        } else if roll < 55 {
+            // ---- Cross-shard AppendBatch ----
+            // Consecutive items alternate logs, so batches of 2+ span both
+            // append domains; semantics are per-shard-atomic, which the
+            // per-item receipt events model exactly.
+            let n = sched.rng().gen_range(2..5usize);
+            let forced = sched.rng().gen_bool(0.3);
+            let first = sched.rng().gen_range(0..LOG_PATHS.len() as u32);
+            let mut items = Vec::with_capacity(n);
+            let mut meta = Vec::with_capacity(n);
+            for k in 0..n as u32 {
+                let log = (first + k) % LOG_PATHS.len() as u32;
+                let len = sched.rng().gen_range(18..80usize);
+                let value = drv.next_value;
+                drv.next_value += 1;
+                items.push((
+                    LOG_PATHS[log as usize].to_owned(),
+                    encode_payload(value, len),
+                ));
+                meta.push((log, value));
+            }
+            let opts = if forced {
+                AppendOpts::forced()
+            } else {
+                AppendOpts::standard()
+            };
+            match svc.append_batch(&items, opts) {
+                Ok(receipts) => {
+                    for ((log, value), receipt) in meta.iter().zip(&receipts) {
+                        drv.readable.push((receipt.addr, *value));
+                        drv.history.push(
+                            now,
+                            client,
+                            EventKind::Call {
+                                op: Op::Append {
+                                    log: *log,
+                                    value: *value,
+                                    forced,
+                                    seqno: None,
+                                },
+                                result: Ok(Outcome::Receipt {
+                                    addr: conv(receipt.addr),
+                                    ts: receipt.timestamp.0,
+                                }),
+                            },
+                        );
+                    }
+                }
+                Err(e) => {
+                    // The batch failed as a unit (a crash mid-batch): every
+                    // item is indeterminate — sub-batches on earlier shards
+                    // may have reached the medium before the failure.
+                    let msg = err_text(&e);
+                    for (log, value) in &meta {
+                        drv.history.push(
+                            now,
+                            client,
+                            EventKind::Call {
+                                op: Op::Append {
+                                    log: *log,
+                                    value: *value,
+                                    forced,
+                                    seqno: None,
+                                },
+                                result: Err(msg.clone()),
+                            },
+                        );
+                    }
+                }
+            }
+            sched.charge(client, cost.sync_write_us(n * 48));
         } else if roll < 70 && !drv.readable.is_empty() {
             // ---- ReadAt ----
             let pick = sched.rng().gen_range(0..drv.readable.len());
@@ -313,15 +406,17 @@ fn scan_all(svc: &LogService) -> Vec<LogScan> {
         .collect()
 }
 
-/// Runs one fully seeded simulation and returns its recorded history.
-fn run_sim(seed: u64) -> History {
-    run_sim_traced(seed).0
+/// Runs one fully seeded simulation and returns its recorded history
+/// plus the log→shard map the checker needs.
+fn run_sim(seed: u64) -> (History, std::collections::BTreeMap<u32, u32>) {
+    let (h, _, shards) = run_sim_traced(seed);
+    (h, shards)
 }
 
 /// [`run_sim`], also returning the final service's flight-recorder dump.
 /// The sim clock is installed as the span time source, so span start
 /// times are virtual microseconds, not host time.
-fn run_sim_traced(seed: u64) -> (History, String) {
+fn run_sim_traced(seed: u64) -> (History, String, std::collections::BTreeMap<u32, u32>) {
     let mut s = seed;
     let sched_seed = splitmix64(&mut s);
     let fault_seed = splitmix64(&mut s);
@@ -361,6 +456,7 @@ fn run_sim_traced(seed: u64) -> (History, String) {
         block_size: 512,
         fanout: 4,
         cache_blocks: 128,
+        shards: SHARDS,
         ..ServiceConfig::default()
     };
 
@@ -370,10 +466,18 @@ fn run_sim_traced(seed: u64) -> (History, String) {
 
     let mut svc = LogService::create(VolumeSeqId(6), pool.clone(), cfg.clone(), svc_clock.clone())
         .expect("create service");
-    svc.create_log("/sim").expect("create parent log");
     for path in LOG_PATHS {
         svc.create_log(path).expect("create log");
     }
+    let shards = shard_map(&svc);
+    assert_eq!(
+        shards
+            .values()
+            .collect::<std::collections::BTreeSet<_>>()
+            .len(),
+        SHARDS,
+        "the simulated logs must span every append domain: {shards:?}"
+    );
 
     for segment in 0..SEGMENTS {
         let last = segment == SEGMENTS - 1;
@@ -412,7 +516,7 @@ fn run_sim_traced(seed: u64) -> (History, String) {
     drv.history
         .push(sched.now_us(), SYSTEM, EventKind::FinalScan { scans });
     let trace = svc.trace_dump();
-    (drv.history, trace)
+    (drv.history, trace, shards)
 }
 
 fn replay_seed() -> Option<u64> {
@@ -427,8 +531,8 @@ fn storm_width() -> u64 {
 }
 
 fn check_seed(seed: u64) {
-    let history = run_sim(seed);
-    if let Err(v) = check_history(&history) {
+    let (history, shards) = run_sim(seed);
+    if let Err(v) = check_history_with_shards(&history, &shards) {
         panic!(
             "simulation violated the log model: {v}\n\
              history tail:\n{}\n\
@@ -471,10 +575,10 @@ fn sim_storm() {
 /// a pure function of the seed: two runs render byte-identically.
 #[test]
 fn sim_replays_byte_identically() {
-    let a = run_sim(42).render();
-    let b = run_sim(42).render();
+    let a = run_sim(42).0.render();
+    let b = run_sim(42).0.render();
     assert_eq!(a, b, "same seed must replay byte-identically");
-    let c = run_sim(43).render();
+    let c = run_sim(43).0.render();
     assert_ne!(a, c, "different seeds must differ");
 }
 
@@ -503,14 +607,17 @@ fn sim_replays_byte_identically_with_tracing() {
             .collect::<Vec<_>>()
             .join("\n")
     }
-    let (ha, ta) = run_sim_traced(0xC110_5EED);
-    let (hb, tb) = run_sim_traced(0xC110_5EED);
+    let (ha, ta, _) = run_sim_traced(0xC110_5EED);
+    let (hb, tb, _) = run_sim_traced(0xC110_5EED);
     assert_eq!(
         ha.render(),
         hb.render(),
         "tracing must not perturb the interleaving"
     );
-    assert!(!ta.contains("0 span(s)"), "the sim must record spans");
+    assert!(
+        !ta.starts_with("trace ring: 0 span(s)"),
+        "the sim must record spans"
+    );
     assert!(ta.contains("append"), "the sim must trace appends");
     assert_eq!(
         strip_timings(&ta),
@@ -526,7 +633,7 @@ fn sim_replays_byte_identically_with_tracing() {
 #[test]
 fn sim_broken_double_is_caught_and_replays() {
     let sabotage = |seed: u64| -> (String, String) {
-        let mut h = run_sim(seed);
+        let (mut h, shards) = run_sim(seed);
         // Drop the last surviving entry from the first recovery scan —
         // the kind of bug recovery exists to rule out. The last recovered
         // value is durable (forced or sealed+scanned), so the checker
@@ -542,7 +649,7 @@ fn sim_broken_double_is_caught_and_replays() {
             }
         }
         assert!(broke, "seed produced no recovery scan to sabotage");
-        let v = check_history(&h).expect_err("sabotaged history must fail");
+        let v = check_history_with_shards(&h, &shards).expect_err("sabotaged history must fail");
         assert!(
             v.rule == "recovery-prefix" || v.rule == "final-scan",
             "unexpected rule {}",

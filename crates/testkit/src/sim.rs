@@ -453,9 +453,33 @@ struct CursorState {
 /// The checker is a straight fold over the events (the execution order
 /// is the linearization order — see the module docs), so it is `O(n)` in
 /// the history length and usable inside seed storms.
+///
+/// All logs are treated as one append domain: a forced acknowledgement
+/// persists every entry staged before it in *every* log. For a service
+/// partitioned into shards, use [`check_history_with_shards`].
 #[must_use = "a checker verdict must be examined"]
 pub fn check_history(h: &History) -> Result<(), Violation> {
-    Checker::default().run(h)
+    check_history_with_shards(h, &BTreeMap::new())
+}
+
+/// [`check_history`] for a sharded service: `shard_of` maps each log id
+/// to its append domain (absent logs default to shard 0).
+///
+/// Durability is per shard — a forced acknowledgement on one log raises
+/// the durable floor only for logs of the *same* shard, since each
+/// domain has its own open block and device write stream; entries
+/// buffered in other shards stay volatile until their own shard forces.
+/// Every other rule is per log and unaffected by sharding.
+#[must_use = "a checker verdict must be examined"]
+pub fn check_history_with_shards(
+    h: &History,
+    shard_of: &BTreeMap<u32, u32>,
+) -> Result<(), Violation> {
+    Checker {
+        shard_of: shard_of.clone(),
+        ..Checker::default()
+    }
+    .run(h)
 }
 
 #[derive(Default)]
@@ -466,6 +490,8 @@ struct Checker {
     by_addr: BTreeMap<Addr, u64>,
     /// `(log, seqno)` → value for seqno-carrying acknowledged appends.
     by_seqno: BTreeMap<(u32, u32), u64>,
+    /// Log id → append domain (absent = shard 0; empty = unsharded).
+    shard_of: BTreeMap<u32, u32>,
 }
 
 impl Checker {
@@ -556,9 +582,15 @@ impl Checker {
                 }
                 if *forced {
                     // A forced acknowledgement persists every entry staged
-                    // before it, in every log: raise all durable floors.
-                    for s in self.logs.values_mut() {
-                        s.durable = s.live.len();
+                    // before it in the same append domain: raise the
+                    // durable floors of same-shard logs (with no shard map
+                    // every log is in domain 0, so all floors rise).
+                    let shard = self.shard_of.get(log).copied().unwrap_or(0);
+                    let shard_of = &self.shard_of;
+                    for (l, s) in &mut self.logs {
+                        if shard_of.get(l).copied().unwrap_or(0) == shard {
+                            s.durable = s.live.len();
+                        }
                     }
                 }
                 Ok(())
@@ -1066,6 +1098,45 @@ mod tests {
         );
         let v = check_history(&h).expect_err("must fail");
         assert_eq!(v.rule, "durable-loss");
+    }
+
+    #[test]
+    fn forced_append_covers_only_same_shard_logs() {
+        // Buffered append on log 1, then a forced append on log 2, then a
+        // crash that loses the buffered entry.
+        let mut h = History::default();
+        append_ok(&mut h, 0, 1, 10, false, a(0, 0, 0));
+        append_ok(&mut h, 0, 2, 20, true, a(1, 0, 0));
+        h.push(2, SYSTEM, EventKind::Crash);
+        h.push(
+            3,
+            SYSTEM,
+            EventKind::Recovered {
+                scans: vec![
+                    LogScan {
+                        log: 1,
+                        values: vec![],
+                    },
+                    LogScan {
+                        log: 2,
+                        values: vec![20],
+                    },
+                ],
+            },
+        );
+        // Different shards: log 2's force does not cover log 1's buffered
+        // entry, so the loss is legal.
+        let split = BTreeMap::from([(1, 0), (2, 1)]);
+        assert_eq!(check_history_with_shards(&h, &split), Ok(()));
+        // Same shard: the force covers it and the loss is a violation
+        // (matching the unsharded checker on this history).
+        let joined = BTreeMap::from([(1, 1), (2, 1)]);
+        let v = check_history_with_shards(&h, &joined).expect_err("must fail");
+        assert_eq!(v.rule, "durable-loss");
+        assert_eq!(
+            check_history(&h).expect_err("must fail").rule,
+            "durable-loss"
+        );
     }
 
     #[test]

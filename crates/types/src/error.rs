@@ -58,6 +58,9 @@ pub enum ClioError {
     },
     /// A malformed client-supplied path.
     BadPath(String),
+    /// A rejected service configuration (e.g. a shard count that is zero,
+    /// not a power of two, or beyond what the device pool can supply).
+    BadConfig(String),
     /// The operation is not supported by this device or configuration.
     Unsupported(&'static str),
     /// Underlying host I/O failure (file-backed devices).
@@ -93,6 +96,7 @@ impl fmt::Display for ClioError {
                 write!(f, "entry of {size} bytes exceeds maximum {max}")
             }
             ClioError::BadPath(p) => write!(f, "bad path: {p}"),
+            ClioError::BadConfig(what) => write!(f, "bad configuration: {what}"),
             ClioError::Unsupported(what) => write!(f, "unsupported: {what}"),
             ClioError::Io(e) => write!(f, "i/o error: {e}"),
             ClioError::Internal(what) => write!(f, "internal error: {what}"),

@@ -17,6 +17,13 @@ use clio_device::{MemWormDevice, SharedDevice};
 pub trait DevicePool: Send + Sync {
     /// Hands out the next blank device.
     fn next_device(&self) -> Result<SharedDevice>;
+
+    /// How many more devices this pool can still supply, when known.
+    /// `None` means unbounded or unknown. Used to validate a shard count
+    /// before carving one volume sequence per shard out of the pool.
+    fn capacity_hint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A pool that fabricates in-memory WORM devices of fixed geometry —
@@ -67,6 +74,11 @@ impl DevicePool for MemDevicePool {
             self.block_size,
             self.capacity_blocks,
         )))
+    }
+
+    fn capacity_hint(&self) -> Option<u64> {
+        self.limit
+            .map(|limit| limit.saturating_sub(*self.handed_out.lock()))
     }
 }
 
@@ -123,6 +135,10 @@ impl DevicePool for RecordingPool {
         self.devices.lock().push(dev.clone());
         Ok(dev)
     }
+
+    fn capacity_hint(&self) -> Option<u64> {
+        self.inner.capacity_hint()
+    }
 }
 
 #[cfg(test)]
@@ -144,5 +160,17 @@ mod tests {
         let pool = MemDevicePool::new(256, 32).with_limit(1);
         assert!(pool.next_device().is_ok());
         assert!(pool.next_device().is_err());
+    }
+
+    #[test]
+    fn capacity_hint_tracks_the_limit() {
+        let pool = MemDevicePool::new(256, 32);
+        assert_eq!(pool.capacity_hint(), None);
+        let pool = MemDevicePool::new(256, 32).with_limit(2);
+        assert_eq!(pool.capacity_hint(), Some(2));
+        pool.next_device().unwrap();
+        assert_eq!(pool.capacity_hint(), Some(1));
+        let rec = RecordingPool::new(Arc::new(pool));
+        assert_eq!(rec.capacity_hint(), Some(1));
     }
 }

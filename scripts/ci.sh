@@ -104,6 +104,30 @@ run cargo build --release --offline -p clio-bench --bin group_commit
 }
 run ./target/release/clio_json_check "$smoke_dir/BENCH_group_commit.json"
 
+# Smoke the multi-shard scaling harness, then guard the sharding win:
+# two single-configuration runs (1 shard vs 4 shards, same thread count)
+# are diffed on the forced-append cost scalar with --direction=up — the
+# per-append cost must not rise when appends spread over more domains.
+# On a 1-core host contention still drops but scheduling noise dominates,
+# so the diff only gates multi-core hosts (the sweep itself always runs).
+run cargo build --release --offline -p clio-bench --bin multi_shard
+run cargo build --release --offline -p clio-bench --bin bench_diff
+(cd "$smoke_dir" && run "$OLDPWD"/target/release/multi_shard --json --quick > /dev/null)
+[ -f "$smoke_dir/BENCH_multi_shard.json" ] || {
+    echo "error: multi_shard --json did not write BENCH_multi_shard.json" >&2
+    exit 1
+}
+run ./target/release/clio_json_check "$smoke_dir/BENCH_multi_shard.json"
+if [ "$(nproc)" -gt 1 ]; then
+    (cd "$smoke_dir" && run "$OLDPWD"/target/release/multi_shard --shards=1 --json --quick > /dev/null)
+    mv "$smoke_dir/BENCH_multi_shard.json" "$smoke_dir/BENCH_multi_shard.shards1.json"
+    (cd "$smoke_dir" && run "$OLDPWD"/target/release/multi_shard --shards=4 --json --quick > /dev/null)
+    run ./target/release/bench_diff "$smoke_dir/BENCH_multi_shard.shards1.json" \
+        "$smoke_dir/BENCH_multi_shard.json" --direction=up
+else
+    echo "==> single-core host; skipping the shards=1 vs shards=4 bench_diff gate"
+fi
+
 # Smoke the ops plane: the scrape-latency harness starts a real server
 # with the HTTP endpoint on an ephemeral port and scrapes every route
 # over a plain TcpStream (no curl), so this exercises bind, routing,

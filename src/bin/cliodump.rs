@@ -116,6 +116,8 @@ fn mkdemo(file: &str) -> Result<()> {
     let cfg = ServiceConfig {
         block_size: 512,
         fanout: 4,
+        // One append domain: the demo is a single volume file.
+        shards: 1,
         ..ServiceConfig::default()
     };
     let path = file.to_owned();

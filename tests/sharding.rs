@@ -1,0 +1,174 @@
+//! Whole-stack exercises of the sharded append domains: routing, global
+//! addressing, cross-shard batches, and per-shard recovery joined into
+//! one report.
+
+use std::sync::Arc;
+
+use clio::core::service::{AppendOpts, LogService};
+use clio::core::ServiceConfig;
+use clio::types::{ManualClock, Timestamp, VolumeSeqId};
+use clio::volume::{MemDevicePool, RecordingPool};
+
+const SHARDS: usize = 4;
+const LOGS: usize = 8;
+
+fn pool(block_size: usize, cap: u64) -> Arc<RecordingPool> {
+    Arc::new(RecordingPool::new(Arc::new(MemDevicePool::new(
+        block_size, cap,
+    ))))
+}
+
+fn clock() -> Arc<ManualClock> {
+    Arc::new(ManualClock::starting_at(Timestamp::from_secs(1)))
+}
+
+fn cfg() -> ServiceConfig {
+    ServiceConfig {
+        block_size: 512,
+        fanout: 4,
+        shards: SHARDS,
+        ..ServiceConfig::default()
+    }
+}
+
+fn path(t: usize) -> String {
+    format!("/s{t}")
+}
+
+#[test]
+fn appends_route_across_all_shards_and_read_back() {
+    let svc = LogService::create(VolumeSeqId(21), pool(512, 1 << 14), cfg(), clock()).unwrap();
+    let mut ids = Vec::new();
+    for t in 0..LOGS {
+        ids.push(svc.create_log(&path(t)).unwrap());
+    }
+    // Consecutive top-level ids round-robin over the domains; all four
+    // must be in play.
+    let shards: std::collections::BTreeSet<u32> = ids.iter().map(|&id| svc.shard_of(id)).collect();
+    assert_eq!(shards.len(), SHARDS, "logs must cover every shard");
+
+    let mut receipts = Vec::new();
+    for i in 0..30 {
+        for (t, &id) in ids.iter().enumerate() {
+            let r = svc
+                .append(
+                    id,
+                    format!("log{t} entry{i}").as_bytes(),
+                    AppendOpts::standard(),
+                )
+                .unwrap();
+            // The receipt address is global: its high volume-index bits
+            // name the owning shard.
+            assert_eq!(r.addr.volume_index >> 24, svc.shard_of(id));
+            receipts.push((t, i, r));
+        }
+    }
+    svc.flush().unwrap();
+    // Random-access reads resolve through the global address back to the
+    // right shard.
+    for (t, i, r) in &receipts {
+        let e = svc.read_entry(r.addr).unwrap();
+        assert_eq!(e.data, format!("log{t} entry{i}").as_bytes());
+    }
+    // Per-log cursors see their own entries only, in order.
+    for (t, _) in ids.iter().enumerate() {
+        let mut cur = svc.cursor(&path(t)).unwrap();
+        let entries = cur.collect_remaining().unwrap();
+        assert_eq!(entries.len(), 30, "log {t}");
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.data, format!("log{t} entry{i}").as_bytes());
+        }
+    }
+}
+
+#[test]
+fn cross_shard_batch_lands_every_item() {
+    let svc = LogService::create(VolumeSeqId(22), pool(512, 1 << 14), cfg(), clock()).unwrap();
+    for t in 0..LOGS {
+        svc.create_log(&path(t)).unwrap();
+    }
+    let items: Vec<(String, Vec<u8>)> = (0..LOGS * 3)
+        .map(|k| (path(k % LOGS), format!("batch item {k}").into_bytes()))
+        .collect();
+    let receipts = svc.append_batch(&items, AppendOpts::forced()).unwrap();
+    assert_eq!(receipts.len(), items.len());
+    // Receipts come back in item order, each readable at its global
+    // address, and per-log receipt addresses are strictly increasing.
+    let mut last: std::collections::BTreeMap<String, _> = std::collections::BTreeMap::new();
+    for ((p, data), r) in items.iter().zip(&receipts) {
+        assert_eq!(svc.read_entry(r.addr).unwrap().data, *data);
+        if let Some(prev) = last.insert(p.clone(), r.addr) {
+            assert!(r.addr > prev, "receipts regressed within {p}");
+        }
+    }
+}
+
+#[test]
+fn crash_recovery_joins_all_shards_into_one_report() {
+    let pool = pool(512, 96);
+    let ck = clock();
+    let cfg = cfg();
+    let forced_per_log = 6usize;
+    {
+        let svc =
+            LogService::create(VolumeSeqId(23), pool.clone(), cfg.clone(), ck.clone()).unwrap();
+        for t in 0..LOGS {
+            svc.create_log(&path(t)).unwrap();
+        }
+        for i in 0..forced_per_log {
+            for t in 0..LOGS {
+                let mut payload = format!("durable {t}/{i} ").into_bytes();
+                payload.resize(120, b'd');
+                svc.append_path(&path(t), &payload, AppendOpts::forced())
+                    .unwrap();
+            }
+        }
+        // Crash: no flush, no shutdown.
+    }
+    let (svc, report) =
+        LogService::recover(pool.devices(), pool.clone(), cfg.clone(), ck.clone()).unwrap();
+    // One joined report covering every shard's volumes (each domain has
+    // at least its own active volume).
+    assert!(
+        report.volumes >= SHARDS as u32,
+        "expected >= {SHARDS} volumes, got {}",
+        report.volumes
+    );
+    assert_eq!(
+        svc.shard_count(),
+        SHARDS,
+        "shard count recovered from media"
+    );
+    for t in 0..LOGS {
+        let mut cur = svc.cursor(&path(t)).unwrap();
+        let entries = cur.collect_remaining().unwrap();
+        assert_eq!(entries.len(), forced_per_log, "log {t} lost forced entries");
+        for (i, e) in entries.iter().enumerate() {
+            assert!(
+                e.data.starts_with(format!("durable {t}/{i} ").as_bytes()),
+                "log {t} entry {i} corrupted"
+            );
+        }
+    }
+    // The recovered service keeps appending on every shard.
+    for t in 0..LOGS {
+        svc.append_path(&path(t), b"after recovery", AppendOpts::forced())
+            .unwrap();
+        let mut cur = svc.cursor(&path(t)).unwrap();
+        assert_eq!(cur.collect_remaining().unwrap().len(), forced_per_log + 1);
+    }
+}
+
+#[test]
+fn single_shard_config_stays_legacy_shaped() {
+    // shards=1 must behave exactly like the pre-sharding service: local
+    // addresses (no shard bits) and one volume stream.
+    let cfg = ServiceConfig { shards: 1, ..cfg() };
+    let svc = LogService::create(VolumeSeqId(24), pool(512, 1 << 14), cfg, clock()).unwrap();
+    let id = svc.create_log("/only").unwrap();
+    assert_eq!(svc.shard_of(id), 0);
+    let r = svc.append(id, b"entry", AppendOpts::forced()).unwrap();
+    assert_eq!(r.addr.volume_index >> 24, 0);
+    assert_eq!(svc.shard_count(), 1);
+    assert_eq!(svc.read_entry(r.addr).unwrap().data, b"entry");
+}
