@@ -16,8 +16,8 @@
 //! [`BlockCache::new`] keeps the single-shard (exact global LRU)
 //! behaviour for cache-behaviour experiments that must stay reproducible.
 
+use clio_testkit::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use clio_obs::TraceRing;

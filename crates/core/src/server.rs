@@ -8,8 +8,8 @@
 //! requests, counting round trips so the `clio-sim` cost model can charge
 //! the paper's measured per-IPC latency.
 
+use clio_testkit::sync::atomic::{AtomicU64, Ordering};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 

@@ -93,7 +93,11 @@ impl LogDevice for MirroredDevice {
             .iter()
             .map(|r| r.query_end())
             .collect::<Option<Vec<_>>>()
-            .map(|ends| ends.into_iter().min().expect("at least one replica"))
+            .map(|ends| {
+                ends.into_iter()
+                    .min()
+                    .expect("invariant: Mirror::new rejects an empty replica set")
+            })
     }
 
     fn is_written(&self, block: BlockNo) -> Result<bool> {

@@ -1,17 +1,30 @@
 //! The ratchet baseline file, `lint/ratchet.toml`.
 //!
-//! A deliberately tiny TOML subset — comments, one `[unwrap]` table,
-//! `key = integer` pairs — parsed in-tree because the workspace takes no
-//! registry dependencies. [`render`] regenerates the file in canonical
-//! form so `--update-ratchet` output is always diff-stable.
+//! A deliberately tiny TOML subset — comments, a fixed set of named
+//! sections (`[raw_atomics]`, `[unwrap]`), `key = integer` pairs —
+//! parsed in-tree because the workspace takes no registry dependencies.
+//! [`render`] regenerates the file in canonical form so
+//! `--update-ratchet` output is always diff-stable.
+//!
+//! Both ratchet rules share [`compare`]: measured per-crate counts are
+//! checked against one section, and any drift — regression, unlocked
+//! improvement, missing crate, stale entry — is a diagnostic.
 
 use std::collections::BTreeMap;
 
-/// Parses a baseline file into `key -> (count, line)` (the line is kept
-/// so ratchet diagnostics point at the entry to edit).
-pub fn parse(content: &str) -> Result<BTreeMap<String, (u64, u32)>, String> {
-    let mut out = BTreeMap::new();
-    let mut in_unwrap = false;
+use crate::Diag;
+
+/// The sections a baseline file may contain, in file order.
+pub const SECTIONS: &[&str] = &["raw_atomics", "unwrap"];
+
+/// Per-crate entries of one section: `key -> (count, line)` (the line is
+/// kept so ratchet diagnostics point at the entry to edit).
+pub type Section = BTreeMap<String, (u64, u32)>;
+
+/// Parses a baseline file into its sections.
+pub fn parse(content: &str) -> Result<BTreeMap<String, Section>, String> {
+    let mut out: BTreeMap<String, Section> = BTreeMap::new();
+    let mut current: Option<String> = None;
     for (n, raw) in content.lines().enumerate() {
         let lineno = u32::try_from(n + 1).unwrap_or(u32::MAX);
         let line = raw.trim();
@@ -19,10 +32,15 @@ pub fn parse(content: &str) -> Result<BTreeMap<String, (u64, u32)>, String> {
             continue;
         }
         if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-            if section.trim() != "unwrap" {
+            let section = section.trim();
+            if !SECTIONS.contains(&section) {
                 return Err(format!("line {lineno}: unknown section [{section}]"));
             }
-            in_unwrap = true;
+            if out.contains_key(section) {
+                return Err(format!("line {lineno}: duplicate section [{section}]"));
+            }
+            out.insert(section.to_string(), Section::new());
+            current = Some(section.to_string());
             continue;
         }
         let Some((key, value)) = line.split_once('=') else {
@@ -30,15 +48,18 @@ pub fn parse(content: &str) -> Result<BTreeMap<String, (u64, u32)>, String> {
                 "line {lineno}: expected `key = count`, got `{line}`"
             ));
         };
-        if !in_unwrap {
-            return Err(format!("line {lineno}: entry outside the [unwrap] section"));
-        }
+        let Some(section) = &current else {
+            return Err(format!("line {lineno}: entry outside any section"));
+        };
         let key = key.trim().to_string();
         let count: u64 = value
             .trim()
             .parse()
             .map_err(|_| format!("line {lineno}: `{}` is not a count", value.trim()))?;
-        if out.insert(key.clone(), (count, lineno)).is_some() {
+        let entries = out
+            .get_mut(section)
+            .expect("invariant: current section was inserted");
+        if entries.insert(key.clone(), (count, lineno)).is_some() {
             return Err(format!("line {lineno}: duplicate entry `{key}`"));
         }
     }
@@ -47,22 +68,101 @@ pub fn parse(content: &str) -> Result<BTreeMap<String, (u64, u32)>, String> {
 
 /// Renders measured counts as a canonical baseline file.
 #[must_use]
-pub fn render(counts: &BTreeMap<String, u64>) -> String {
+pub fn render(raw_atomics: &BTreeMap<String, u64>, unwrap: &BTreeMap<String, u64>) -> String {
     let mut s = String::from(
-        "# unwrap-ratchet baseline (see clio-lint). Per-crate counts of\n\
-         # `.unwrap()` and undocumented `.expect(...)` in library code\n\
-         # (crates/*/src and the root src/). `expect(\"invariant: ...\")`\n\
-         # is exempt. These numbers may only go down; after an\n\
-         # improvement, regenerate with:\n\
+        "# clio-lint ratchet baselines: per-crate counts that may only go\n\
+         # down. After an improvement, regenerate with:\n\
          #\n\
          #     cargo run --release --offline -p clio-lint -- --update-ratchet\n\
-         \n\
-         [unwrap]\n",
+         #\n\
+         # [raw_atomics]: direct `std::sync::atomic` uses in library code\n\
+         # outside crates/testkit. New code uses clio_testkit::sync::atomic,\n\
+         # whose declared orderings the model checker validates.\n\
+         # [unwrap]: `.unwrap()` and undocumented `.expect(...)` in library\n\
+         # code (crates/*/src and the root src/); `expect(\"invariant: ...\")`\n\
+         # is exempt.\n",
     );
-    for (key, count) in counts {
-        s.push_str(&format!("{key} = {count}\n"));
+    for (name, counts) in [("raw_atomics", raw_atomics), ("unwrap", unwrap)] {
+        s.push_str(&format!("\n[{name}]\n"));
+        for (key, count) in counts {
+            s.push_str(&format!("{key} = {count}\n"));
+        }
     }
     s
+}
+
+/// How one ratchet rule names itself in diagnostics; see [`compare`].
+pub struct RuleSpec {
+    /// Diagnostic rule name, e.g. `unwrap-ratchet`.
+    pub rule: &'static str,
+    /// Baseline section the rule compares against.
+    pub section: &'static str,
+    /// What the count measures, for the regression message.
+    pub what: &'static str,
+    /// How to fix a regression, for the regression message.
+    pub fix: &'static str,
+}
+
+/// Compares measured per-crate counts against one section of the
+/// baseline file, emitting a diagnostic for every regression,
+/// improvement (the baseline must then be lowered), missing crate, or
+/// stale entry.
+pub fn compare(
+    spec: &RuleSpec,
+    counts: &BTreeMap<String, u64>,
+    baseline_text: &str,
+    out: &mut Vec<Diag>,
+) {
+    let diag = |line: u32, msg: String| Diag {
+        rel: crate::rules::unwrap_ratchet::RATCHET_REL.to_string(),
+        line,
+        rule: spec.rule,
+        msg,
+    };
+    let sections = match parse(baseline_text) {
+        Ok(s) => s,
+        Err(e) => {
+            out.push(diag(0, format!("malformed baseline: {e}")));
+            return;
+        }
+    };
+    let empty = Section::new();
+    let baseline = sections.get(spec.section).unwrap_or(&empty);
+    for (key, &count) in counts {
+        match baseline.get(key) {
+            None => out.push(diag(
+                0,
+                format!(
+                    "crate `{key}` has no [{}] baseline entry — run --update-ratchet",
+                    spec.section
+                ),
+            )),
+            Some(&(base, line)) if count > base => out.push(diag(
+                line,
+                format!(
+                    "{} for `{key}` regressed: {base} -> {count} \
+                     (the ratchet only goes down; {})",
+                    spec.what, spec.fix
+                ),
+            )),
+            Some(&(base, line)) if count < base => out.push(diag(
+                line,
+                format!(
+                    "`{key}` improved to {count} (baseline {base}) — lock it in with \
+                     --update-ratchet"
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (key, &(_, line)) in baseline {
+        if !counts.contains_key(key) {
+            out.push(diag(
+                line,
+                format!("stale baseline entry `{key}` (no such crate) — run --update-ratchet"),
+            ));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -71,14 +171,17 @@ mod tests {
 
     #[test]
     fn round_trips_canonical_form() {
-        let mut counts = BTreeMap::new();
-        counts.insert("core".to_string(), 7u64);
-        counts.insert("device".to_string(), 0u64);
-        let text = render(&counts);
+        let mut unwrap = BTreeMap::new();
+        unwrap.insert("core".to_string(), 7u64);
+        unwrap.insert("device".to_string(), 0u64);
+        let mut atomics = BTreeMap::new();
+        atomics.insert("device".to_string(), 12u64);
+        let text = render(&atomics, &unwrap);
         let parsed = parse(&text).expect("canonical form parses");
-        assert_eq!(parsed.len(), 2);
-        assert_eq!(parsed["core"].0, 7);
-        assert_eq!(parsed["device"].0, 0);
+        assert_eq!(parsed["unwrap"].len(), 2);
+        assert_eq!(parsed["unwrap"]["core"].0, 7);
+        assert_eq!(parsed["unwrap"]["device"].0, 0);
+        assert_eq!(parsed["raw_atomics"]["device"].0, 12);
     }
 
     #[test]
@@ -87,5 +190,12 @@ mod tests {
         assert!(parse("core = 1\n").is_err(), "entry before section");
         assert!(parse("[unwrap]\ncore = x\n").is_err());
         assert!(parse("[unwrap]\ncore = 1\ncore = 2\n").is_err());
+        assert!(parse("[unwrap]\n[unwrap]\n").is_err(), "duplicate section");
+    }
+
+    #[test]
+    fn missing_section_reads_as_empty() {
+        let parsed = parse("[unwrap]\ncore = 1\n").expect("single section parses");
+        assert!(!parsed.contains_key("raw_atomics"));
     }
 }

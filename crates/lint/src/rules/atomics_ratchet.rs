@@ -1,0 +1,147 @@
+//! `raw-atomics-ratchet`: direct `std::sync::atomic` use in library
+//! code, held to a committed per-crate baseline that may only go down.
+//!
+//! Raw atomics make ordering claims (`Acquire`, `Release`, `Relaxed`)
+//! that nothing in the tree can validate. `clio_testkit::sync::atomic`
+//! wraps the same types with the same explicit-ordering APIs, but under
+//! a model-checked run every access becomes a scheduling point and its
+//! declared ordering feeds the vector-clock race detector — so a
+//! publication over a `Relaxed` flag is *caught*, not merely reviewed.
+//! Rather than forbid raw atomics outright, this rule counts them per
+//! crate — import sites and every later use of an imported name, plus
+//! inline `std::sync::atomic::...` paths — and compares against the
+//! `[raw_atomics]` section of `lint/ratchet.toml`.
+//!
+//! `crates/testkit` is exempt: it is the wrapper (and the model
+//! checker's own scheduler state is necessarily raw). Test code is not
+//! counted, matching the unwrap ratchet.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{match_path, Kind};
+use crate::rules::unwrap_ratchet;
+use crate::{matching, ratchet, Diag, SourceFile};
+
+/// Rule name used in diagnostics.
+pub const NAME: &str = "raw-atomics-ratchet";
+
+/// The ratchet key for `rel`, or `None` when the file isn't counted
+/// library code. Same mapping as the unwrap ratchet, minus the exempt
+/// wrapper crate.
+#[must_use]
+pub fn crate_key(rel: &str) -> Option<String> {
+    if rel.starts_with("crates/testkit/") {
+        return None;
+    }
+    unwrap_ratchet::crate_key(rel)
+}
+
+/// Counts raw-atomic uses in one file's non-test code: each name bound
+/// by a `use std::sync::atomic::...` import at every use site, plus
+/// each inline `std::sync::atomic::...` path.
+#[must_use]
+pub fn count_file(sf: &SourceFile) -> u64 {
+    let toks = &sf.toks;
+    // Pass 1: harvest the names each `use std::sync::atomic...` binds
+    // (aliases bind the alias; `self` binds `atomic`), and remember the
+    // span of EVERY import — import paths are resolution context, not
+    // use sites, so pass 2 must not count tokens inside any of them
+    // (e.g. the `atomic` segment of a testkit wrapper import).
+    let mut bound: BTreeSet<String> = BTreeSet::new();
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut n = 0u64;
+    for i in 0..toks.len() {
+        if sf.in_test[i] || !(toks[i].kind == Kind::Ident && toks[i].text == "use") {
+            continue;
+        }
+        // The item runs to its `;` (use-groups cannot contain one).
+        let mut end = i;
+        while end + 1 < toks.len() && !sf.is_punct(end, ";") {
+            end += 1;
+        }
+        spans.push((i, end));
+        let path_at = i + 1;
+        if !match_path(toks, path_at, &["std", "sync", "atomic"]) {
+            continue;
+        }
+        n += 1; // the import itself is a raw-atomic use
+        let after = path_at + 5; // token after `std :: sync :: atomic`
+        if sf.is_punct(after, ";") {
+            // `use std::sync::atomic;` binds the module name.
+            bound.insert("atomic".to_string());
+        } else if sf.is_punct(after, "::") {
+            let at = after + 1;
+            if sf.is_punct(at, "{") {
+                let close = matching(toks, at, "{", "}").unwrap_or(toks.len() - 1);
+                let mut j = at + 1;
+                while j < close {
+                    if toks[j].kind == Kind::Ident {
+                        if toks.get(j + 1).is_some_and(|t| t.text == "as") {
+                            // `X as Y` binds Y.
+                            if let Some(alias) = toks.get(j + 2) {
+                                bound.insert(alias.text.clone());
+                            }
+                            j += 3;
+                            continue;
+                        }
+                        bound.insert(if toks[j].text == "self" {
+                            "atomic".to_string()
+                        } else {
+                            toks[j].text.clone()
+                        });
+                    }
+                    j += 1;
+                }
+            } else if toks.get(at).is_some_and(|t| t.kind == Kind::Ident) {
+                if toks.get(at + 1).is_some_and(|t| t.text == "as") {
+                    if let Some(alias) = toks.get(at + 2) {
+                        bound.insert(alias.text.clone());
+                    }
+                } else {
+                    bound.insert(toks[at].text.clone());
+                }
+            }
+            // `use std::sync::atomic::*;` — glob: nothing resolvable
+            // to count later; the import itself was counted.
+        }
+    }
+    // Pass 2: count uses — inline qualified paths, and idents the
+    // imports above bound (`Ordering` counts only when it came from
+    // `std::sync::atomic`, i.e. is in `bound`).
+    let mut i = 0;
+    while i < toks.len() {
+        if sf.in_test[i] || spans.iter().any(|&(s, e)| s <= i && i <= e) {
+            i += 1;
+            continue;
+        }
+        if toks[i].kind == Kind::Ident && match_path(toks, i, &["std", "sync", "atomic"]) {
+            n += 1;
+            i += 5; // skip `std :: sync :: atomic`
+                    // ...and whatever one path segment follows, so the type
+                    // name isn't double-counted.
+            if sf.is_punct(i, "::") {
+                i += 2;
+            }
+            continue;
+        }
+        if toks[i].kind == Kind::Ident && bound.contains(&toks[i].text) {
+            n += 1;
+        }
+        i += 1;
+    }
+    n
+}
+
+/// This rule's [`ratchet::compare`] parameters.
+const SPEC: ratchet::RuleSpec = ratchet::RuleSpec {
+    rule: NAME,
+    section: "raw_atomics",
+    what: "raw std::sync::atomic use count",
+    fix: "use clio_testkit::sync::atomic, whose orderings the model checker validates",
+};
+
+/// Compares measured per-crate counts against the `[raw_atomics]`
+/// section of the baseline file; see [`ratchet::compare`].
+pub fn compare(counts: &BTreeMap<String, u64>, baseline_text: &str, out: &mut Vec<Diag>) {
+    ratchet::compare(&SPEC, counts, baseline_text, out);
+}

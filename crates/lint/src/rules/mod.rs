@@ -2,6 +2,7 @@
 //! constant and a `check` entry point taking a [`SourceFile`], so rules
 //! are individually testable against in-memory fixtures.
 
+pub mod atomics_ratchet;
 pub mod raw_locks;
 pub mod registry_deps;
 pub mod unwrap_ratchet;

@@ -68,56 +68,16 @@ pub fn count_file(sf: &SourceFile) -> u64 {
     n
 }
 
-/// Compares measured per-crate counts against the baseline file,
-/// emitting a diagnostic for every regression, improvement (the
-/// baseline must then be lowered), missing crate, or stale entry.
-pub fn compare(counts: &BTreeMap<String, u64>, baseline_text: &str, out: &mut Vec<Diag>) {
-    let baseline = match ratchet::parse(baseline_text) {
-        Ok(b) => b,
-        Err(e) => {
-            out.push(diag(0, format!("malformed baseline: {e}")));
-            return;
-        }
-    };
-    for (key, &count) in counts {
-        match baseline.get(key) {
-            None => out.push(diag(
-                0,
-                format!("crate `{key}` has no baseline entry — run --update-ratchet"),
-            )),
-            Some(&(base, line)) if count > base => out.push(diag(
-                line,
-                format!(
-                    "library unwrap/expect count for `{key}` regressed: {base} -> {count} \
-                     (the ratchet only goes down; handle the error or document the \
-                     impossibility as expect(\"invariant: ...\"))"
-                ),
-            )),
-            Some(&(base, line)) if count < base => out.push(diag(
-                line,
-                format!(
-                    "`{key}` improved to {count} (baseline {base}) — lock it in with \
-                     --update-ratchet"
-                ),
-            )),
-            Some(_) => {}
-        }
-    }
-    for (key, &(_, line)) in &baseline {
-        if !counts.contains_key(key) {
-            out.push(diag(
-                line,
-                format!("stale baseline entry `{key}` (no such crate) — run --update-ratchet"),
-            ));
-        }
-    }
-}
+/// This rule's [`ratchet::compare`] parameters.
+const SPEC: ratchet::RuleSpec = ratchet::RuleSpec {
+    rule: NAME,
+    section: "unwrap",
+    what: "library unwrap/expect count",
+    fix: "handle the error or document the impossibility as expect(\"invariant: ...\")",
+};
 
-fn diag(line: u32, msg: String) -> Diag {
-    Diag {
-        rel: RATCHET_REL.to_string(),
-        line,
-        rule: NAME,
-        msg,
-    }
+/// Compares measured per-crate counts against the `[unwrap]` section of
+/// the baseline file; see [`ratchet::compare`].
+pub fn compare(counts: &BTreeMap<String, u64>, baseline_text: &str, out: &mut Vec<Diag>) {
+    ratchet::compare(&SPEC, counts, baseline_text, out);
 }

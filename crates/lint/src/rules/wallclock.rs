@@ -16,6 +16,9 @@ pub const NAME: &str = "no-wallclock";
 ///   trace timestamps are observability;
 /// - `crates/bench/` — benchmark drivers measure wall time;
 /// - `crates/testkit/src/bench.rs` — the in-tree bench timer;
+/// - `crates/testkit/src/check.rs` — the model checker reports wall
+///   time per exploration (its *schedules* are deterministic; the
+///   timing is reporting only, like the bench timer);
 /// - `crates/types/src/time.rs` — `SystemClock`, the one production
 ///   implementation of the semantic `Clock` trait.
 ///
@@ -26,6 +29,7 @@ const APPROVED: &[&str] = &[
     "crates/obs/src/",
     "crates/bench/",
     "crates/testkit/src/bench.rs",
+    "crates/testkit/src/check.rs",
     "crates/types/src/time.rs",
 ];
 

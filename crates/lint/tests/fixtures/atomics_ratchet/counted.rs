@@ -1,0 +1,47 @@
+//! Fixture: raw-atomic uses a library file can contain. Expected
+//! count: 10.
+//!
+//!  1  the grouped import itself
+//!  2  the module import (`use std::sync::atomic;`)
+//!  3  `AtomicU64` in the static declaration
+//!  4  `AtomicU64` in the initializer
+//!  5  `atomic` in the `DEPTH` declaration
+//!  6  `atomic` in the `DEPTH` initializer
+//!  7  the inline-qualified `std::sync::atomic::AtomicBool` path
+//!  8  `atomic` in the fence call
+//!  9  `Order` (the `Ordering as Order` alias) in the fence argument
+//! 10  `Order` in `load`
+//!
+//! NOT counted: the testkit wrapper import (different path — even its
+//! `atomic` segment), names resolved from the wrapper, and everything
+//! in the test module.
+
+use std::sync::atomic::{AtomicU64, Ordering as Order};
+use std::sync::atomic;
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static DEPTH: atomic::AtomicUsize = atomic::AtomicUsize::new(0);
+
+fn f(flag: &std::sync::atomic::AtomicBool) -> u64 {
+    let _ = flag;
+    let _ = DEPTH;
+    atomic::fence(Order::SeqCst);
+    HITS.load(Order::Relaxed)
+}
+
+mod wrapped {
+    use clio_testkit::sync::atomic::{AtomicI64, Ordering};
+
+    fn g(a: &AtomicI64) -> i64 {
+        a.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::AtomicU32;
+
+    fn t() {
+        let _ = AtomicU32::new(0);
+    }
+}

@@ -6,7 +6,9 @@
 
 use std::collections::BTreeMap;
 
-use clio_lint::rules::{raw_locks, registry_deps, unwrap_ratchet, wallclock, worm_writes};
+use clio_lint::rules::{
+    atomics_ratchet, raw_locks, registry_deps, unwrap_ratchet, wallclock, worm_writes,
+};
 use clio_lint::{Diag, SourceFile};
 
 fn lint(rel: &str, src: &str, rule: impl Fn(&SourceFile, &mut Vec<Diag>)) -> Vec<Diag> {
@@ -221,13 +223,73 @@ fn unwrap_ratchet_compare_reports_all_four_drifts() {
     assert!(diags.iter().any(|d| d.msg.contains("improved to 1")));
     assert!(diags
         .iter()
-        .any(|d| d.msg.contains("`new` has no baseline")));
+        .any(|d| d.msg.contains("`new` has no [unwrap] baseline")));
     assert!(diags
         .iter()
         .any(|d| d.msg.contains("stale baseline entry `gone`")));
     // Exact match is silent.
     let mut ok = Vec::new();
     unwrap_ratchet::compare(&counts, "[unwrap]\nup = 3\ndown = 1\nnew = 0\n", &mut ok);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn atomics_ratchet_counts_imports_uses_and_inline_paths() {
+    let sf = SourceFile::parse(
+        "crates/x/src/lib.rs",
+        include_str!("fixtures/atomics_ratchet/counted.rs"),
+    );
+    assert_eq!(atomics_ratchet::count_file(&sf), 10);
+}
+
+#[test]
+fn atomics_ratchet_handles_self_and_glob_imports() {
+    // `self` binds the module name `atomic`; later uses count. One
+    // import + two `atomic` path uses = 3 (the unused `AtomicBool`
+    // binding never appears again).
+    let sf = SourceFile::parse(
+        "crates/x/src/lib.rs",
+        "use std::sync::atomic::{self, AtomicBool};\n\
+         fn f() { atomic::fence(atomic::Ordering::SeqCst); }\n",
+    );
+    assert_eq!(atomics_ratchet::count_file(&sf), 3);
+    // A glob import counts once; its uses cannot be resolved.
+    let sf = SourceFile::parse(
+        "crates/x/src/lib.rs",
+        "use std::sync::atomic::*;\nfn f(a: &AtomicU64) { let _ = a; }\n",
+    );
+    assert_eq!(atomics_ratchet::count_file(&sf), 1);
+}
+
+#[test]
+fn atomics_ratchet_exempts_testkit_and_nonlibrary_code() {
+    assert_eq!(
+        atomics_ratchet::crate_key("crates/device/src/file.rs").as_deref(),
+        Some("device")
+    );
+    assert_eq!(
+        atomics_ratchet::crate_key("src/bin/cliodump.rs").as_deref(),
+        Some("clio")
+    );
+    assert_eq!(
+        atomics_ratchet::crate_key("crates/testkit/src/sync/atomic.rs"),
+        None
+    );
+    assert_eq!(atomics_ratchet::crate_key("crates/device/tests/t.rs"), None);
+}
+
+#[test]
+fn atomics_ratchet_compares_against_its_own_section() {
+    let counts: BTreeMap<String, u64> = [("cache".to_string(), 3u64)].into_iter().collect();
+    let baseline = "[raw_atomics]\ncache = 2\n\n[unwrap]\ncache = 99\n";
+    let mut diags = Vec::new();
+    atomics_ratchet::compare(&counts, baseline, &mut diags);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].msg.contains("regressed: 2 -> 3"), "{diags:?}");
+    assert_eq!(diags[0].rule, "raw-atomics-ratchet");
+    // A matching count is silent even though [unwrap] differs wildly.
+    let mut ok = Vec::new();
+    atomics_ratchet::compare(&counts, "[raw_atomics]\ncache = 3\n", &mut ok);
     assert!(ok.is_empty(), "{ok:?}");
 }
 
@@ -246,6 +308,7 @@ fn shipped_tree_is_clean() {
     let baseline = std::fs::read_to_string(root.join(unwrap_ratchet::RATCHET_REL))
         .expect("lint/ratchet.toml is committed");
     unwrap_ratchet::compare(&report.unwrap_counts, &baseline, &mut diags);
+    atomics_ratchet::compare(&report.atomic_counts, &baseline, &mut diags);
     assert!(
         diags.is_empty(),
         "tree has lint violations:\n{}",

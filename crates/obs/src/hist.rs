@@ -9,7 +9,7 @@
 //! plenty for the paper's evaluation, where interesting effects (cache hit
 //! vs. optical seek) differ by orders of magnitude.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use clio_testkit::sync::atomic::{AtomicU64, Ordering};
 
 /// Bucket 0 holds zeros; buckets 1..=64 hold `[2^(i-1), 2^i)`.
 pub const BUCKETS: usize = 65;

@@ -18,9 +18,9 @@
 //! shuts down when dropped: the accept loop checks a stop flag after
 //! every accept, and `Drop` unblocks it with a loopback connection.
 
+use clio_testkit::sync::atomic::{AtomicBool, Ordering};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -11,13 +11,14 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use clio_testkit::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use clio_testkit::sync::Mutex;
 
 use crate::hist::{HistSnapshot, Histogram};
 
 /// A monotonically increasing atomic counter.
 #[derive(Debug, Default)]
-pub struct Counter(std::sync::atomic::AtomicU64);
+pub struct Counter(AtomicU64);
 
 impl Counter {
     /// Adds 1.
@@ -27,35 +28,35 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
-        self.0.load(std::sync::atomic::Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed)
     }
 }
 
 /// An atomic gauge (a value that can go up and down).
 #[derive(Debug, Default)]
-pub struct Gauge(std::sync::atomic::AtomicI64);
+pub struct Gauge(AtomicI64);
 
 impl Gauge {
     /// Sets the value.
     pub fn set(&self, v: i64) {
-        self.0.store(v, std::sync::atomic::Ordering::Relaxed);
+        self.0.store(v, Ordering::Relaxed);
     }
 
     /// Adds `n` (may be negative).
     pub fn add(&self, n: i64) {
-        self.0.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[must_use]
     pub fn get(&self) -> i64 {
-        self.0.load(std::sync::atomic::Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed)
     }
 }
 

@@ -17,8 +17,8 @@
 //! installs a virtual time source gets byte-identical span trees for the
 //! same seed.
 
+use clio_testkit::sync::atomic::{AtomicU64, Ordering};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use clio_testkit::sync::Mutex;
 

@@ -28,15 +28,23 @@
 //!   recorder, and a linearizability checker specialized to the log
 //!   model. One `u64` seed reproduces an entire multi-client,
 //!   multi-crash run.
+//! * [`check`] — a loom-lite concurrency model checker: a cooperative
+//!   scheduler explores thread interleavings of small protocol models
+//!   (bounded-preemption DFS + seeded random walk with byte-identical
+//!   replay), while a vector-clock ([`vclock`]) happens-before checker
+//!   reports data races with both access sites. [`sync`] and
+//!   [`sync::atomic`] are its instrumentation surface.
 //!
 //! It also hosts shared cross-crate test harnesses, currently
 //! [`devcheck`] — byte-for-byte conformance schedules for vectored
 //! device appends (`LogDevice::append_blocks`).
 
 pub mod bench;
+pub mod check;
 pub mod devcheck;
 pub mod lockdep;
 pub mod prop;
 pub mod rng;
 pub mod sim;
 pub mod sync;
+pub mod vclock;

@@ -25,13 +25,28 @@
 //!
 //! Tracking is entirely inert unless `CLIO_LOCKDEP=1` is set; see the
 //! [`crate::lockdep`] module docs.
+//!
+//! Under a [`crate::check`] model run, every acquisition, release,
+//! condvar wait/notify and [`ArcCell`] access on the current thread is
+//! additionally a scheduling point of the cooperative model checker,
+//! and contributes happens-before edges to its race detector. Outside a
+//! checked run that instrumentation is one relaxed atomic load.
 
 use std::fmt;
 use std::panic::Location;
 use std::sync::TryLockError;
 
+use crate::check;
 use crate::lockdep;
 use crate::lockdep::LockMeta;
+
+pub mod atomic;
+
+/// Stable address used to identify a lock object within one model
+/// schedule (`cast` drops any wide-pointer metadata for `?Sized` data).
+fn obj_addr<T: ?Sized>(obj: &T) -> usize {
+    (obj as *const T).cast::<()>() as usize
+}
 
 /// A mutual-exclusion lock whose `lock()` returns the guard directly.
 pub struct Mutex<T: ?Sized> {
@@ -46,6 +61,10 @@ pub struct MutexGuard<'a, T: ?Sized> {
     // inside `wait` and during drop.
     inner: Option<std::sync::MutexGuard<'a, T>>,
     dep: lockdep::Held,
+    // Back-pointer so a checked-mode `Condvar::wait` can re-acquire.
+    owner: &'a Mutex<T>,
+    // Model-lock address when this acquisition is checker-tracked.
+    chk: Option<usize>,
 }
 
 impl<T> Mutex<T> {
@@ -93,8 +112,12 @@ impl<T: ?Sized> Mutex<T> {
     #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
         // Record the acquisition first: an acquisition that would close
-        // an ordering cycle panics instead of deadlocking.
+        // an ordering cycle panics instead of deadlocking. Under a model
+        // run the cooperative scheduler then serializes the acquisition,
+        // so the std lock below never blocks a model thread.
         let dep = lockdep::on_acquire(&self.meta, Location::caller());
+        let addr = obj_addr(self);
+        let chk = check::mutex_lock(addr).then_some(addr);
         MutexGuard {
             inner: Some(
                 self.inner
@@ -102,12 +125,33 @@ impl<T: ?Sized> Mutex<T> {
                     .unwrap_or_else(std::sync::PoisonError::into_inner),
             ),
             dep,
+            owner: self,
+            chk,
         }
     }
 
     /// Acquires the lock only if it is free right now.
     #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let addr = obj_addr(self);
+        if let Some(acquired) = check::mutex_try_lock(addr) {
+            if !acquired {
+                return None;
+            }
+            let inner = match self.inner.try_lock() {
+                Ok(g) => g,
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    unreachable!("invariant: a model-granted lock is free among model threads")
+                }
+            };
+            return Some(MutexGuard {
+                inner: Some(inner),
+                dep: lockdep::on_acquire_try(&self.meta, Location::caller()),
+                owner: self,
+                chk: Some(addr),
+            });
+        }
         let inner = match self.inner.try_lock() {
             Ok(g) => g,
             Err(TryLockError::Poisoned(p)) => p.into_inner(),
@@ -116,6 +160,8 @@ impl<T: ?Sized> Mutex<T> {
         Some(MutexGuard {
             inner: Some(inner),
             dep: lockdep::on_acquire_try(&self.meta, Location::caller()),
+            owner: self,
+            chk: None,
         })
     }
 
@@ -149,6 +195,9 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
         // stack never claims this thread is lock-free while it still
         // holds the std mutex.
         self.inner = None;
+        if let Some(addr) = self.chk.take() {
+            check::mutex_unlock(addr);
+        }
         lockdep::on_release(&mut self.dep);
     }
 }
@@ -186,12 +235,14 @@ pub struct RwLock<T: ?Sized> {
 pub struct RwLockReadGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockReadGuard<'a, T>,
     dep: lockdep::Held,
+    chk: Option<usize>,
 }
 
 /// Exclusive-access RAII guard for [`RwLock`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockWriteGuard<'a, T>,
     dep: lockdep::Held,
+    chk: Option<usize>,
 }
 
 impl<T> RwLock<T> {
@@ -237,12 +288,15 @@ impl<T: ?Sized> RwLock<T> {
     #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         let dep = lockdep::on_acquire(&self.meta, Location::caller());
+        let addr = obj_addr(self);
+        let chk = check::rw_lock(addr, false).then_some(addr);
         RwLockReadGuard {
             inner: self
                 .inner
                 .read()
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
             dep,
+            chk,
         }
     }
 
@@ -250,18 +304,27 @@ impl<T: ?Sized> RwLock<T> {
     #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         let dep = lockdep::on_acquire(&self.meta, Location::caller());
+        let addr = obj_addr(self);
+        let chk = check::rw_lock(addr, true).then_some(addr);
         RwLockWriteGuard {
             inner: self
                 .inner
                 .write()
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
             dep,
+            chk,
         }
     }
 
     /// Acquires shared access only if no writer holds the lock.
     #[track_caller]
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let addr = obj_addr(self);
+        let chk = match check::rw_try_lock(addr, false) {
+            Some(false) => return None,
+            Some(true) => Some(addr),
+            None => None,
+        };
         let inner = match self.inner.try_read() {
             Ok(g) => g,
             Err(TryLockError::Poisoned(p)) => p.into_inner(),
@@ -270,12 +333,19 @@ impl<T: ?Sized> RwLock<T> {
         Some(RwLockReadGuard {
             inner,
             dep: lockdep::on_acquire_try(&self.meta, Location::caller()),
+            chk,
         })
     }
 
     /// Acquires exclusive access only if the lock is free right now.
     #[track_caller]
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let addr = obj_addr(self);
+        let chk = match check::rw_try_lock(addr, true) {
+            Some(false) => return None,
+            Some(true) => Some(addr),
+            None => None,
+        };
         let inner = match self.inner.try_write() {
             Ok(g) => g,
             Err(TryLockError::Poisoned(p)) => p.into_inner(),
@@ -284,6 +354,7 @@ impl<T: ?Sized> RwLock<T> {
         Some(RwLockWriteGuard {
             inner,
             dep: lockdep::on_acquire_try(&self.meta, Location::caller()),
+            chk,
         })
     }
 
@@ -313,12 +384,20 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
 
 impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
     fn drop(&mut self) {
+        // Model release before the field drop frees the std lock: safe,
+        // because no other model thread runs until this one yields.
+        if let Some(addr) = self.chk.take() {
+            check::rw_unlock(addr, false);
+        }
         lockdep::on_release(&mut self.dep);
     }
 }
 
 impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
     fn drop(&mut self) {
+        if let Some(addr) = self.chk.take() {
+            check::rw_unlock(addr, true);
+        }
         lockdep::on_release(&mut self.dep);
     }
 }
@@ -400,9 +479,23 @@ impl Condvar {
     }
 
     /// Blocks until notified, releasing the guard while waiting.
+    ///
+    /// Under a model run the wait is re-implemented at model level: the
+    /// guard is dropped and the thread blocks in the scheduler until a
+    /// notify targets this condvar (release+wait is still atomic — no
+    /// scheduling point runs in between, so wakeups cannot be lost any
+    /// more than with the real condvar). Lost-wakeup *bugs* in the
+    /// model surface as scheduler deadlocks.
     #[track_caller]
     pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        if check::is_model() {
+            let owner = guard.owner;
+            drop(guard);
+            check::condvar_wait(obj_addr(self), false);
+            return owner.lock();
+        }
         let at = Location::caller();
+        let owner = guard.owner;
         let (inner, class) = Self::part(&mut guard);
         let inner = self
             .inner
@@ -411,6 +504,8 @@ impl Condvar {
         MutexGuard {
             inner: Some(inner),
             dep: lockdep::on_wait_reacquire(class, at),
+            owner,
+            chk: None,
         }
     }
 
@@ -419,9 +514,16 @@ impl Condvar {
     pub fn wait_while<'a, T>(
         &self,
         mut guard: MutexGuard<'a, T>,
-        cond: impl FnMut(&mut T) -> bool,
+        mut cond: impl FnMut(&mut T) -> bool,
     ) -> MutexGuard<'a, T> {
+        if check::is_model() {
+            while cond(&mut *guard) {
+                guard = self.wait(guard);
+            }
+            return guard;
+        }
         let at = Location::caller();
+        let owner = guard.owner;
         let (inner, class) = Self::part(&mut guard);
         let inner = self
             .inner
@@ -430,18 +532,31 @@ impl Condvar {
         MutexGuard {
             inner: Some(inner),
             dep: lockdep::on_wait_reacquire(class, at),
+            owner,
+            chk: None,
         }
     }
 
     /// Blocks until notified or `dur` elapses; returns the guard and
     /// whether the wait timed out.
+    ///
+    /// Under a model run the duration is ignored: a timed waiter simply
+    /// stays schedulable, and the scheduler explores both the notified
+    /// and the timed-out wakeup.
     #[track_caller]
     pub fn wait_timeout<'a, T>(
         &self,
         mut guard: MutexGuard<'a, T>,
         dur: std::time::Duration,
     ) -> (MutexGuard<'a, T>, bool) {
+        if check::is_model() {
+            let owner = guard.owner;
+            drop(guard);
+            let timed_out = check::condvar_wait(obj_addr(self), true);
+            return (owner.lock(), timed_out);
+        }
         let at = Location::caller();
+        let owner = guard.owner;
         let (inner, class) = Self::part(&mut guard);
         let (inner, timeout) = self
             .inner
@@ -451,6 +566,8 @@ impl Condvar {
             MutexGuard {
                 inner: Some(inner),
                 dep: lockdep::on_wait_reacquire(class, at),
+                owner,
+                chk: None,
             },
             timeout.timed_out(),
         )
@@ -468,12 +585,20 @@ impl Condvar {
     }
 
     /// Wakes one waiter.
+    #[track_caller]
     pub fn notify_one(&self) {
+        if check::condvar_notify(obj_addr(self), false) {
+            return;
+        }
         self.inner.notify_one();
     }
 
     /// Wakes every waiter.
+    #[track_caller]
     pub fn notify_all(&self) {
+        if check::condvar_notify(obj_addr(self), true) {
+            return;
+        }
         self.inner.notify_all();
     }
 }

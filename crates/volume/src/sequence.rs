@@ -169,7 +169,7 @@ impl VolumeSequence {
         self.volumes
             .read()
             .last()
-            .expect("sequence is never empty")
+            .expect("invariant: create/open seed volume 0 and extend only appends")
             .clone()
     }
 
@@ -204,7 +204,9 @@ impl VolumeSequence {
     pub fn extend(&self, now: Timestamp) -> Result<Arc<Volume>> {
         let device = self.pool.next_device()?;
         let mut g = self.volumes.write();
-        let last = g.last().expect("sequence is never empty");
+        let last = g
+            .last()
+            .expect("invariant: create/open seed volume 0 and extend only appends");
         let index = last.label().volume_index + 1;
         let label = last
             .label()

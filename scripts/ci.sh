@@ -71,6 +71,29 @@ CLIO_GROUP_COMMIT=0 cargo test -q --offline -p clio-core
 echo "==> CLIO_SIM_SEEDS=25 cargo test -q --release --offline -p clio-core --test simulation"
 CLIO_SIM_SEEDS=25 cargo test -q --release --offline -p clio-core --test simulation
 
+# Concurrency model checking: the four protocol models (commit gate,
+# ArcCell publish, single-flight, sealed-queue drain) plus the canary
+# suite under the larger release budget (2,000 DFS + 2,000 random
+# schedules per model). A failure prints both access sites and a
+# CLIO_CHECK_REPLAY=<seed>:<index> line that re-runs the exact schedule.
+# (The 1,000-schedule debug budget already ran in the workspace pass.)
+echo "==> CLIO_MODEL_CHECK=1 cargo test -q --release --offline -p clio-core --test model_*"
+CLIO_MODEL_CHECK=1 cargo test -q --release --offline -p clio-core \
+    --test model_commit_gate --test model_arccell_publish \
+    --test model_single_flight --test model_sealed_queue \
+    --test model_canary
+
+# The model checker's own scheduler is unsafe-free but relies on subtle
+# std primitives; run its crate under miri wherever the toolchain ships
+# it (like the clippy guard above — the release toolchain usually
+# doesn't, nightlies do).
+if cargo miri --version >/dev/null 2>&1; then
+    echo "==> cargo miri test -q --offline -p clio-testkit"
+    cargo miri test -q --offline -p clio-testkit
+else
+    echo "==> cargo miri not installed; skipping"
+fi
+
 # Smoke the machine-readable bench output: one harness with --json must
 # emit a file the in-tree decoder accepts.
 smoke_dir=$(mktemp -d)
